@@ -1,0 +1,137 @@
+#ifndef OVERGEN_BENCH_COMMON_H
+#define OVERGEN_BENCH_COMMON_H
+
+/**
+ * @file
+ * Shared helpers for the per-figure/table benchmark harnesses. Every
+ * binary regenerates one table or figure of the paper's evaluation
+ * (see DESIGN.md per-experiment index). The paper's DSE runs for
+ * hours; these harnesses run the same algorithms with a reduced
+ * iteration budget, configurable via OVERGEN_BENCH_ITERS.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "adg/builders.h"
+#include "compiler/compile.h"
+#include "dse/explorer.h"
+#include "hls/autodse.h"
+#include "sched/scheduler.h"
+#include "sim/simulate.h"
+#include "workloads/suites.h"
+
+namespace overgen::bench {
+
+/** Overlay fabric clock (paper: quad-tile floorplan at 92.87 MHz). */
+constexpr double overlayClockMhz = 92.87;
+/** HLS kernel clock (Merlin/Vivado designs on the VCU118). */
+constexpr double hlsClockMhz = 250.0;
+
+/** DSE iteration budget (paper: hours; benches: minutes). */
+inline int
+benchIterations(int fallback = 18)
+{
+    const char *env = std::getenv("OVERGEN_BENCH_ITERS");
+    if (env != nullptr)
+        return std::max(1, std::atoi(env));
+    return fallback;
+}
+
+/** The hand-designed general overlay system (paper Q1, 4 tiles). */
+inline adg::SysAdg
+generalOverlay()
+{
+    adg::SysAdg design;
+    design.adg = adg::buildGeneralOverlayTile();
+    design.sys.numTiles = 4;
+    design.sys.l2Banks = 4;
+    design.sys.l2CapacityKiB = 512;
+    design.sys.nocBytes = 32;
+    return design;
+}
+
+/** Simulated seconds of one kernel on one overlay design. */
+struct OverlayRun
+{
+    bool ok = false;
+    uint64_t cycles = 0;
+    double seconds = 0.0;
+    double ipc = 0.0;
+    std::string variant;
+};
+
+/** Compile/schedule/simulate @p spec on @p design (first-fit variant). */
+inline OverlayRun
+runOnOverlay(const wl::KernelSpec &spec, const adg::SysAdg &design,
+             bool apply_tuning = false,
+             const sim::SimConfig &config = {})
+{
+    compiler::CompileOptions copts;
+    copts.applyTuning = apply_tuning;
+    auto variants = compiler::compileVariants(spec, copts);
+    sched::SpatialScheduler scheduler(design.adg);
+    auto fit = scheduler.scheduleFirstFit(variants);
+    OverlayRun run;
+    if (!fit)
+        return run;
+    wl::Memory memory;
+    memory.init(spec);
+    sim::SimResult result = sim::simulate(
+        spec, variants[fit->second], fit->first, design, memory,
+        config);
+    run.ok = result.completed;
+    run.cycles = result.cycles;
+    run.seconds =
+        static_cast<double>(result.cycles) / (overlayClockMhz * 1e6);
+    run.ipc = result.ipc;
+    run.variant = variants[fit->second].name;
+    return run;
+}
+
+/** Simulate a kernel with the schedule a DSE result chose for it. */
+inline OverlayRun
+runMapped(const wl::KernelSpec &spec, const dse::DseResult &dse,
+          size_t index, const sim::SimConfig &config = {})
+{
+    wl::Memory memory;
+    memory.init(spec);
+    sim::SimResult result =
+        sim::simulate(spec, dse.mdfgs[index], dse.schedules[index],
+                      dse.design, memory, config);
+    OverlayRun run;
+    run.ok = result.completed;
+    run.cycles = result.cycles;
+    run.seconds =
+        static_cast<double>(result.cycles) / (overlayClockMhz * 1e6);
+    run.ipc = result.ipc;
+    run.variant = dse.mdfgs[index].name;
+    return run;
+}
+
+/** Geometric mean helper over positive values. */
+inline double
+geomean(const std::vector<double> &values)
+{
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(std::max(v, 1e-12));
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+/** Print a standard bench header. */
+inline void
+banner(const char *experiment, const char *what)
+{
+    std::printf("==============================================\n");
+    std::printf("%s — %s\n", experiment, what);
+    std::printf("(reduced DSE budget: OVERGEN_BENCH_ITERS=%d)\n",
+                benchIterations());
+    std::printf("==============================================\n");
+}
+
+} // namespace overgen::bench
+
+#endif // OVERGEN_BENCH_COMMON_H

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) of the framework's hot paths:
+ * spatial scheduling, schedule repair, reuse analysis, MLP resource
+ * prediction, and the spatial-memory ablation (scratchpad-enabled vs
+ * DMA-only tiles — the motivation of paper §IV).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common.h"
+
+#include "compiler/reuse.h"
+#include "model/resource_model.h"
+
+using namespace overgen;
+
+namespace {
+
+adg::Adg
+benchTile(bool with_spad)
+{
+    adg::MeshConfig config;
+    config.rows = 5;
+    config.cols = 5;
+    config.tracks = 2;
+    config.numPes = 20;
+    config.numInPorts = 12;
+    config.numOutPorts = 6;
+    config.datapathBytes = 64;
+    config.numScratchpads = with_spad ? 2 : 0;
+    config.spadCapacityKiB = 64;
+    config.indirect = true;
+    config.dmaBandwidthBytes = 64;
+    std::set<FuCapability> caps = adg::intCapabilities(DataType::I64);
+    auto f64 = adg::floatCapabilities(DataType::F64);
+    caps.insert(f64.begin(), f64.end());
+    config.peCapabilities = caps;
+    return adg::buildMeshTile(config);
+}
+
+void
+benchSchedule(benchmark::State &state)
+{
+    adg::Adg tile = benchTile(true);
+    dfg::Mdfg mdfg =
+        compiler::compileOne(wl::makeMm(32), 4, true, false);
+    for (auto _ : state) {
+        sched::SpatialScheduler scheduler(tile);
+        auto result = scheduler.schedule(mdfg);
+        benchmark::DoNotOptimize(result);
+    }
+}
+
+void
+benchScheduleRepair(benchmark::State &state)
+{
+    adg::Adg tile = benchTile(true);
+    dfg::Mdfg mdfg =
+        compiler::compileOne(wl::makeMm(32), 4, true, false);
+    sched::SpatialScheduler scheduler(tile);
+    auto prior = scheduler.schedule(mdfg);
+    for (auto _ : state) {
+        auto result = scheduler.repair(mdfg, *prior);
+        benchmark::DoNotOptimize(result);
+    }
+}
+
+void
+benchCompileVariants(benchmark::State &state)
+{
+    wl::KernelSpec spec = wl::makeStencil2d();
+    for (auto _ : state) {
+        auto variants = compiler::compileVariants(spec);
+        benchmark::DoNotOptimize(variants);
+    }
+}
+
+void
+benchReuseAnalysis(benchmark::State &state)
+{
+    wl::KernelSpec spec = wl::makeFir();
+    for (auto _ : state) {
+        for (size_t i = 0; i < spec.accesses.size(); ++i) {
+            auto analysis =
+                compiler::analyzeAccess(spec, static_cast<int>(i));
+            benchmark::DoNotOptimize(analysis);
+        }
+    }
+}
+
+void
+benchMlpPredict(benchmark::State &state)
+{
+    const auto &model = model::FpgaResourceModel::defaultModel();
+    adg::Adg tile = benchTile(true);
+    for (auto _ : state) {
+        model::Resources r = model.tileResources(tile);
+        benchmark::DoNotOptimize(r);
+    }
+}
+
+/** Spatial-memory ablation (paper §IV motivation): fir on a tile with
+ * scratchpads vs the same tile with DMA only. */
+void
+benchSpatialMemoryAblation(benchmark::State &state)
+{
+    bool with_spad = state.range(0) != 0;
+    adg::SysAdg design;
+    design.adg = benchTile(with_spad);
+    design.sys.numTiles = 2;
+    wl::KernelSpec spec = wl::makeFir(512, 64);
+    sched::SpatialScheduler scheduler(design.adg);
+    auto variants = compiler::compileVariants(spec);
+    auto fit = scheduler.scheduleFirstFit(variants);
+    if (!fit) {
+        state.SkipWithError("fir does not schedule");
+        return;
+    }
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        wl::Memory memory;
+        memory.init(spec);
+        sim::SimResult result = sim::simulate(
+            spec, variants[fit->second], fit->first, design, memory);
+        cycles = result.cycles;
+    }
+    state.counters["overlay_cycles"] = static_cast<double>(cycles);
+}
+
+BENCHMARK(benchSchedule)->Unit(benchmark::kMillisecond);
+BENCHMARK(benchScheduleRepair)->Unit(benchmark::kMillisecond);
+BENCHMARK(benchCompileVariants)->Unit(benchmark::kMillisecond);
+BENCHMARK(benchReuseAnalysis);
+BENCHMARK(benchMlpPredict)->Unit(benchmark::kMillisecond);
+BENCHMARK(benchSpatialMemoryAblation)
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

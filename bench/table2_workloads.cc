@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Regenerates paper Table II: per-workload specification — data size,
+ * data type, input/output vector ports, array count, and the
+ * multiply/add/divide instruction counts of the best (most unrolled)
+ * DFG that compiles for each kernel.
+ */
+
+#include "common.h"
+
+using namespace overgen;
+
+int
+main()
+{
+    bench::banner("Table II", "workload specification");
+    std::printf("%-12s %-6s %-5s %5s %5s %5s   %-10s\n", "workload",
+                "suite", "type", "#ivp", "#ovp", "#arr", "#m,a,d");
+    for (const wl::KernelSpec &k : wl::allWorkloads()) {
+        dfg::Mdfg best =
+            compiler::compileOne(k, k.maxUnroll, true, false);
+        int ivp = 0;
+        for (auto id :
+             best.nodeIdsOfKind(dfg::NodeKind::InputStream)) {
+            // Index streams feed engines, not ports.
+            bool is_index = false;
+            for (auto other :
+                 best.nodeIdsOfKind(dfg::NodeKind::InputStream)) {
+                is_index |=
+                    best.node(other).stream.indexStream == id;
+            }
+            if (!is_index)
+                ++ivp;
+        }
+        int ovp = static_cast<int>(
+            best.nodeIdsOfKind(dfg::NodeKind::OutputStream).size());
+        int arrays = static_cast<int>(
+            best.nodeIdsOfKind(dfg::NodeKind::Array).size());
+        int muls = 0, adds = 0, divs = 0;
+        for (auto id :
+             best.nodeIdsOfKind(dfg::NodeKind::Instruction)) {
+            const auto &inst = best.node(id).inst;
+            switch (inst.op) {
+              case Opcode::Mul:
+                muls += inst.lanes;
+                break;
+              case Opcode::Add:
+              case Opcode::Sub:
+              case Opcode::Acc:
+                adds += inst.lanes;
+                break;
+              case Opcode::Div:
+              case Opcode::Sqrt:
+                divs += inst.lanes;
+                break;
+              default:
+                break;
+            }
+        }
+        std::printf("%-12s %-6s %-5s %5d %5d %5d   %d,%d,%d\n",
+                    k.name.c_str(), wl::suiteName(k.suite).c_str(),
+                    dataTypeName(k.dominantType()).c_str(), ivp, ovp,
+                    arrays, muls, adds, divs);
+    }
+    std::printf("\npaper row shapes: vision i16, DSP f64/f32, "
+                "MachSuite i64/f64; op counts grow with the unroll "
+                "of the best DFG.\n");
+    return 0;
+}

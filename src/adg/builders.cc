@@ -1,0 +1,176 @@
+#include "adg/builders.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace overgen::adg {
+
+std::set<FuCapability>
+intCapabilities(DataType type)
+{
+    OG_ASSERT(!dataTypeIsFloat(type), "intCapabilities on float type");
+    std::set<FuCapability> caps;
+    for (Opcode op : allOpcodes()) {
+        if (op == Opcode::Sqrt)
+            continue;  // no integer sqrt FU in the overlay library
+        caps.insert({ op, type });
+    }
+    return caps;
+}
+
+std::set<FuCapability>
+floatCapabilities(DataType type)
+{
+    OG_ASSERT(dataTypeIsFloat(type), "floatCapabilities on int type");
+    std::set<FuCapability> caps;
+    for (Opcode op : allOpcodes()) {
+        switch (op) {
+          case Opcode::Shl:
+          case Opcode::Shr:
+          case Opcode::And:
+          case Opcode::Or:
+          case Opcode::Xor:
+            continue;  // bitwise ops are integer-only
+          default:
+            caps.insert({ op, type });
+        }
+    }
+    return caps;
+}
+
+Adg
+buildMeshTile(const MeshConfig &config)
+{
+    OG_ASSERT(config.rows >= 1 && config.cols >= 1, "empty mesh");
+    OG_ASSERT(!config.peCapabilities.empty(), "mesh PEs need capabilities");
+    Adg adg;
+
+    // Switch grid with bidirectional N/S/E/W links.
+    std::vector<std::vector<NodeId>> grid(
+        config.rows, std::vector<NodeId>(config.cols, invalidNode));
+    for (int r = 0; r < config.rows; ++r) {
+        for (int c = 0; c < config.cols; ++c) {
+            grid[r][c] =
+                adg.addSwitch(SwitchSpec{ config.datapathBytes });
+        }
+    }
+    int tracks = std::max(1, config.tracks);
+    for (int r = 0; r < config.rows; ++r) {
+        for (int c = 0; c < config.cols; ++c) {
+            for (int t = 0; t < tracks; ++t) {
+                if (c + 1 < config.cols) {
+                    adg.addEdge(grid[r][c], grid[r][c + 1]);
+                    adg.addEdge(grid[r][c + 1], grid[r][c]);
+                }
+                if (r + 1 < config.rows) {
+                    adg.addEdge(grid[r][c], grid[r + 1][c]);
+                    adg.addEdge(grid[r + 1][c], grid[r][c]);
+                }
+            }
+        }
+    }
+
+    // PEs: attach round-robin over grid cells; each PE is fed by its
+    // home switch and feeds the next switch (row-major neighbour).
+    PeSpec pe_spec;
+    pe_spec.capabilities = config.peCapabilities;
+    pe_spec.datapathBytes = config.datapathBytes;
+    int cells = config.rows * config.cols;
+    for (int i = 0; i < config.numPes; ++i) {
+        int cell = (i * 2 + 1) % cells;  // spread PEs over the grid
+        int r = cell / config.cols;
+        int c = cell % config.cols;
+        NodeId pe = adg.addPe(pe_spec);
+        adg.addEdge(grid[r][c], pe);
+        int nr = (c + 1 < config.cols) ? r : (r + 1) % config.rows;
+        int nc = (c + 1 < config.cols) ? c + 1 : c;
+        adg.addEdge(pe, grid[nr][nc]);
+        // A second operand feed improves routability for 2-input ops.
+        int pr = (c > 0) ? r : (r + config.rows - 1) % config.rows;
+        int pc = (c > 0) ? c - 1 : c;
+        if (grid[pr][pc] != grid[r][c])
+            adg.addEdge(grid[pr][pc], pe);
+    }
+
+    // Stream engines.
+    std::vector<NodeId> engines;
+    engines.push_back(adg.addDma(DmaSpec{ config.dmaBandwidthBytes,
+                                          config.indirect, 64 }));
+    for (int i = 0; i < config.numScratchpads; ++i) {
+        engines.push_back(adg.addScratchpad(
+            ScratchpadSpec{ config.spadCapacityKiB, config.datapathBytes,
+                            config.datapathBytes, config.indirect }));
+    }
+    if (config.generateEngine)
+        engines.push_back(adg.addGenerate(GenerateSpec{
+            config.datapathBytes }));
+    if (config.recurrenceEngine)
+        engines.push_back(adg.addRecurrence(RecurrenceSpec{
+            config.datapathBytes }));
+    NodeId reg_engine = invalidNode;
+    if (config.registerEngine)
+        reg_engine = adg.addRegister(RegisterSpec{ 8 });
+
+    // Ports: in-ports spread along the top switch row, out-ports along
+    // the bottom row. Every engine feeds every in-port (fully-connected
+    // memory, Fig. 4a); the spatial-memory DSE later specializes this.
+    PortSpec port_spec;
+    port_spec.widthBytes = config.datapathBytes;
+    port_spec.padding = true;
+    port_spec.statedStream = true;
+    for (int i = 0; i < config.numInPorts; ++i) {
+        NodeId port = adg.addInPort(port_spec);
+        for (NodeId engine : engines)
+            adg.addEdge(engine, port);
+        adg.addEdge(port, grid[0][i % config.cols]);
+    }
+    for (int i = 0; i < config.numOutPorts; ++i) {
+        NodeId port = adg.addOutPort(port_spec);
+        adg.addEdge(grid[config.rows - 1][i % config.cols], port);
+        for (NodeId engine : engines) {
+            if (adg.node(engine).kind != NodeKind::Generate)
+                adg.addEdge(port, engine);
+        }
+        if (reg_engine != invalidNode)
+            adg.addEdge(port, reg_engine);
+    }
+
+    std::string err = adg.validate();
+    OG_ASSERT(err.empty(), "mesh tile invalid: ", err);
+    return adg;
+}
+
+Adg
+buildGeneralOverlayTile()
+{
+    MeshConfig config;
+    config.rows = 5;
+    config.cols = 7;
+    config.numPes = 24;       // Table III: General has 24 PEs, 35 switches
+    config.numInPorts = 10;   // generous ingest (Table III: 224 B in)
+    config.numOutPorts = 6;
+    config.datapathBytes = 64;  // 512-bit maximum vectorization width
+    config.numScratchpads = 1;
+    config.spadCapacityKiB = 32;
+    config.indirect = true;
+    config.dmaBandwidthBytes = 64;
+
+    // The general overlay carries every FU capability: all integer types
+    // and both float precisions (Table III: 24/24/24 int, 24/24/24/24
+    // float columns mean full provisioning on every PE).
+    std::set<FuCapability> caps;
+    for (DataType type : { DataType::I8, DataType::I16, DataType::I32,
+                           DataType::I64 }) {
+        auto sub = intCapabilities(type);
+        caps.insert(sub.begin(), sub.end());
+    }
+    for (DataType type : { DataType::F32, DataType::F64 }) {
+        auto sub = floatCapabilities(type);
+        caps.insert(sub.begin(), sub.end());
+    }
+    config.peCapabilities = std::move(caps);
+    return buildMeshTile(config);
+}
+
+} // namespace overgen::adg

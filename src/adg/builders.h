@@ -1,0 +1,70 @@
+#ifndef OVERGEN_ADG_BUILDERS_H
+#define OVERGEN_ADG_BUILDERS_H
+
+/**
+ * @file
+ * Canonical ADG topology generators: the mesh fabric used as the DSE seed
+ * and the hand-designed "General Overlay" of the evaluation (paper Q1,
+ * Table III rightmost column).
+ */
+
+#include "adg/adg.h"
+
+namespace overgen::adg {
+
+/** Parameters of a mesh-fabric tile. */
+struct MeshConfig
+{
+    /** Switch-grid rows. */
+    int rows = 4;
+    /** Switch-grid columns. */
+    int cols = 4;
+    /** Parallel physical tracks per grid link (routing capacity). */
+    int tracks = 1;
+    /** PEs (one per interior grid cell, capped at this count). */
+    int numPes = 8;
+    /** Capabilities every PE starts with. */
+    std::set<FuCapability> peCapabilities;
+    /** PE/switch/port datapath width in bytes. */
+    int datapathBytes = 8;
+    /** Input ports along the top edge. */
+    int numInPorts = 4;
+    /** Output ports along the bottom edge. */
+    int numOutPorts = 2;
+    /** Scratchpads (0 or more; DMA is always present). */
+    int numScratchpads = 1;
+    /** Scratchpad capacity in KiB. */
+    int spadCapacityKiB = 32;
+    /** Whether memory engines support indirect access. */
+    bool indirect = false;
+    /** Whether to instantiate generate/recurrence/register engines. */
+    bool generateEngine = true;
+    bool recurrenceEngine = true;
+    bool registerEngine = true;
+    /** DMA bandwidth in bytes per cycle. */
+    int dmaBandwidthBytes = 16;
+};
+
+/**
+ * Build a mesh-fabric tile: a rows x cols switch grid with N/S/E/W links,
+ * PEs hanging off grid cells, in-ports on the top edge fed by all stream
+ * engines (the "fixed fully-connected memory" of paper Fig. 4a), and
+ * out-ports on the bottom edge draining into them.
+ */
+Adg buildMeshTile(const MeshConfig &config);
+
+/**
+ * Build the hand-designed General Overlay tile of the evaluation: a large
+ * mesh with every FU capability at maximum (512-bit total) vector width.
+ */
+Adg buildGeneralOverlayTile();
+
+/** @return capability set covering all integer ops at @p type. */
+std::set<FuCapability> intCapabilities(DataType type);
+
+/** @return capability set covering all float ops at @p type. */
+std::set<FuCapability> floatCapabilities(DataType type);
+
+} // namespace overgen::adg
+
+#endif // OVERGEN_ADG_BUILDERS_H

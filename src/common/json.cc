@@ -1,0 +1,405 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace overgen {
+
+bool
+Json::asBool() const
+{
+    OG_ASSERT(isBool(), "JSON value is not a bool");
+    return std::get<bool>(value);
+}
+
+double
+Json::asNumber() const
+{
+    OG_ASSERT(isNumber(), "JSON value is not a number");
+    return std::get<double>(value);
+}
+
+int64_t
+Json::asInt() const
+{
+    return static_cast<int64_t>(asNumber());
+}
+
+const std::string &
+Json::asString() const
+{
+    OG_ASSERT(isString(), "JSON value is not a string");
+    return std::get<std::string>(value);
+}
+
+const Json::Array &
+Json::asArray() const
+{
+    OG_ASSERT(isArray(), "JSON value is not an array");
+    return std::get<Array>(value);
+}
+
+Json::Array &
+Json::asArray()
+{
+    OG_ASSERT(isArray(), "JSON value is not an array");
+    return std::get<Array>(value);
+}
+
+const Json::Object &
+Json::asObject() const
+{
+    OG_ASSERT(isObject(), "JSON value is not an object");
+    return std::get<Object>(value);
+}
+
+Json::Object &
+Json::asObject()
+{
+    OG_ASSERT(isObject(), "JSON value is not an object");
+    return std::get<Object>(value);
+}
+
+const Json &
+Json::at(const std::string &key) const
+{
+    const auto &obj = asObject();
+    auto it = obj.find(key);
+    OG_ASSERT(it != obj.end(), "missing JSON key '", key, "'");
+    return it->second;
+}
+
+bool
+Json::contains(const std::string &key) const
+{
+    if (!isObject())
+        return false;
+    return asObject().count(key) > 0;
+}
+
+double
+Json::numberOr(const std::string &key, double fallback) const
+{
+    if (!contains(key))
+        return fallback;
+    return at(key).asNumber();
+}
+
+void
+Json::set(const std::string &key, Json v)
+{
+    if (isNull())
+        value = Object{};
+    asObject()[key] = std::move(v);
+}
+
+void
+Json::push(Json v)
+{
+    if (isNull())
+        value = Array{};
+    asArray().push_back(std::move(v));
+}
+
+namespace {
+
+void
+escapeString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            out += c;
+        }
+    }
+    out += '"';
+}
+
+void
+formatNumber(std::string &out, double d)
+{
+    if (d == std::floor(d) && std::abs(d) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(d));
+        out += buf;
+    } else {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.17g", d);
+        out += buf;
+    }
+}
+
+void
+newlineIndent(std::string &out, int indent, int depth)
+{
+    if (indent <= 0)
+        return;
+    out += '\n';
+    out.append(static_cast<size_t>(indent) * depth, ' ');
+}
+
+} // namespace
+
+void
+Json::dumpTo(std::string &out, int indent, int depth) const
+{
+    if (isNull()) {
+        out += "null";
+    } else if (isBool()) {
+        out += asBool() ? "true" : "false";
+    } else if (isNumber()) {
+        formatNumber(out, asNumber());
+    } else if (isString()) {
+        escapeString(out, asString());
+    } else if (isArray()) {
+        const auto &arr = asArray();
+        if (arr.empty()) {
+            out += "[]";
+            return;
+        }
+        out += '[';
+        bool first = true;
+        for (const auto &elem : arr) {
+            if (!first)
+                out += ',';
+            first = false;
+            newlineIndent(out, indent, depth + 1);
+            elem.dumpTo(out, indent, depth + 1);
+        }
+        newlineIndent(out, indent, depth);
+        out += ']';
+    } else {
+        const auto &obj = asObject();
+        if (obj.empty()) {
+            out += "{}";
+            return;
+        }
+        out += '{';
+        bool first = true;
+        for (const auto &[key, val] : obj) {
+            if (!first)
+                out += ',';
+            first = false;
+            newlineIndent(out, indent, depth + 1);
+            escapeString(out, key);
+            out += indent > 0 ? ": " : ":";
+            val.dumpTo(out, indent, depth + 1);
+        }
+        newlineIndent(out, indent, depth);
+        out += '}';
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+namespace {
+
+/** Recursive-descent JSON parser over a string. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text(text) {}
+
+    Json
+    parse()
+    {
+        Json result = parseValue();
+        skipWhitespace();
+        OG_ASSERT(pos == text.size(), "trailing characters in JSON at ",
+                  pos);
+        return result;
+    }
+
+  private:
+    void
+    skipWhitespace()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos]))) {
+            ++pos;
+        }
+    }
+
+    char
+    peek()
+    {
+        OG_ASSERT(pos < text.size(), "unexpected end of JSON");
+        return text[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        OG_ASSERT(peek() == c, "expected '", c, "' at position ", pos,
+                  ", got '", text[pos], "'");
+        ++pos;
+    }
+
+    bool
+    consumeLiteral(const char *lit)
+    {
+        size_t len = std::string(lit).size();
+        if (text.compare(pos, len, lit) == 0) {
+            pos += len;
+            return true;
+        }
+        return false;
+    }
+
+    Json
+    parseValue()
+    {
+        skipWhitespace();
+        char c = peek();
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"')
+            return Json(parseString());
+        if (consumeLiteral("true"))
+            return Json(true);
+        if (consumeLiteral("false"))
+            return Json(false);
+        if (consumeLiteral("null"))
+            return Json(nullptr);
+        return parseNumber();
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            OG_ASSERT(pos < text.size(), "unterminated JSON string");
+            char c = text[pos++];
+            if (c == '"')
+                break;
+            if (c == '\\') {
+                OG_ASSERT(pos < text.size(), "bad escape");
+                char esc = text[pos++];
+                switch (esc) {
+                  case 'n':
+                    out += '\n';
+                    break;
+                  case 't':
+                    out += '\t';
+                    break;
+                  case 'r':
+                    out += '\r';
+                    break;
+                  default:
+                    out += esc;
+                }
+            } else {
+                out += c;
+            }
+        }
+        return out;
+    }
+
+    Json
+    parseNumber()
+    {
+        size_t start = pos;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '-' || text[pos] == '+' || text[pos] == '.' ||
+                text[pos] == 'e' || text[pos] == 'E')) {
+            ++pos;
+        }
+        OG_ASSERT(pos > start, "invalid JSON number at ", start);
+        return Json(std::stod(text.substr(start, pos - start)));
+    }
+
+    Json
+    parseArray()
+    {
+        expect('[');
+        Json arr = Json::makeArray();
+        skipWhitespace();
+        if (peek() == ']') {
+            ++pos;
+            return arr;
+        }
+        while (true) {
+            arr.push(parseValue());
+            skipWhitespace();
+            if (peek() == ',') {
+                ++pos;
+            } else {
+                expect(']');
+                break;
+            }
+        }
+        return arr;
+    }
+
+    Json
+    parseObject()
+    {
+        expect('{');
+        Json obj = Json::makeObject();
+        skipWhitespace();
+        if (peek() == '}') {
+            ++pos;
+            return obj;
+        }
+        while (true) {
+            skipWhitespace();
+            std::string key = parseString();
+            skipWhitespace();
+            expect(':');
+            obj.set(key, parseValue());
+            skipWhitespace();
+            if (peek() == ',') {
+                ++pos;
+            } else {
+                expect('}');
+                break;
+            }
+        }
+        return obj;
+    }
+
+    const std::string &text;
+    size_t pos = 0;
+};
+
+} // namespace
+
+Json
+Json::parse(const std::string &text)
+{
+    Parser parser(text);
+    return parser.parse();
+}
+
+} // namespace overgen

@@ -1,0 +1,95 @@
+#ifndef OVERGEN_COMMON_JSON_H
+#define OVERGEN_COMMON_JSON_H
+
+/**
+ * @file
+ * Minimal JSON value with parsing and pretty-printing. Used for ADG and
+ * sysADG serialization (the overlay "design spec" that the compiler takes
+ * as input) and for experiment result dumps.
+ */
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace overgen {
+
+/** A JSON value: null, bool, number (double), string, array, or object. */
+class Json
+{
+  public:
+    using Array = std::vector<Json>;
+    using Object = std::map<std::string, Json>;
+
+    Json() : value(nullptr) {}
+    Json(std::nullptr_t) : value(nullptr) {}
+    Json(bool b) : value(b) {}
+    Json(double d) : value(d) {}
+    Json(int i) : value(static_cast<double>(i)) {}
+    Json(int64_t i) : value(static_cast<double>(i)) {}
+    Json(uint64_t i) : value(static_cast<double>(i)) {}
+    Json(const char *s) : value(std::string(s)) {}
+    Json(std::string s) : value(std::move(s)) {}
+    Json(Array a) : value(std::move(a)) {}
+    Json(Object o) : value(std::move(o)) {}
+
+    /** Factory for an empty array. */
+    static Json makeArray() { return Json(Array{}); }
+    /** Factory for an empty object. */
+    static Json makeObject() { return Json(Object{}); }
+
+    bool isNull() const { return std::holds_alternative<std::nullptr_t>(value); }
+    bool isBool() const { return std::holds_alternative<bool>(value); }
+    bool isNumber() const { return std::holds_alternative<double>(value); }
+    bool isString() const { return std::holds_alternative<std::string>(value); }
+    bool isArray() const { return std::holds_alternative<Array>(value); }
+    bool isObject() const { return std::holds_alternative<Object>(value); }
+
+    /** @return bool payload; fatal if not a bool. */
+    bool asBool() const;
+    /** @return numeric payload; fatal if not a number. */
+    double asNumber() const;
+    /** @return numeric payload truncated to int64; fatal if not a number. */
+    int64_t asInt() const;
+    /** @return string payload; fatal if not a string. */
+    const std::string &asString() const;
+    /** @return array payload; fatal if not an array. */
+    const Array &asArray() const;
+    /** @return mutable array payload; fatal if not an array. */
+    Array &asArray();
+    /** @return object payload; fatal if not an object. */
+    const Object &asObject() const;
+    /** @return mutable object payload; fatal if not an object. */
+    Object &asObject();
+
+    /** Object member access; fatal if missing or not an object. */
+    const Json &at(const std::string &key) const;
+    /** @return whether this is an object containing @p key. */
+    bool contains(const std::string &key) const;
+    /** Object member access with a default when the key is missing. */
+    double numberOr(const std::string &key, double fallback) const;
+
+    /** Insert/overwrite an object member. */
+    void set(const std::string &key, Json v);
+    /** Append to an array. */
+    void push(Json v);
+
+    /** Serialize; @p indent > 0 pretty-prints with that many spaces. */
+    std::string dump(int indent = 0) const;
+
+    /** Parse @p text; fatal on malformed input. */
+    static Json parse(const std::string &text);
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+        value;
+};
+
+} // namespace overgen
+
+#endif // OVERGEN_COMMON_JSON_H

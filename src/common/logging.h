@@ -1,0 +1,84 @@
+#ifndef OVERGEN_COMMON_LOGGING_H
+#define OVERGEN_COMMON_LOGGING_H
+
+/**
+ * @file
+ * Status-message and error helpers in the gem5 tradition: panic() for
+ * internal invariant violations, fatal() for user errors, warn()/inform()
+ * for non-fatal diagnostics.
+ */
+
+#include <sstream>
+#include <string>
+
+namespace overgen {
+
+namespace detail {
+
+/** Concatenate a variadic argument pack into one string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+/** Abort the process after printing a panic message. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Exit the process after printing a fatal (user-error) message. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print a warning to stderr. */
+void warnImpl(const std::string &msg);
+
+/** Print an informational message to stderr. */
+void informImpl(const std::string &msg);
+
+/** Enable or disable inform() output (benches silence it). */
+void setVerbose(bool verbose);
+
+/** @return whether inform() output is enabled. */
+bool verbose();
+
+} // namespace detail
+
+} // namespace overgen
+
+/** Internal invariant violated: print and abort. */
+#define OG_PANIC(...) \
+    ::overgen::detail::panicImpl(__FILE__, __LINE__, \
+                                 ::overgen::detail::concat(__VA_ARGS__))
+
+/** Unrecoverable user/configuration error: print and exit(1). */
+#define OG_FATAL(...) \
+    ::overgen::detail::fatalImpl(__FILE__, __LINE__, \
+                                 ::overgen::detail::concat(__VA_ARGS__))
+
+/** Non-fatal warning. */
+#define OG_WARN(...) \
+    ::overgen::detail::warnImpl(::overgen::detail::concat(__VA_ARGS__))
+
+/** Informational status message (suppressed when verbosity is off). */
+#define OG_INFORM(...) \
+    do { \
+        if (::overgen::detail::verbose()) { \
+            ::overgen::detail::informImpl( \
+                ::overgen::detail::concat(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+/** Assert an invariant with a formatted message. */
+#define OG_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            OG_PANIC("assertion '", #cond, "' failed: ", \
+                     ::overgen::detail::concat(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // OVERGEN_COMMON_LOGGING_H

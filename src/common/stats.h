@@ -1,0 +1,65 @@
+#ifndef OVERGEN_COMMON_STATS_H
+#define OVERGEN_COMMON_STATS_H
+
+/**
+ * @file
+ * Small statistics helpers shared by the models, the DSE objective, and
+ * the benchmark harnesses (the paper reports geometric means throughout).
+ */
+
+#include <cmath>
+#include <span>
+
+#include "common/logging.h"
+
+namespace overgen {
+
+/** @return the geometric mean of @p values; all must be positive. */
+inline double
+geometricMean(std::span<const double> values)
+{
+    OG_ASSERT(!values.empty(), "geometric mean of empty set");
+    double log_sum = 0.0;
+    for (double v : values) {
+        OG_ASSERT(v > 0.0, "geometric mean of non-positive value ", v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+/**
+ * @return the weighted geometric mean of @p values with @p weights
+ * (paper §V-C: overall performance is the weighted geomean of per-mDFG
+ * IPC estimates).
+ */
+inline double
+weightedGeometricMean(std::span<const double> values,
+                      std::span<const double> weights)
+{
+    OG_ASSERT(values.size() == weights.size(), "size mismatch");
+    OG_ASSERT(!values.empty(), "geometric mean of empty set");
+    double log_sum = 0.0;
+    double weight_sum = 0.0;
+    for (size_t i = 0; i < values.size(); ++i) {
+        OG_ASSERT(values[i] > 0.0, "non-positive value");
+        log_sum += weights[i] * std::log(values[i]);
+        weight_sum += weights[i];
+    }
+    OG_ASSERT(weight_sum > 0.0, "zero total weight");
+    return std::exp(log_sum / weight_sum);
+}
+
+/** @return the arithmetic mean of @p values. */
+inline double
+arithmeticMean(std::span<const double> values)
+{
+    OG_ASSERT(!values.empty(), "mean of empty set");
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+} // namespace overgen
+
+#endif // OVERGEN_COMMON_STATS_H

@@ -1,0 +1,588 @@
+#include "compiler/compile.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+#include "compiler/reuse.h"
+
+namespace overgen::compiler {
+
+namespace {
+
+using dfg::Mdfg;
+using dfg::StreamSource;
+using wl::AccessSpec;
+using wl::KernelSpec;
+
+/** A cluster of read accesses that lower to one input stream. */
+struct ReadCluster
+{
+    std::vector<int> members;  //!< access indices, sorted by offset
+    enum class Kind : uint8_t {
+        Plain,        //!< one access, one stream
+        Coalesced,    //!< stride-s group covering offsets 0..s-1
+        OverlapMerge, //!< tuned window taps sharing overlapped data
+        ConstantTaps, //!< all-zero-coefficient taps, read once
+        Separate,     //!< same key but must stay separate streams
+    } kind = Kind::Plain;
+};
+
+/** Key identifying accesses that may share a stream. */
+struct ClusterKey
+{
+    std::string array;
+    std::vector<int64_t> coeffs;
+    std::string indexArray;
+
+    bool
+    operator<(const ClusterKey &other) const
+    {
+        if (array != other.array)
+            return array < other.array;
+        if (coeffs != other.coeffs)
+            return coeffs < other.coeffs;
+        return indexArray < other.indexArray;
+    }
+};
+
+int64_t
+innerCoeff(const KernelSpec &spec, const AccessSpec &access)
+{
+    size_t inner = spec.loops.size() - 1;
+    return inner < access.coeffs.size() ? access.coeffs[inner] : 0;
+}
+
+bool
+allZeroCoeffs(const AccessSpec &access)
+{
+    return std::all_of(access.coeffs.begin(), access.coeffs.end(),
+                       [](int64_t c) { return c == 0; });
+}
+
+/**
+ * Build the stream access pattern from an access: up to the 3 innermost
+ * loops become pattern dimensions (innermost first); outer loops repeat
+ * the pattern and only influence traffic, which the reuse annotations
+ * already capture.
+ */
+dfg::AffinePattern
+buildPattern(const KernelSpec &spec, const AccessSpec &access, int unroll)
+{
+    dfg::AffinePattern pattern;
+    int dims = std::min<int>(3, static_cast<int>(spec.loops.size()));
+    pattern.dims = dims;
+    int loop_count = static_cast<int>(spec.loops.size());
+    for (int d = 0; d < dims; ++d) {
+        int loop = loop_count - 1 - d;  // innermost first
+        pattern.stride[d] =
+            loop < static_cast<int>(access.coeffs.size())
+                ? access.coeffs[loop]
+                : 0;
+        pattern.trips[d] = std::max<int64_t>(
+            spec.loops[loop].tripBase, 1);
+    }
+    if (unroll > 1 && pattern.trips[0] >= unroll)
+        pattern.trips[0] /= unroll;
+    return pattern;
+}
+
+/** Per-variant compilation state. */
+class VariantBuilder
+{
+  public:
+    VariantBuilder(const KernelSpec &spec, int unroll, bool use_recurrence,
+                   bool tuned)
+        : spec(spec), unroll(unroll), useRecurrence(use_recurrence),
+          tuned(tuned)
+    {
+    }
+
+    Mdfg
+    build()
+    {
+        mdfg.kernelName = spec.name;
+        mdfg.name = spec.name + "_u" + std::to_string(unroll);
+        if (useRecurrence)
+            mdfg.name += "_rec";
+        if (tuned)
+            mdfg.name += "_t";
+        mdfg.unrollFactor = unroll;
+        mdfg.usesRecurrence = useRecurrence;
+        mdfg.tuned = tuned;
+
+        analyzeAll();
+        buildReadStreams();
+        buildInstructions();
+        buildWriteStreams();
+        attachArrays();
+
+        std::string err = mdfg.validate();
+        OG_ASSERT(err.empty(), "compiled mDFG '", mdfg.name,
+                  "' invalid: ", err);
+        return std::move(mdfg);
+    }
+
+  private:
+    void
+    analyzeAll()
+    {
+        analyses.reserve(spec.accesses.size());
+        for (size_t i = 0; i < spec.accesses.size(); ++i)
+            analyses.push_back(analyzeAccess(spec,
+                                             static_cast<int>(i)));
+    }
+
+    /** Whether coalescing of strided groups is permitted (paper Q2:
+     * variable-trip kernels need the peeling tune first). */
+    bool
+    coalescingAllowed() const
+    {
+        return !spec.patterns.variableTripCount || tuned;
+    }
+
+    void
+    buildReadStreams()
+    {
+        // Cluster reads by (array, coeffs, index array).
+        std::map<ClusterKey, std::vector<int>> groups;
+        for (size_t i = 0; i < spec.accesses.size(); ++i) {
+            const AccessSpec &access = spec.accesses[i];
+            if (access.isWrite)
+                continue;
+            // Recurrence-mapped reads stay alone.
+            if (useRecurrence && analyses[i].recurrentPeer) {
+                makeRecurrenceRead(static_cast<int>(i));
+                continue;
+            }
+            groups[{ access.array, access.coeffs, access.indexArray }]
+                .push_back(static_cast<int>(i));
+        }
+
+        for (auto &[key, members] : groups) {
+            std::sort(members.begin(), members.end(),
+                      [&](int a, int b) {
+                          return spec.accesses[a].offset <
+                                 spec.accesses[b].offset;
+                      });
+            emitCluster(classify(key, members));
+        }
+    }
+
+    ReadCluster
+    classify(const ClusterKey &key, const std::vector<int> &members)
+    {
+        ReadCluster cluster;
+        cluster.members = members;
+        const AccessSpec &first = spec.accesses[members[0]];
+        if (members.size() == 1) {
+            cluster.kind = ReadCluster::Kind::Plain;
+            return cluster;
+        }
+        if (!key.indexArray.empty()) {
+            cluster.kind = ReadCluster::Kind::Separate;
+            return cluster;
+        }
+        if (allZeroCoeffs(first)) {
+            cluster.kind = ReadCluster::Kind::ConstantTaps;
+            return cluster;
+        }
+        int64_t stride = std::abs(innerCoeff(spec, first));
+        if (stride == static_cast<int64_t>(members.size()) &&
+            coalescingAllowed()) {
+            // Offsets must tile the stride: base, base+1, ..., base+s-1.
+            bool tiles = true;
+            for (size_t m = 1; m < members.size(); ++m) {
+                if (spec.accesses[members[m]].offset !=
+                    spec.accesses[members[0]].offset +
+                        static_cast<int64_t>(m)) {
+                    tiles = false;
+                    break;
+                }
+            }
+            if (tiles) {
+                cluster.kind = ReadCluster::Kind::Coalesced;
+                return cluster;
+            }
+        }
+        if (stride == 1 && tuned && spec.tuning.unrollForOverlap) {
+            cluster.kind = ReadCluster::Kind::OverlapMerge;
+            return cluster;
+        }
+        cluster.kind = ReadCluster::Kind::Separate;
+        return cluster;
+    }
+
+    void
+    emitCluster(const ReadCluster &cluster)
+    {
+        if (cluster.kind == ReadCluster::Kind::Separate) {
+            for (int member : cluster.members)
+                makeMemoryRead({ member }, ReadCluster::Kind::Plain);
+            return;
+        }
+        makeMemoryRead(cluster.members, cluster.kind);
+    }
+
+    /** Create one memory-backed input stream for a member group. */
+    void
+    makeMemoryRead(const std::vector<int> &members,
+                   ReadCluster::Kind kind)
+    {
+        int rep = members[0];
+        const AccessSpec &access = spec.accesses[rep];
+        const wl::ArraySpec &array = spec.arrayByName(access.array);
+
+        dfg::StreamNode stream;
+        stream.source = StreamSource::Memory;
+        stream.type = array.type;
+        stream.pattern = buildPattern(spec, access, unroll);
+        stream.indirect = access.indirect();
+        stream.variableTripCount = hasVariableLoop();
+        stream.specAccesses = members;
+
+        dfg::ReuseInfo reuse =
+            toReuseInfo(spec, rep, analyses[rep], false);
+        int64_t stride = std::abs(innerCoeff(spec, access));
+        double efficiency = 1.0;
+        int lanes = unroll;
+
+        switch (kind) {
+          case ReadCluster::Kind::Plain:
+            if (innerCoeff(spec, access) == 0)
+                lanes = 1;  // stationary operand: held at the port
+            if (stride > 1)
+                efficiency = 1.0 / static_cast<double>(
+                    std::min<int64_t>(stride, 8));
+            break;
+          case ReadCluster::Kind::Coalesced:
+            // The group covers the stride: a contiguous wide stream.
+            for (size_t m = 1; m < members.size(); ++m)
+                reuse.trafficBytes +=
+                    toReuseInfo(spec, members[m], analyses[members[m]],
+                                false).trafficBytes;
+            lanes = unroll * static_cast<int>(members.size());
+            break;
+          case ReadCluster::Kind::OverlapMerge:
+            // Window taps share shifted data: one element of fresh
+            // traffic per iteration, reuse captured at the port.
+            reuse.stationary *= static_cast<double>(members.size());
+            break;
+          case ReadCluster::Kind::ConstantTaps:
+            reuse.trafficBytes = static_cast<double>(members.size()) *
+                                 dataTypeBytes(array.type);
+            reuse.footprintBytes = reuse.trafficBytes;
+            reuse.stationary =
+                static_cast<double>(spec.totalIterations());
+            lanes = static_cast<int>(members.size());
+            break;
+          case ReadCluster::Kind::Separate:
+            OG_PANIC("separate cluster reached stream emission");
+        }
+        if (access.indirect())
+            efficiency = 1.0;  // gathers pay in the ROB, not the mask
+
+        stream.lanes = std::max(lanes, 1);
+        stream.bandwidthEfficiency = efficiency;
+        stream.reuse = reuse;
+
+        dfg::NodeId id = mdfg.addInputStream(stream);
+        // Indirect: emit the index stream and link it.
+        if (access.indirect()) {
+            dfg::NodeId index_id = makeIndexStream(access);
+            mdfg.node(id).stream.indexStream = index_id;
+            mdfg.addEdge(index_id, id);
+        }
+        for (int member : members)
+            accessStream[member] = id;
+    }
+
+    /** Create the affine index-reading stream of an indirect access. */
+    dfg::NodeId
+    makeIndexStream(const AccessSpec &access)
+    {
+        const wl::ArraySpec &index_array =
+            spec.arrayByName(access.indexArray);
+        dfg::StreamNode stream;
+        stream.source = StreamSource::Memory;
+        stream.type = index_array.type;
+        // The index itself is accessed affinely with the same coeffs.
+        AccessSpec index_access = access;
+        index_access.array = access.indexArray;
+        index_access.indexArray.clear();
+        stream.pattern = buildPattern(spec, index_access, unroll);
+        stream.lanes = unroll;
+        stream.variableTripCount = hasVariableLoop();
+        dfg::ReuseInfo reuse;
+        reuse.trafficBytes =
+            static_cast<double>(spec.totalIterations()) *
+            dataTypeBytes(index_array.type);
+        reuse.footprintBytes = static_cast<double>(
+            index_array.sizeBytes());
+        stream.reuse = reuse;
+        dfg::NodeId id = mdfg.addInputStream(stream);
+        indexStreams[access.indexArray] = id;
+        return id;
+    }
+
+    /** Create a recurrence-engine-fed input stream for a read. */
+    void
+    makeRecurrenceRead(int access_index)
+    {
+        const AccessSpec &access = spec.accesses[access_index];
+        const wl::ArraySpec &array = spec.arrayByName(access.array);
+        dfg::StreamNode stream;
+        stream.source = StreamSource::Recurrence;
+        stream.type = array.type;
+        stream.pattern = buildPattern(spec, access, unroll);
+        stream.lanes = unroll;
+        stream.specAccesses = { access_index };
+        stream.reuse = toReuseInfo(spec, access_index,
+                                   analyses[access_index], true);
+        dfg::NodeId id = mdfg.addInputStream(stream);
+        accessStream[access_index] = id;
+    }
+
+    bool
+    hasVariableLoop() const
+    {
+        return std::any_of(spec.loops.begin(), spec.loops.end(),
+                           [](const wl::LoopSpec &l) {
+                               return l.variable;
+                           });
+    }
+
+    void
+    buildInstructions()
+    {
+        int lanes = unroll;
+        if (tuned && spec.tuning.unroll2d)
+            lanes *= 2;  // tensorized 2D unroll (paper Q2, gemm)
+        for (size_t i = 0; i < spec.ops.size(); ++i) {
+            const wl::OpSpec &op = spec.ops[i];
+            dfg::InstructionNode inst;
+            inst.op = op.op;
+            inst.type = op.type;
+            inst.lanes = lanes;
+            dfg::NodeId id = mdfg.addInstruction(inst);
+            opInstruction.push_back(id);
+            connectOperand(id, op.lhs, 0);
+            bool unary = op.op == Opcode::Abs || op.op == Opcode::Sqrt;
+            if (!unary)
+                connectOperand(id, op.rhs, 1);
+        }
+    }
+
+    void
+    connectOperand(dfg::NodeId inst, const wl::Operand &operand,
+                   int slot)
+    {
+        switch (operand.kind) {
+          case wl::Operand::Kind::Access: {
+            auto it = accessStream.find(operand.index);
+            OG_ASSERT(it != accessStream.end(),
+                      "operand reads unlowered access ", operand.index);
+            mdfg.addEdge(it->second, inst, slot, operand.index);
+            break;
+          }
+          case wl::Operand::Kind::Op:
+            mdfg.addEdge(opInstruction[operand.index], inst, slot);
+            break;
+          case wl::Operand::Kind::Imm:
+            mdfg.node(inst).inst.immediate = operand.imm;
+            break;
+          case wl::Operand::Kind::Index:
+            mdfg.addEdge(makeIndexValueStream(operand.index), inst,
+                         slot);
+            break;
+        }
+    }
+
+    /** Generate-engine stream producing the values of loop @p depth
+     * (an affine value sequence, paper §III-B). */
+    dfg::NodeId
+    makeIndexValueStream(int depth)
+    {
+        auto it = indexValueStreams.find(depth);
+        if (it != indexValueStreams.end())
+            return it->second;
+        OG_ASSERT(depth >= 0 &&
+                      depth < static_cast<int>(spec.loops.size()),
+                  "index operand names loop ", depth,
+                  " outside the nest");
+        dfg::StreamNode stream;
+        stream.source = StreamSource::Generated;
+        stream.type = DataType::I64;
+        // The generated sequence follows the loop nest: one value per
+        // iteration, vectorized like the consumers.
+        wl::AccessSpec shape;
+        shape.coeffs.assign(spec.loops.size(), 0);
+        shape.coeffs[depth] = 1;
+        stream.pattern = buildPattern(spec, shape, unroll);
+        stream.lanes = unroll;
+        stream.variableTripCount = hasVariableLoop();
+        dfg::NodeId id = mdfg.addInputStream(stream);
+        indexValueStreams[depth] = id;
+        return id;
+    }
+
+    void
+    buildWriteStreams()
+    {
+        int lanes = unroll;
+        if (tuned && spec.tuning.unroll2d)
+            lanes *= 2;
+        for (size_t i = 0; i < spec.ops.size(); ++i) {
+            const wl::OpSpec &op = spec.ops[i];
+            if (op.writeAccess < 0)
+                continue;
+            const AccessSpec &access = spec.accesses[op.writeAccess];
+            const wl::ArraySpec &array = spec.arrayByName(access.array);
+            dfg::StreamNode stream;
+            stream.type = array.type;
+            stream.pattern = buildPattern(spec, access, unroll);
+            stream.lanes =
+                innerCoeff(spec, access) == 0 && !useRecurrence
+                    ? lanes  // recurrent store still drains every lane
+                    : lanes;
+            stream.variableTripCount = hasVariableLoop();
+            stream.specAccesses = { op.writeAccess };
+            const AccessAnalysis &analysis = analyses[op.writeAccess];
+            bool recurrent = useRecurrence &&
+                             analysis.recurrentPeer.has_value();
+            stream.source = recurrent ? StreamSource::Recurrence
+                                      : StreamSource::Memory;
+            stream.reuse = toReuseInfo(spec, op.writeAccess, analysis,
+                                       recurrent);
+            dfg::NodeId id = mdfg.addOutputStream(stream);
+            if (recurrent) {
+                dfg::NodeId read_id =
+                    accessStream.at(*analysis.recurrentPeer);
+                mdfg.node(id).stream.recurrencePeer = read_id;
+                mdfg.node(read_id).stream.recurrencePeer = id;
+            }
+            mdfg.addEdge(opInstruction[i], id, 0, op.writeAccess);
+            accessStream[op.writeAccess] = id;
+        }
+    }
+
+    void
+    attachArrays()
+    {
+        // One array node per array touched by any memory or recurrence
+        // stream; link it to those streams.
+        std::map<std::string, std::vector<dfg::NodeId>> users;
+        auto note = [&](dfg::NodeId id) {
+            const dfg::StreamNode &stream = mdfg.node(id).stream;
+            if (stream.specAccesses.empty())
+                return;
+            const AccessSpec &access =
+                spec.accesses[stream.specAccesses[0]];
+            users[access.array].push_back(id);
+        };
+        for (dfg::NodeId id :
+             mdfg.nodeIdsOfKind(dfg::NodeKind::InputStream)) {
+            const dfg::StreamNode &stream = mdfg.node(id).stream;
+            if (!stream.specAccesses.empty()) {
+                note(id);
+            } else {
+                // Index streams: attach to their index array.
+                for (const auto &[array_name, sid] : indexStreams) {
+                    if (sid == id)
+                        users[array_name].push_back(id);
+                }
+            }
+        }
+        for (dfg::NodeId id :
+             mdfg.nodeIdsOfKind(dfg::NodeKind::OutputStream)) {
+            note(id);
+        }
+
+        for (const auto &[array_name, stream_ids] : users) {
+            const wl::ArraySpec &array = spec.arrayByName(array_name);
+            dfg::ArrayNode node;
+            node.name = array_name;
+            node.sizeBytes = array.sizeBytes();
+            double general_reuse = arrayGeneralReuse(spec, array_name);
+            bool hinted = std::find(spec.scratchpadHints.begin(),
+                                    spec.scratchpadHints.end(),
+                                    array_name) !=
+                          spec.scratchpadHints.end();
+            bool small = array.sizeBytes() <= 128 * 1024;
+            if ((hinted || general_reuse >= 4.0) && small) {
+                node.preferred = dfg::ArrayPlacement::Scratchpad;
+                node.sizeBytes *= 2;  // double-buffering allocation
+            }
+            for (dfg::NodeId sid : stream_ids) {
+                if (mdfg.node(sid).stream.indirect)
+                    node.indirectIndexed = true;
+            }
+            dfg::NodeId array_id = mdfg.addArray(node);
+            for (dfg::NodeId sid : stream_ids) {
+                mdfg.node(sid).stream.array = array_id;
+                mdfg.addEdge(array_id, sid);
+            }
+        }
+    }
+
+    const KernelSpec &spec;
+    int unroll;
+    bool useRecurrence;
+    bool tuned;
+    Mdfg mdfg;
+    std::vector<AccessAnalysis> analyses;
+    /** access index -> stream node carrying it. */
+    std::map<int, dfg::NodeId> accessStream;
+    /** index-array name -> index stream. */
+    std::map<std::string, dfg::NodeId> indexStreams;
+    /** loop depth -> generate-engine value stream. */
+    std::map<int, dfg::NodeId> indexValueStreams;
+    /** op index -> instruction node. */
+    std::vector<dfg::NodeId> opInstruction;
+};
+
+} // namespace
+
+Mdfg
+compileOne(const KernelSpec &spec, int unroll, bool use_recurrence,
+           bool tuned)
+{
+    OG_ASSERT(unroll >= 1, "bad unroll ", unroll);
+    VariantBuilder builder(spec, unroll, use_recurrence, tuned);
+    return builder.build();
+}
+
+std::vector<Mdfg>
+compileVariants(const KernelSpec &spec, const CompileOptions &options)
+{
+    int max_unroll =
+        options.maxUnroll > 0 ? options.maxUnroll : spec.maxUnroll;
+    int64_t inner_trip =
+        std::max<int64_t>(spec.loops.back().tripBase, 1);
+
+    bool has_recurrence = false;
+    if (options.allowRecurrence) {
+        for (size_t i = 0; i < spec.accesses.size(); ++i) {
+            if (analyzeAccess(spec, static_cast<int>(i)).recurrentPeer) {
+                has_recurrence = true;
+                break;
+            }
+        }
+    }
+    bool tuned = options.applyTuning &&
+                 (spec.tuning.peelTail || spec.tuning.unroll2d ||
+                  spec.tuning.unrollForOverlap);
+
+    std::vector<Mdfg> variants;
+    for (int unroll = max_unroll; unroll >= 1; unroll /= 2) {
+        if (inner_trip % unroll != 0)
+            continue;
+        if (has_recurrence)
+            variants.push_back(compileOne(spec, unroll, true, tuned));
+        variants.push_back(compileOne(spec, unroll, false, tuned));
+    }
+    OG_ASSERT(!variants.empty(), "no variant compiled for ", spec.name);
+    return variants;
+}
+
+} // namespace overgen::compiler

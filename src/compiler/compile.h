@@ -1,0 +1,56 @@
+#ifndef OVERGEN_COMPILER_COMPILE_H
+#define OVERGEN_COMPILER_COMPILE_H
+
+/**
+ * @file
+ * The decoupled-spatial compiler: lowers a KernelSpec to memory-enhanced
+ * dataflow graphs. Pre-generates a family of variants at different
+ * transformation aggressiveness (unroll degree, recurrence-vs-memory
+ * accumulation) so the DSE never recompiles from scratch (paper §V-A),
+ * and performs the idiomatic transformations of §VI/Q2: coalescing of
+ * adjacent strided accesses, overlapped-window reuse, and recurrence
+ * substitution for accumulations.
+ */
+
+#include <vector>
+
+#include "dfg/mdfg.h"
+#include "workloads/kernelspec.h"
+
+namespace overgen::compiler {
+
+/** Compilation options. */
+struct CompileOptions
+{
+    /** Apply the kernel's OverGen source tuning (paper Q2). */
+    bool applyTuning = false;
+    /** Override the kernel's maximum unroll (0 = use the spec's). */
+    int maxUnroll = 0;
+    /** Allow the recurrence-engine transformation for accumulations. */
+    bool allowRecurrence = true;
+};
+
+/**
+ * Compile one variant at a fixed transformation point.
+ *
+ * @param spec            the workload
+ * @param unroll          data-parallel unroll of the innermost loop
+ *                        (must divide its trip count)
+ * @param use_recurrence  map recurrent read/write pairs to the
+ *                        recurrence engine instead of memory streams
+ * @param tuned           apply OverGen source tuning
+ */
+dfg::Mdfg compileOne(const wl::KernelSpec &spec, int unroll,
+                     bool use_recurrence, bool tuned);
+
+/**
+ * Pre-generate the variant family for DSE, most aggressive first. The
+ * scheduler walks the list until one maps ("relax DFG complexity",
+ * paper Fig. 3).
+ */
+std::vector<dfg::Mdfg> compileVariants(const wl::KernelSpec &spec,
+                                       const CompileOptions &options = {});
+
+} // namespace overgen::compiler
+
+#endif // OVERGEN_COMPILER_COMPILE_H

@@ -1,0 +1,145 @@
+#include "compiler/reuse.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace overgen::compiler {
+
+namespace {
+
+/** Upper-bound trip count of loop @p depth (base trip for affine). */
+int64_t
+maxTrip(const wl::KernelSpec &spec, size_t depth)
+{
+    return std::max<int64_t>(spec.loops[depth].tripBase, 1);
+}
+
+} // namespace
+
+AccessAnalysis
+analyzeAccess(const wl::KernelSpec &spec, int access_index)
+{
+    const wl::AccessSpec &access = spec.accesses[access_index];
+    AccessAnalysis out;
+
+    // Traffic: one use per iteration of the whole nest (paper §IV-B:
+    // "data traffic is computed by multiplying all loop trip counts").
+    out.trafficElements = 1;
+    for (size_t d = 0; d < spec.loops.size(); ++d)
+        out.trafficElements *= maxTrip(spec, d);
+
+    if (access.indirect()) {
+        // Uniform-distribution assumption: footprint = whole array.
+        out.footprintElements = spec.arrayByName(access.array).elements;
+    } else {
+        // Footprint: join of bounds touched by each loop. With
+        // non-negative spans: sum |coeff| * (trip-1) + 1.
+        int64_t span = 0;
+        for (size_t d = 0; d < access.coeffs.size() &&
+                           d < spec.loops.size(); ++d) {
+            span += std::abs(access.coeffs[d]) * (maxTrip(spec, d) - 1);
+        }
+        out.footprintElements = span + 1;
+    }
+
+    // Stationary reuse: the innermost loop does not move the pointer.
+    size_t inner = spec.loops.size() - 1;
+    int64_t inner_coeff =
+        inner < access.coeffs.size() ? access.coeffs[inner] : 0;
+    if (!access.indirect() && inner_coeff == 0 && spec.loops.size() > 1)
+        out.stationary = maxTrip(spec, inner);
+
+    // Recurrent reuse: a read/write pair over the same array with
+    // identical affine functions, reused across some zero-coefficient
+    // loop (paper §IV-B "Recurrent Reuse").
+    if (!access.indirect()) {
+        for (size_t other = 0; other < spec.accesses.size(); ++other) {
+            if (static_cast<int>(other) == access_index)
+                continue;
+            const wl::AccessSpec &peer = spec.accesses[other];
+            if (peer.array != access.array ||
+                peer.isWrite == access.isWrite || peer.indirect()) {
+                continue;
+            }
+            if (peer.coeffs != access.coeffs ||
+                peer.offset != access.offset) {
+                continue;
+            }
+            // Find the outermost loop with zero coefficient that has
+            // at least one inner loop with nonzero coefficient: the
+            // recurrence distance loop.
+            for (size_t d = 0; d < spec.loops.size(); ++d) {
+                int64_t coeff =
+                    d < access.coeffs.size() ? access.coeffs[d] : 0;
+                if (coeff != 0)
+                    continue;
+                int64_t concurrency = 1;
+                bool inner_moves = false;
+                for (size_t e = d + 1; e < spec.loops.size(); ++e) {
+                    int64_t ce =
+                        e < access.coeffs.size() ? access.coeffs[e] : 0;
+                    if (ce != 0) {
+                        inner_moves = true;
+                        concurrency *= maxTrip(spec, e);
+                    }
+                }
+                if (inner_moves && maxTrip(spec, d) > 1) {
+                    out.recurrentPeer = static_cast<int>(other);
+                    out.recurrentTrips = maxTrip(spec, d);
+                    out.recurrentConcurrency = concurrency;
+                    break;
+                }
+            }
+            if (out.recurrentPeer)
+                break;
+        }
+    }
+    return out;
+}
+
+dfg::ReuseInfo
+toReuseInfo(const wl::KernelSpec &spec, int access_index,
+            const AccessAnalysis &analysis, bool use_recurrence)
+{
+    const wl::AccessSpec &access = spec.accesses[access_index];
+    int elem_bytes = dataTypeBytes(spec.arrayByName(access.array).type);
+    dfg::ReuseInfo info;
+    info.trafficBytes =
+        static_cast<double>(analysis.trafficElements) * elem_bytes;
+    info.footprintBytes =
+        static_cast<double>(analysis.footprintElements) * elem_bytes;
+    info.stationary = static_cast<double>(analysis.stationary);
+    info.recurrent =
+        (use_recurrence && analysis.recurrentPeer)
+            ? static_cast<double>(analysis.recurrentTrips)
+            : 1.0;
+    if (analysis.recurrentPeer)
+        info.recurrentConcurrency = analysis.recurrentConcurrency;
+    return info;
+}
+
+double
+arrayGeneralReuse(const wl::KernelSpec &spec,
+                  const std::string &array_name)
+{
+    double traffic = 0.0;
+    double footprint = 0.0;
+    for (size_t i = 0; i < spec.accesses.size(); ++i) {
+        if (spec.accesses[i].array != array_name)
+            continue;
+        AccessAnalysis analysis = analyzeAccess(spec,
+                                                static_cast<int>(i));
+        // The stationary-captured portion of traffic provides no extra
+        // benefit from a scratchpad (paper §IV-A): discount it.
+        traffic += static_cast<double>(analysis.trafficElements) /
+                   static_cast<double>(analysis.stationary);
+        footprint = std::max(
+            footprint, static_cast<double>(analysis.footprintElements));
+    }
+    if (footprint <= 0.0)
+        return 1.0;
+    return std::max(traffic / footprint, 1.0);
+}
+
+} // namespace overgen::compiler

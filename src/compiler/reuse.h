@@ -1,0 +1,62 @@
+#ifndef OVERGEN_COMPILER_REUSE_H
+#define OVERGEN_COMPILER_REUSE_H
+
+/**
+ * @file
+ * Compiler reuse analysis (paper §IV-B): computes, per access, the data
+ * traffic, the footprint (joined memory bounds over the loop nest), and
+ * which reuse is captured structurally — stationary reuse at the port
+ * FIFO and recurrent reuse between read/write stream pairs.
+ */
+
+#include <optional>
+
+#include "dfg/mdfg.h"
+#include "workloads/kernelspec.h"
+
+namespace overgen::compiler {
+
+/** Result of analyzing one access of a kernel. */
+struct AccessAnalysis
+{
+    /** Total element uses over the region (product of trip counts). */
+    int64_t trafficElements = 0;
+    /** Distinct elements touched (affine range join; whole array for
+     * indirect accesses under the uniform-distribution assumption). */
+    int64_t footprintElements = 0;
+    /** Stationary reuse factor: innermost trip when the innermost
+     * coefficient is zero, else 1. */
+    int64_t stationary = 1;
+    /** Matching write/read access forming a recurrent pair, if any. */
+    std::optional<int> recurrentPeer;
+    /** Recurrence count: trip of the outermost zero-coefficient loop
+     * spanned by the pair (1 = none). */
+    int64_t recurrentTrips = 1;
+    /** Concurrent in-flight instances a recurrence would need to buffer
+     * (product of inner nonzero-coefficient trips). */
+    int64_t recurrentConcurrency = 1;
+};
+
+/** Analyze access @p access_index of @p spec. */
+AccessAnalysis analyzeAccess(const wl::KernelSpec &spec, int access_index);
+
+/**
+ * @return the dfg::ReuseInfo for this access, combining the analysis
+ * with element size (annotations the compiler places on stream nodes,
+ * Fig. 5). @p use_recurrence selects whether the recurrent pair will be
+ * mapped to the recurrence engine (affects captured reuse).
+ */
+dfg::ReuseInfo toReuseInfo(const wl::KernelSpec &spec, int access_index,
+                           const AccessAnalysis &analysis,
+                           bool use_recurrence);
+
+/**
+ * General-reuse factor (traffic / footprint) of an array over all its
+ * accesses: drives the scratchpad-placement decision (paper §IV-A).
+ */
+double arrayGeneralReuse(const wl::KernelSpec &spec,
+                         const std::string &array_name);
+
+} // namespace overgen::compiler
+
+#endif // OVERGEN_COMPILER_REUSE_H

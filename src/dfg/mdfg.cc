@@ -1,0 +1,210 @@
+#include "dfg/mdfg.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace overgen::dfg {
+
+NodeId
+Mdfg::addNode(Node n)
+{
+    n.id = static_cast<NodeId>(nodes.size());
+    nodes.push_back(std::move(n));
+    return nodes.back().id;
+}
+
+NodeId
+Mdfg::addInstruction(InstructionNode inst)
+{
+    Node n;
+    n.kind = NodeKind::Instruction;
+    n.inst = std::move(inst);
+    return addNode(std::move(n));
+}
+
+NodeId
+Mdfg::addInputStream(StreamNode stream)
+{
+    Node n;
+    n.kind = NodeKind::InputStream;
+    n.stream = std::move(stream);
+    return addNode(std::move(n));
+}
+
+NodeId
+Mdfg::addOutputStream(StreamNode stream)
+{
+    Node n;
+    n.kind = NodeKind::OutputStream;
+    n.stream = std::move(stream);
+    return addNode(std::move(n));
+}
+
+NodeId
+Mdfg::addArray(ArrayNode array)
+{
+    Node n;
+    n.kind = NodeKind::Array;
+    n.array = std::move(array);
+    return addNode(std::move(n));
+}
+
+void
+Mdfg::addEdge(NodeId src, NodeId dst, int operand_index, int spec_access)
+{
+    OG_ASSERT(src >= 0 && src < numNodes(), "bad edge src ", src);
+    OG_ASSERT(dst >= 0 && dst < numNodes(), "bad edge dst ", dst);
+    edgeList.push_back(Edge{ src, dst, operand_index, spec_access });
+}
+
+const Node &
+Mdfg::node(NodeId id) const
+{
+    OG_ASSERT(id >= 0 && id < numNodes(), "bad mDFG node id ", id);
+    return nodes[id];
+}
+
+Node &
+Mdfg::node(NodeId id)
+{
+    OG_ASSERT(id >= 0 && id < numNodes(), "bad mDFG node id ", id);
+    return nodes[id];
+}
+
+std::vector<NodeId>
+Mdfg::nodeIdsOfKind(NodeKind kind) const
+{
+    std::vector<NodeId> ids;
+    for (const Node &n : nodes) {
+        if (n.kind == kind)
+            ids.push_back(n.id);
+    }
+    return ids;
+}
+
+std::vector<Edge>
+Mdfg::inEdgesOf(NodeId id) const
+{
+    std::vector<Edge> in;
+    for (const Edge &e : edgeList) {
+        if (e.dst == id)
+            in.push_back(e);
+    }
+    std::sort(in.begin(), in.end(), [](const Edge &a, const Edge &b) {
+        return a.operandIndex < b.operandIndex;
+    });
+    return in;
+}
+
+std::vector<Edge>
+Mdfg::outEdgesOf(NodeId id) const
+{
+    std::vector<Edge> out;
+    for (const Edge &e : edgeList) {
+        if (e.src == id)
+            out.push_back(e);
+    }
+    return out;
+}
+
+double
+Mdfg::instructionBandwidth() const
+{
+    double insts = 0.0;
+    for (const Node &n : nodes) {
+        switch (n.kind) {
+          case NodeKind::Instruction:
+            insts += n.inst.lanes;
+            break;
+          case NodeKind::InputStream:
+          case NodeKind::OutputStream:
+            // Memory operations count toward estimated IPC (§V-C).
+            if (n.stream.source == StreamSource::Memory)
+                insts += n.stream.lanes;
+            break;
+          case NodeKind::Array:
+            break;
+        }
+    }
+    return insts;
+}
+
+int
+Mdfg::vectorization() const
+{
+    int lanes = 1;
+    for (const Node &n : nodes) {
+        if (n.kind == NodeKind::Instruction)
+            lanes = std::max(lanes, n.inst.lanes);
+    }
+    return lanes;
+}
+
+std::string
+Mdfg::validate() const
+{
+    for (const Node &n : nodes) {
+        auto in = inEdgesOf(n.id);
+        auto out = outEdgesOf(n.id);
+        switch (n.kind) {
+          case NodeKind::Instruction: {
+            int expected =
+                (n.inst.op == Opcode::Abs || n.inst.op == Opcode::Sqrt)
+                    ? 1
+                    : 2;
+            int data_in = n.inst.immediate.has_value() ? 1 : 0;
+            for (const Edge &e : in) {
+                if (node(e.src).kind != NodeKind::Array)
+                    ++data_in;
+            }
+            if (data_in != expected) {
+                return "instruction " + std::to_string(n.id) + " (" +
+                       opcodeName(n.inst.op) + ") has " +
+                       std::to_string(data_in) + " operands, expected " +
+                       std::to_string(expected);
+            }
+            break;
+          }
+          case NodeKind::InputStream: {
+            if (out.empty())
+                return "input stream " + std::to_string(n.id) +
+                       " feeds nothing";
+            if (n.stream.source == StreamSource::Memory &&
+                n.stream.array == invalidNode) {
+                return "memory input stream " + std::to_string(n.id) +
+                       " has no array";
+            }
+            break;
+          }
+          case NodeKind::OutputStream: {
+            int data_in = 0;
+            for (const Edge &e : in) {
+                if (node(e.src).kind != NodeKind::Array)
+                    ++data_in;
+            }
+            if (data_in != 1)
+                return "output stream " + std::to_string(n.id) +
+                       " needs exactly one producer";
+            break;
+          }
+          case NodeKind::Array: {
+            for (const Edge &e : out) {
+                const Node &dst = node(e.dst);
+                bool is_stream = dst.kind == NodeKind::InputStream ||
+                                 dst.kind == NodeKind::OutputStream;
+                if (!is_stream)
+                    return "array " + std::to_string(n.id) +
+                           " connects to a non-stream node";
+            }
+            if (n.array.sizeBytes <= 0)
+                return "array " + std::to_string(n.id) +
+                       " has non-positive size";
+            break;
+          }
+        }
+    }
+    return "";
+}
+
+} // namespace overgen::dfg

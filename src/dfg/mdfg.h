@@ -1,0 +1,265 @@
+#ifndef OVERGEN_DFG_MDFG_H
+#define OVERGEN_DFG_MDFG_H
+
+/**
+ * @file
+ * The memory-enhanced dataflow graph (mDFG, paper §IV): a compute DFG
+ * plus stream nodes carrying memory-access patterns and reuse
+ * annotations, plus array nodes carrying data-structure footprint and
+ * placement information. The compiler produces mDFGs; the spatial
+ * scheduler maps them onto an ADG.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/opcode.h"
+#include "common/types.h"
+
+namespace overgen::dfg {
+
+/** Identifier of a node within one Mdfg. */
+using NodeId = int32_t;
+
+constexpr NodeId invalidNode = -1;
+
+/** Kinds of mDFG nodes. */
+enum class NodeKind : uint8_t {
+    Instruction,   //!< compute instruction mapped onto a PE
+    InputStream,   //!< memory/value stream feeding the fabric
+    OutputStream,  //!< stream draining the fabric
+    Array,         //!< data-structure node (paper §IV-A)
+};
+
+/** Where a stream's data comes from / goes to. */
+enum class StreamSource : uint8_t {
+    Memory,      //!< DMA or scratchpad (array-backed)
+    Generated,   //!< affine value sequence (generate engine)
+    Recurrence,  //!< loop-carried dependence (recurrence engine)
+    Register,    //!< scalar to the control core (register engine)
+};
+
+/**
+ * Up to 3-dimensional affine access pattern, innermost dimension first:
+ * addr(i0,i1,i2) = base + sum_d stride[d] * i_d (in elements).
+ */
+struct AffinePattern
+{
+    int dims = 1;
+    int64_t stride[3] = { 1, 0, 0 };
+    int64_t trips[3] = { 1, 1, 1 };
+
+    /** @return total elements produced over the whole pattern. */
+    int64_t
+    totalElements() const
+    {
+        int64_t total = 1;
+        for (int d = 0; d < dims; ++d)
+            total *= trips[d];
+        return total;
+    }
+};
+
+/**
+ * Reuse annotations computed by the compiler's reuse analysis
+ * (paper §IV-B): traffic, footprint, and the reuse captured by port
+ * FIFOs (stationary) and the recurrence engine (recurrent).
+ */
+struct ReuseInfo
+{
+    /** Total bytes the stream requests over the program region. */
+    double trafficBytes = 0.0;
+    /** Bytes of distinct data touched (array/tile footprint). */
+    double footprintBytes = 0.0;
+    /** Stationary reuse factor at the port (1 = none). */
+    double stationary = 1.0;
+    /** Recurrent reuse factor via the recurrence engine (1 = none). */
+    double recurrent = 1.0;
+    /** Concurrent in-flight instances of a recurrent pair (0 = not a
+     * recurrent pair); bounds read-after-write throttling in the
+     * simulator and buffering in the recurrence engine. */
+    int64_t recurrentConcurrency = 0;
+
+    /** @return traffic/footprint: mean uses per element (general reuse). */
+    double
+    generalReuse() const
+    {
+        if (footprintBytes <= 0.0)
+            return 1.0;
+        return trafficBytes / footprintBytes;
+    }
+
+    /**
+     * @return the factor by which captured reuse divides this stream's
+     * bandwidth demand on the backing memory (paper Eq. 2 denominator).
+     */
+    double
+    capturedFactor() const
+    {
+        return stationary * recurrent;
+    }
+};
+
+/** Compute instruction node. */
+struct InstructionNode
+{
+    Opcode op = Opcode::Add;
+    DataType type = DataType::I64;
+    /** Vector lanes this instruction executes per firing. */
+    int lanes = 1;
+    /** Whether the instruction is predicated (needs a control LUT). */
+    bool predicated = false;
+    /** Immediate folded into the PE configuration (second operand). */
+    std::optional<double> immediate;
+};
+
+/** Stream node: a coarse-grained memory/value access pattern. */
+struct StreamNode
+{
+    StreamSource source = StreamSource::Memory;
+    DataType type = DataType::I64;
+    AffinePattern pattern;
+    /** Indirect access a[b[i]] (needs indirect-capable engine). */
+    bool indirect = false;
+    /** Trip count only known at runtime (stated streams required). */
+    bool variableTripCount = false;
+    /** Vector lanes delivered per cycle (matches consumer lanes). */
+    int lanes = 1;
+    /** Array backing this stream (invalidNode for non-memory sources). */
+    NodeId array = invalidNode;
+    /** Recurrence peer (for paired read/write recurrent streams). */
+    NodeId recurrencePeer = invalidNode;
+    /** Index stream feeding this stream when `indirect` is set. */
+    NodeId indexStream = invalidNode;
+    /** Reuse annotations from the compiler. */
+    ReuseInfo reuse;
+    /** Originating KernelSpec access indices (several when coalesced). */
+    std::vector<int> specAccesses;
+    /** Bandwidth efficiency on the backing memory: 1 for contiguous or
+     * coalesced patterns, 1/stride for strided uncoalesced DMA. */
+    double bandwidthEfficiency = 1.0;
+
+    /** @return bytes this stream moves per fabric firing. */
+    double
+    bytesPerFiring() const
+    {
+        return static_cast<double>(dataTypeBytes(type)) * lanes;
+    }
+};
+
+/** Preferred placement of an array node. */
+enum class ArrayPlacement : uint8_t {
+    Dram,        //!< via the DMA engine / shared L2
+    Scratchpad,  //!< private on-tile scratchpad
+};
+
+/** Array (data structure) node. */
+struct ArrayNode
+{
+    std::string name;
+    /** Total allocation in bytes (doubled when double-buffered in spad). */
+    int64_t sizeBytes = 0;
+    /** Placement the compiler prefers; the scheduler may override. */
+    ArrayPlacement preferred = ArrayPlacement::Dram;
+    /** Whether any stream accesses this array indirectly. */
+    bool indirectIndexed = false;
+};
+
+/** One mDFG node. */
+struct Node
+{
+    NodeId id = invalidNode;
+    NodeKind kind = NodeKind::Instruction;
+    InstructionNode inst;  //!< valid when kind == Instruction
+    StreamNode stream;     //!< valid when kind is a stream
+    ArrayNode array;       //!< valid when kind == Array
+};
+
+/** A dataflow edge. Operand index orders PE inputs. */
+struct Edge
+{
+    NodeId src = invalidNode;
+    NodeId dst = invalidNode;
+    int operandIndex = 0;
+    /**
+     * For stream->instruction edges: the originating KernelSpec access
+     * index this operand draws from (streams may be coalesced over
+     * several accesses). -1 when not applicable.
+     */
+    int specAccess = -1;
+};
+
+/**
+ * A memory-enhanced dataflow graph for one program region, at one
+ * transformation aggressiveness (one pre-generated variant, §V-A).
+ */
+class Mdfg
+{
+  public:
+    /** @name Construction */
+    /// @{
+    NodeId addInstruction(InstructionNode inst);
+    NodeId addInputStream(StreamNode stream);
+    NodeId addOutputStream(StreamNode stream);
+    NodeId addArray(ArrayNode array);
+    /** Connect @p src to @p dst at operand slot @p operand_index. */
+    void addEdge(NodeId src, NodeId dst, int operand_index = 0,
+                 int spec_access = -1);
+    /// @}
+
+    /** @return the node; panic when out of range. */
+    const Node &node(NodeId id) const;
+    Node &node(NodeId id);
+
+    /** @return all edges. */
+    const std::vector<Edge> &edges() const { return edgeList; }
+    /** @return node count. */
+    int numNodes() const { return static_cast<int>(nodes.size()); }
+
+    /** @return ids of all nodes of @p kind. */
+    std::vector<NodeId> nodeIdsOfKind(NodeKind kind) const;
+
+    /** @return in-edges of @p id sorted by operand index. */
+    std::vector<Edge> inEdgesOf(NodeId id) const;
+    /** @return out-edges of @p id. */
+    std::vector<Edge> outEdgesOf(NodeId id) const;
+
+    /**
+     * @return instruction bandwidth per firing: instructions plus
+     * memory operations, weighted by lanes (paper §V-C "mDFG Insts",
+     * including loads/stores so pure data movement is incentivized).
+     */
+    double instructionBandwidth() const;
+
+    /** @return the maximum vector lanes over all instructions. */
+    int vectorization() const;
+
+    /**
+     * Well-formedness: instructions have the right operand count,
+     * streams connect to the fabric on the correct side, arrays connect
+     * only to memory streams. @return empty string when valid.
+     */
+    std::string validate() const;
+
+    /** @name Variant metadata */
+    /// @{
+    std::string name;        //!< workload + variant tag
+    std::string kernelName;  //!< originating KernelSpec name
+    int unrollFactor = 1;    //!< transformation aggressiveness knob
+    bool usesRecurrence = false;  //!< accumulation via recurrence engine
+    bool tuned = false;           //!< OverGen source tuning applied
+    double weight = 1.0;     //!< workload weight in the DSE objective
+    /// @}
+
+  private:
+    NodeId addNode(Node n);
+
+    std::vector<Node> nodes;
+    std::vector<Edge> edgeList;
+};
+
+} // namespace overgen::dfg
+
+#endif // OVERGEN_DFG_MDFG_H

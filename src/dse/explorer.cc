@@ -1,0 +1,299 @@
+#include "dse/explorer.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "adg/builders.h"
+#include "common/logging.h"
+#include "common/stats.h"
+#include "compiler/compile.h"
+#include "dse/mutations.h"
+#include "model/oracle.h"
+
+namespace overgen::dse {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** State of one candidate evaluation. */
+struct Candidate
+{
+    adg::Adg adg;
+    adg::SystemParams sys;
+    std::vector<int> variantIndex;           //!< per kernel
+    std::vector<sched::Schedule> schedules;  //!< per kernel
+    double objective = 0.0;
+    model::Resources resources;
+    double utilization = 0.0;
+    bool valid = false;
+};
+
+} // namespace
+
+adg::Adg
+seedTile(const std::vector<wl::KernelSpec> &kernels)
+{
+    OG_ASSERT(!kernels.empty(), "DSE without kernels");
+    // Capability closure over the domain's ops.
+    std::set<FuCapability> caps;
+    bool indirect = false;
+    bool variable = false;
+    int max_unroll = 1;
+    int max_elem = 1;
+    for (const wl::KernelSpec &k : kernels) {
+        for (const wl::OpSpec &op : k.ops)
+            caps.insert({ op.op, op.type });
+        for (const wl::AccessSpec &access : k.accesses)
+            indirect |= access.indirect();
+        for (const wl::LoopSpec &loop : k.loops)
+            variable |= loop.variable;
+        max_unroll = std::max(max_unroll, k.maxUnroll);
+        max_elem =
+            std::max(max_elem, dataTypeBytes(k.dominantType()));
+    }
+    adg::MeshConfig config;
+    config.rows = 5;
+    config.cols = 5;
+    config.tracks = 2;
+    config.numPes = 20;
+    config.numInPorts = 12;
+    config.numOutPorts = 6;
+    config.datapathBytes =
+        std::clamp(max_unroll * max_elem, 16, 64);
+    config.numScratchpads = 2;
+    config.spadCapacityKiB = 32;
+    config.indirect = indirect;
+    // Stream engines are line-wide regardless of datapath width: the
+    // DMA's issue rate, not the fabric width, sets its bandwidth.
+    config.dmaBandwidthBytes = 64;
+    config.peCapabilities = std::move(caps);
+    adg::Adg tile = adg::buildMeshTile(config);
+    if (!variable) {
+        // The seed is generous; pruning will trim stated-stream
+        // support via the DSE when it is never needed.
+    }
+    return tile;
+}
+
+DseResult
+exploreOverlay(const std::vector<wl::KernelSpec> &kernels,
+               const DseOptions &options,
+               const model::FpgaResourceModel *resource_model)
+{
+    auto start = Clock::now();
+    const model::FpgaResourceModel &prices =
+        resource_model ? *resource_model
+                       : model::FpgaResourceModel::defaultModel();
+    model::FpgaDevice device = model::FpgaDevice::xcvu9p();
+    Rng rng(options.seed);
+
+    // Pre-generate all variants once (paper §V-A): DSE never
+    // recompiles from scratch.
+    compiler::CompileOptions copts;
+    copts.applyTuning = options.applyTuning;
+    std::vector<std::vector<dfg::Mdfg>> variants;
+    variants.reserve(kernels.size());
+    for (const wl::KernelSpec &k : kernels)
+        variants.push_back(compiler::compileVariants(k, copts));
+
+    // Schedule all kernels on an ADG, preferring prior schedules.
+    auto schedule_all =
+        [&](const adg::Adg &tile,
+            const Candidate *prior) -> std::optional<Candidate> {
+        Candidate cand;
+        cand.adg = tile;
+        sched::SpatialScheduler scheduler(
+            tile, sched::SchedulerOptions{ options.seed, 2 });
+        for (size_t k = 0; k < kernels.size(); ++k) {
+            std::optional<sched::Schedule> best;
+            int best_variant = -1;
+            // Try repair of the prior variant first, then walk the
+            // variant list most-aggressive-first.
+            if (prior && prior->variantIndex[k] >= 0) {
+                auto repaired = scheduler.repair(
+                    variants[k][prior->variantIndex[k]],
+                    prior->schedules[k]);
+                if (repaired) {
+                    best = std::move(repaired);
+                    best_variant = prior->variantIndex[k];
+                }
+            }
+            if (!best) {
+                auto fit = scheduler.scheduleFirstFit(variants[k]);
+                if (fit) {
+                    best = std::move(fit->first);
+                    best_variant = fit->second;
+                }
+            }
+            if (!best)
+                return std::nullopt;  // abandon ADG* (paper Fig. 6)
+            cand.schedules.push_back(std::move(*best));
+            cand.variantIndex.push_back(best_variant);
+        }
+        return cand;
+    };
+
+    // Nested exhaustive system DSE (paper §V-A): pick the best system
+    // parameters for a scheduled ADG under the resource budget.
+    auto system_dse = [&](Candidate &cand) {
+        model::Resources tile_res = prices.tileResources(cand.adg);
+        tile_res += model::synthesizeControlCore();
+        double best_score = -1.0;
+        for (int tiles : options.tileCountGrid) {
+            for (int banks : options.l2BankGrid) {
+                for (int noc : options.nocBytesGrid) {
+                    for (int l2_kib : options.l2CapacityGrid) {
+                        for (int channels : options.dramChannelGrid) {
+                            adg::SystemParams sys;
+                            sys.numTiles = tiles;
+                            sys.l2Banks = banks;
+                            sys.nocBytes = noc;
+                            sys.l2CapacityKiB = l2_kib;
+                            sys.dramChannels = channels;
+                            model::Resources total =
+                                tile_res * static_cast<double>(tiles);
+                            total += model::synthesizeUncore(sys);
+                            double util =
+                                device.worstUtilization(total);
+                            if (util > options.budgetFraction)
+                                continue;
+                            // Estimated performance objective.
+                            std::vector<model::PerfBreakdown> perf;
+                            std::vector<double> weights;
+                            for (size_t k = 0; k < kernels.size();
+                                 ++k) {
+                                const dfg::Mdfg &m =
+                                    variants[k]
+                                            [cand.variantIndex[k]];
+                                model::PerfInput input;
+                                input.mdfg = &m;
+                                input.backing =
+                                    sched::backingFromSchedule(
+                                        cand.schedules[k], cand.adg,
+                                        m);
+                                model::PerfBreakdown b =
+                                    model::estimateIpc(
+                                        input, cand.adg, sys,
+                                        options.perf);
+                                b.ipc *= cand.schedules[k]
+                                             .throughputFactor();
+                                perf.push_back(b);
+                                weights.push_back(m.weight);
+                            }
+                            double ipc = model::performanceObjective(
+                                perf, weights);
+                            // Secondary objective: prefer fewer
+                            // resources per accelerator (paper §V-A).
+                            double score =
+                                std::log(ipc) -
+                                0.03 * (tile_res.lut /
+                                        device.total.lut);
+                            if (score > best_score) {
+                                best_score = score;
+                                cand.sys = sys;
+                                cand.objective = ipc;
+                                cand.resources = total;
+                                cand.utilization = util;
+                                cand.valid = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        return cand.valid;
+    };
+
+    DseResult result;
+
+    // Seed.
+    Candidate current;
+    {
+        auto seeded = schedule_all(seedTile(kernels), nullptr);
+        OG_ASSERT(seeded.has_value(),
+                  "seed tile cannot host the domain");
+        current = std::move(*seeded);
+        bool ok = system_dse(current);
+        OG_ASSERT(ok, "seed design exceeds the device budget");
+    }
+    Candidate best = current;
+    result.convergence.push_back(
+        { secondsSince(start), 0, current.objective });
+
+    double temperature = options.initialTemperature;
+    for (int iter = 1; iter <= options.iterations; ++iter) {
+        ++result.iterationsRun;
+        adg::Adg mutated = current.adg;
+        std::vector<const dfg::Mdfg *> current_mdfgs;
+        for (size_t k = 0; k < kernels.size(); ++k) {
+            current_mdfgs.push_back(
+                &variants[k][current.variantIndex[k]]);
+        }
+        int edits = 1 + static_cast<int>(rng.nextBelow(3));
+        for (int e = 0; e < edits; ++e) {
+            mutateAdg(mutated, current.schedules, current_mdfgs,
+                      options.schedulePreserving, rng);
+        }
+        if (!mutated.validate().empty()) {
+            ++result.abandoned;
+            continue;
+        }
+        auto cand = schedule_all(mutated, &current);
+        if (!cand || !system_dse(*cand)) {
+            ++result.abandoned;
+            continue;
+        }
+        // Simulated-annealing acceptance on log-objective.
+        double delta = std::log(cand->objective) -
+                       std::log(current.objective);
+        bool accept = delta >= 0.0 ||
+                      rng.nextDouble() < std::exp(delta / temperature);
+        if (accept) {
+            current = std::move(*cand);
+            ++result.accepted;
+            if (current.objective > best.objective)
+                best = current;
+        }
+        temperature *= 0.97;
+        result.convergence.push_back(
+            { secondsSince(start), iter, best.objective });
+    }
+
+    // Package the best design.
+    result.design.adg = best.adg;
+    result.design.sys = best.sys;
+    result.objective = best.objective;
+    result.resources = best.resources;
+    result.utilization = best.utilization;
+    for (size_t k = 0; k < kernels.size(); ++k) {
+        const dfg::Mdfg &m = variants[k][best.variantIndex[k]];
+        model::PerfInput input;
+        input.mdfg = &m;
+        input.backing = sched::backingFromSchedule(best.schedules[k],
+                                                   best.adg, m);
+        model::PerfBreakdown b =
+            model::estimateIpc(input, best.adg, best.sys,
+                               options.perf);
+        KernelMapping mapping;
+        mapping.kernel = kernels[k].name;
+        mapping.variantIndex = best.variantIndex[k];
+        mapping.variantName = m.name;
+        mapping.estimatedIpc =
+            b.ipc * best.schedules[k].throughputFactor();
+        mapping.bottleneck = b.bottleneck;
+        result.mappings.push_back(std::move(mapping));
+        result.schedules.push_back(best.schedules[k]);
+        result.mdfgs.push_back(m);
+    }
+    result.elapsedSeconds = secondsSince(start);
+    return result;
+}
+
+} // namespace overgen::dse

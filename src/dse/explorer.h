@@ -1,0 +1,98 @@
+#ifndef OVERGEN_DSE_EXPLORER_H
+#define OVERGEN_DSE_EXPLORER_H
+
+/**
+ * @file
+ * The unified system + accelerator design space explorer (paper §V):
+ * an outer simulated-annealing loop mutates the per-tile ADG (with
+ * schedule-preserving transformations) and repairs the pre-generated
+ * mDFG variants' schedules; a nested exhaustive system DSE picks tile
+ * count, L2 banking/capacity and NoC width under the FPGA resource
+ * budget; the objective is the weighted geomean of estimated IPC,
+ * with estimated resources-per-accelerator as a pruning secondary.
+ */
+
+#include <vector>
+
+#include "model/perf.h"
+#include "model/resource_model.h"
+#include "sched/scheduler.h"
+#include "workloads/kernelspec.h"
+
+namespace overgen::dse {
+
+/** Explorer options. */
+struct DseOptions
+{
+    uint64_t seed = 1;
+    /** Spatial DSE iterations (the paper runs hours; benches minutes). */
+    int iterations = 60;
+    double initialTemperature = 0.6;
+    /** Resource budget fraction of the device. */
+    double budgetFraction = 0.97;
+    /** Enable schedule-preserving transformations (Fig. 20 ablation). */
+    bool schedulePreserving = true;
+    /** Apply OverGen source tuning when compiling variants. */
+    bool applyTuning = false;
+    /** Nested system-DSE grids (paper §III-B). */
+    std::vector<int> tileCountGrid{ 1, 2, 3, 4, 6, 8, 10, 13, 16 };
+    std::vector<int> l2BankGrid{ 4, 8, 16 };
+    std::vector<int> nocBytesGrid{ 32, 64 };
+    std::vector<int> l2CapacityGrid{ 256, 512, 1024 };
+    std::vector<int> dramChannelGrid{ 1 };
+    model::PerfConfig perf;
+};
+
+/** One point of the DSE convergence trace (Fig. 20). */
+struct ConvergencePoint
+{
+    double seconds = 0.0;
+    int iteration = 0;
+    double estimatedIpc = 0.0;
+};
+
+/** Per-kernel outcome on the final design. */
+struct KernelMapping
+{
+    std::string kernel;
+    int variantIndex = -1;          //!< into the kernel's variant list
+    std::string variantName;
+    double estimatedIpc = 0.0;
+    std::string bottleneck;
+};
+
+/** Explorer result. */
+struct DseResult
+{
+    adg::SysAdg design;
+    double objective = 0.0;  //!< weighted geomean estimated IPC
+    model::Resources resources;
+    double utilization = 0.0;
+    std::vector<KernelMapping> mappings;
+    /** Final schedules + chosen variants, index-aligned to mappings. */
+    std::vector<sched::Schedule> schedules;
+    std::vector<dfg::Mdfg> mdfgs;
+    std::vector<ConvergencePoint> convergence;
+    int iterationsRun = 0;
+    int accepted = 0;
+    int abandoned = 0;  //!< candidates with an unschedulable kernel
+    double elapsedSeconds = 0.0;
+};
+
+/**
+ * Run the unified DSE for @p kernels (the "domain"). The resource
+ * model prices candidates; the returned design is the best accepted
+ * sysADG.
+ */
+DseResult exploreOverlay(const std::vector<wl::KernelSpec> &kernels,
+                         const DseOptions &options = {},
+                         const model::FpgaResourceModel *resource_model =
+                             nullptr);
+
+/** Build the seed ADG the DSE starts from (a capability-complete mesh
+ * over the kernels' needs). */
+adg::Adg seedTile(const std::vector<wl::KernelSpec> &kernels);
+
+} // namespace overgen::dse
+
+#endif // OVERGEN_DSE_EXPLORER_H

@@ -1,0 +1,350 @@
+#include "dse/mutations.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace overgen::dse {
+
+namespace {
+
+using adg::Adg;
+using adg::NodeId;
+using adg::NodeKind;
+
+/** Pick a uniform random element; invalidNode when empty. */
+NodeId
+pick(const std::vector<NodeId> &ids, Rng &rng)
+{
+    if (ids.empty())
+        return adg::invalidNode;
+    return ids[rng.nextBelow(ids.size())];
+}
+
+/** ADG nodes currently used as placement targets. */
+std::set<NodeId>
+placementTargets(const std::vector<sched::Schedule> &schedules)
+{
+    std::set<NodeId> used;
+    for (const auto &schedule : schedules) {
+        for (const auto &[dfg_node, adg_node] : schedule.placement)
+            used.insert(adg_node);
+    }
+    return used;
+}
+
+/** ADG edges currently used by any route. */
+std::set<adg::EdgeId>
+routedEdges(const std::vector<sched::Schedule> &schedules)
+{
+    std::set<adg::EdgeId> used;
+    for (const auto &schedule : schedules) {
+        for (const auto &[edge_index, route] : schedule.routes)
+            used.insert(route.begin(), route.end());
+    }
+    return used;
+}
+
+} // namespace
+
+std::string
+mutationKindName(MutationKind kind)
+{
+    switch (kind) {
+      case MutationKind::RemoveSwitch:
+        return "remove_switch";
+      case MutationKind::RemovePe:
+        return "remove_pe";
+      case MutationKind::RemoveEdge:
+        return "remove_edge";
+      case MutationKind::AddPe:
+        return "add_pe";
+      case MutationKind::AddSwitch:
+        return "add_switch";
+      case MutationKind::AddEdge:
+        return "add_edge";
+      case MutationKind::ResizePort:
+        return "resize_port";
+      case MutationKind::ResizeScratchpad:
+        return "resize_scratchpad";
+      case MutationKind::PruneCapabilities:
+        return "prune_capabilities";
+      case MutationKind::PrunePortFlags:
+        return "prune_port_flags";
+      case MutationKind::AddCapability:
+        return "add_capability";
+      case MutationKind::None:
+        return "none";
+    }
+    OG_PANIC("unknown mutation kind");
+}
+
+void
+collapseNode(Adg &adg, NodeId victim,
+             const std::vector<sched::Schedule> &schedules)
+{
+    OG_ASSERT(adg.hasNode(victim), "collapsing dead node");
+    // Gather (pred-edge, succ-edge) pairs of routes passing through.
+    struct Bridge
+    {
+        NodeId src;
+        NodeId dst;
+        int delay;
+    };
+    std::vector<Bridge> bridges;
+    for (const auto &schedule : schedules) {
+        for (const auto &[edge_index, route] : schedule.routes) {
+            for (size_t h = 0; h + 1 < route.size(); ++h) {
+                if (!adg.hasEdge(route[h]) ||
+                    !adg.hasEdge(route[h + 1])) {
+                    continue;
+                }
+                const adg::Edge &in = adg.edge(route[h]);
+                const adg::Edge &out = adg.edge(route[h + 1]);
+                if (in.dst != victim)
+                    continue;
+                // Edge-delay preservation: the bridge carries the
+                // summed delay of the two hops it replaces.
+                bridges.push_back(
+                    Bridge{ in.src, out.dst, in.delay + out.delay });
+            }
+        }
+    }
+    adg.removeNode(victim);
+    std::set<std::pair<NodeId, NodeId>> added;
+    for (const Bridge &bridge : bridges) {
+        if (!adg.hasNode(bridge.src) || !adg.hasNode(bridge.dst))
+            continue;
+        if (bridge.src == bridge.dst)
+            continue;
+        if (!Adg::edgeLegal(adg.node(bridge.src).kind,
+                            adg.node(bridge.dst).kind)) {
+            continue;
+        }
+        if (!added.insert({ bridge.src, bridge.dst }).second)
+            continue;
+        adg.addEdge(bridge.src, bridge.dst, bridge.delay);
+    }
+}
+
+int
+pruneCapabilities(Adg &adg,
+                  const std::vector<sched::Schedule> &schedules,
+                  const std::vector<const dfg::Mdfg *> &mdfgs)
+{
+    OG_ASSERT(schedules.size() == mdfgs.size(), "size mismatch");
+    // Union of used capabilities per PE across all schedules.
+    std::map<NodeId, std::set<FuCapability>> used;
+    for (size_t i = 0; i < schedules.size(); ++i) {
+        auto per_pe = sched::usedCapabilities(schedules[i], *mdfgs[i]);
+        for (auto &[pe, caps] : per_pe)
+            used[pe].insert(caps.begin(), caps.end());
+    }
+    int pruned = 0;
+    for (NodeId pe : adg.nodeIdsOfKind(NodeKind::Pe)) {
+        auto &spec = adg.node(pe).pe();
+        std::set<FuCapability> keep;
+        auto it = used.find(pe);
+        if (it != used.end())
+            keep = it->second;
+        if (keep.empty()) {
+            // Idle PE: keep the cheapest capability as a seed so the
+            // node stays schedulable.
+            keep.insert(*spec.capabilities.begin());
+        }
+        pruned += static_cast<int>(spec.capabilities.size() -
+                                   keep.size());
+        spec.capabilities = std::move(keep);
+    }
+    // Port-feature pruning: padding / stated-stream support that no
+    // mapped stream requires.
+    std::set<NodeId> needs_stated, needs_padding;
+    for (size_t i = 0; i < schedules.size(); ++i) {
+        for (const auto &[dfg_node, adg_node] :
+             schedules[i].placement) {
+            const dfg::Node &dn = mdfgs[i]->node(dfg_node);
+            if (dn.kind != dfg::NodeKind::InputStream &&
+                dn.kind != dfg::NodeKind::OutputStream) {
+                continue;
+            }
+            if (dn.stream.variableTripCount) {
+                needs_stated.insert(adg_node);
+                if (dn.stream.lanes > 1)
+                    needs_padding.insert(adg_node);
+            }
+        }
+    }
+    for (NodeKind kind : { NodeKind::InPort, NodeKind::OutPort }) {
+        for (NodeId port : adg.nodeIdsOfKind(kind)) {
+            auto &spec = adg.node(port).port();
+            if (spec.statedStream && !needs_stated.count(port)) {
+                spec.statedStream = false;
+                ++pruned;
+            }
+            if (spec.padding && !needs_padding.count(port)) {
+                spec.padding = false;
+                ++pruned;
+            }
+        }
+    }
+    return pruned;
+}
+
+MutationKind
+mutateAdg(Adg &adg, const std::vector<sched::Schedule> &schedules,
+          const std::vector<const dfg::Mdfg *> &mdfgs, bool preserving,
+          Rng &rng)
+{
+    std::set<NodeId> used_nodes = placementTargets(schedules);
+    std::set<adg::EdgeId> used_edges = routedEdges(schedules);
+
+    for (int attempt = 0; attempt < 12; ++attempt) {
+        int choice = static_cast<int>(rng.nextBelow(10));
+        switch (choice) {
+          case 0: {  // remove a switch (collapse when preserving)
+            auto switches = adg.nodeIdsOfKind(NodeKind::Switch);
+            NodeId victim = pick(switches, rng);
+            if (victim == adg::invalidNode || switches.size() <= 2)
+                break;
+            if (preserving)
+                collapseNode(adg, victim, schedules);
+            else
+                adg.removeNode(victim);
+            return MutationKind::RemoveSwitch;
+          }
+          case 1: {  // remove an idle PE
+            std::vector<NodeId> idle;
+            for (NodeId pe : adg.nodeIdsOfKind(NodeKind::Pe)) {
+                if (!preserving || !used_nodes.count(pe))
+                    idle.push_back(pe);
+            }
+            NodeId victim = pick(idle, rng);
+            if (victim == adg::invalidNode ||
+                adg.countKind(NodeKind::Pe) <= 1) {
+                break;
+            }
+            adg.removeNode(victim);
+            return MutationKind::RemovePe;
+          }
+          case 2: {  // remove an edge
+            std::vector<adg::EdgeId> candidates;
+            for (adg::EdgeId e : adg.edgeIds()) {
+                if (!preserving || !used_edges.count(e))
+                    candidates.push_back(e);
+            }
+            if (candidates.empty())
+                break;
+            adg.removeEdge(
+                candidates[rng.nextBelow(candidates.size())]);
+            return MutationKind::RemoveEdge;
+          }
+          case 3: {  // add a PE cloned from an existing one
+            auto pes = adg.nodeIdsOfKind(NodeKind::Pe);
+            auto switches = adg.nodeIdsOfKind(NodeKind::Switch);
+            if (pes.empty() || switches.empty())
+                break;
+            adg::PeSpec spec = adg.node(pick(pes, rng)).pe();
+            NodeId pe = adg.addPe(spec);
+            adg.addEdge(pick(switches, rng), pe);
+            adg.addEdge(pe, pick(switches, rng));
+            return MutationKind::AddPe;
+          }
+          case 4: {  // add a switch spliced between two nodes
+            auto switches = adg.nodeIdsOfKind(NodeKind::Switch);
+            if (switches.empty())
+                break;
+            adg::SwitchSpec spec = adg.node(switches[0]).sw();
+            NodeId sw = adg.addSwitch(spec);
+            adg.addEdge(pick(switches, rng), sw);
+            adg.addEdge(sw, pick(switches, rng));
+            return MutationKind::AddSwitch;
+          }
+          case 5: {  // add a random legal edge
+            auto nodes = adg.nodeIds();
+            NodeId src = pick(nodes, rng);
+            NodeId dst = pick(nodes, rng);
+            if (src == dst || src == adg::invalidNode)
+                break;
+            if (!Adg::edgeLegal(adg.node(src).kind,
+                                adg.node(dst).kind)) {
+                break;
+            }
+            adg.addEdge(src, dst);
+            return MutationKind::AddEdge;
+          }
+          case 6: {  // resize a port
+            std::vector<NodeId> ports =
+                adg.nodeIdsOfKind(NodeKind::InPort);
+            auto outs = adg.nodeIdsOfKind(NodeKind::OutPort);
+            ports.insert(ports.end(), outs.begin(), outs.end());
+            NodeId port = pick(ports, rng);
+            if (port == adg::invalidNode)
+                break;
+            auto &spec = adg.node(port).port();
+            bool grow = rng.nextBool();
+            // Shrinking below a mapped stream's rate invalidates it;
+            // the rescheduling pass decides, we only avoid halving
+            // used ports when preserving.
+            if (!grow && preserving && used_nodes.count(port))
+                break;
+            spec.widthBytes = std::clamp(
+                grow ? spec.widthBytes * 2 : spec.widthBytes / 2, 2,
+                64);
+            return MutationKind::ResizePort;
+          }
+          case 7: {  // resize a scratchpad
+            auto spads = adg.nodeIdsOfKind(NodeKind::Scratchpad);
+            NodeId spad = pick(spads, rng);
+            if (spad == adg::invalidNode)
+                break;
+            auto &spec = adg.node(spad).spad();
+            bool grow = rng.nextBool();
+            if (!grow && preserving && used_nodes.count(spad))
+                break;
+            spec.capacityKiB = std::clamp(
+                grow ? spec.capacityKiB * 2 : spec.capacityKiB / 2, 4,
+                256);
+            return MutationKind::ResizeScratchpad;
+          }
+          case 8: {  // capability pruning
+            if (preserving) {
+                if (pruneCapabilities(adg, schedules, mdfgs) > 0)
+                    return MutationKind::PruneCapabilities;
+                break;
+            }
+            // Blind pruning: drop a random capability somewhere.
+            auto pes = adg.nodeIdsOfKind(NodeKind::Pe);
+            NodeId pe = pick(pes, rng);
+            if (pe == adg::invalidNode)
+                break;
+            auto &caps = adg.node(pe).pe().capabilities;
+            if (caps.size() <= 1)
+                break;
+            auto it = caps.begin();
+            std::advance(it, rng.nextBelow(caps.size()));
+            caps.erase(it);
+            return MutationKind::PruneCapabilities;
+          }
+          case 9: {  // add a capability copied from a peer PE
+            auto pes = adg.nodeIdsOfKind(NodeKind::Pe);
+            if (pes.size() < 2)
+                break;
+            NodeId from = pick(pes, rng);
+            NodeId to = pick(pes, rng);
+            if (from == to)
+                break;
+            const auto &src = adg.node(from).pe().capabilities;
+            if (src.empty())
+                break;
+            auto it = src.begin();
+            std::advance(it, rng.nextBelow(src.size()));
+            adg.node(to).pe().capabilities.insert(*it);
+            return MutationKind::AddCapability;
+          }
+        }
+    }
+    return MutationKind::None;
+}
+
+} // namespace overgen::dse

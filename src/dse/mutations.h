@@ -1,0 +1,77 @@
+#ifndef OVERGEN_DSE_MUTATIONS_H
+#define OVERGEN_DSE_MUTATIONS_H
+
+/**
+ * @file
+ * ADG mutation operators for the spatial DSE: random structural edits
+ * plus the schedule-preserving transformations of paper §V-B — node
+ * collapsing (Fig. 7a), edge-delay preservation (Fig. 7b), and
+ * module-capability pruning — which simplify hardware while keeping
+ * existing schedules valid.
+ */
+
+#include "common/rng.h"
+#include "sched/schedule.h"
+
+namespace overgen::dse {
+
+/** What a mutation did (for logging/ablation accounting). */
+enum class MutationKind : uint8_t
+{
+    RemoveSwitch,
+    RemovePe,
+    RemoveEdge,
+    AddPe,
+    AddSwitch,
+    AddEdge,
+    ResizePort,
+    ResizeScratchpad,
+    PruneCapabilities,
+    PrunePortFlags,
+    AddCapability,
+    None,
+};
+
+/** @return printable mutation name. */
+std::string mutationKindName(MutationKind kind);
+
+/**
+ * Apply one random mutation to @p adg.
+ *
+ * @param adg        the candidate (mutated in place)
+ * @param schedules  current schedules over the pre-mutation ADG; used
+ *                   by schedule-preserving transformations
+ * @param mdfgs      the scheduled mDFGs (same order as schedules)
+ * @param preserving enable schedule-preserving transformations; when
+ *                   false, deletions and pruning are blind (the Fig.
+ *                   20 ablation)
+ * @param rng        randomness source
+ * @return the mutation performed (None if nothing applicable).
+ */
+MutationKind mutateAdg(adg::Adg &adg,
+                       const std::vector<sched::Schedule> &schedules,
+                       const std::vector<const dfg::Mdfg *> &mdfgs,
+                       bool preserving, Rng &rng);
+
+/**
+ * Node collapsing (paper Fig. 7a): delete @p victim and add, for every
+ * route of @p schedules passing through it, a direct edge from the
+ * route's predecessor to its successor whose delay preserves the
+ * original path delay (edge-delay preservation, Fig. 7b).
+ */
+void collapseNode(adg::Adg &adg, adg::NodeId victim,
+                  const std::vector<sched::Schedule> &schedules);
+
+/**
+ * Module-capability pruning (paper §V-B): shrink every PE's capability
+ * set to the capabilities actually exercised by @p schedules, and drop
+ * port features (padding / stated streams) no mapped stream needs.
+ * PEs hosting no instruction keep one seed capability.
+ */
+int pruneCapabilities(adg::Adg &adg,
+                      const std::vector<sched::Schedule> &schedules,
+                      const std::vector<const dfg::Mdfg *> &mdfgs);
+
+} // namespace overgen::dse
+
+#endif // OVERGEN_DSE_MUTATIONS_H

@@ -1,0 +1,94 @@
+#include "hls/autodse.h"
+
+#include <tuple>
+
+#include "common/logging.h"
+#include "workloads/suites.h"
+
+namespace overgen::hls {
+
+AutoDseResult
+runAutoDse(const wl::KernelSpec &original, bool tuned,
+           const AutoDseOptions &options)
+{
+    // The tuned flag is threaded through the model (the II analysis
+    // needs the original patterns to know what tuning repaired).
+    const wl::KernelSpec &spec = original;
+    AutoDseResult result;
+    result.kernel = original.name;
+    result.tuned = tuned;
+
+    model::FpgaDevice device = model::FpgaDevice::xcvu9p();
+
+    auto evaluate = [&](int unroll) {
+        HlsConfig config;
+        config.unroll = unroll;
+        config.clockMhz = options.clockMhz;
+        config.dramChannels = options.dramChannels;
+        HlsPerf perf = estimatePerf(spec, tuned, config);
+        model::Resources res = estimateResources(spec, config);
+        return std::make_tuple(config, perf, res);
+    };
+
+    if (options.useDatabase && spec.patterns.inPrebuiltDatabase) {
+        // Database hit: the best configuration is known; only the
+        // final synthesis runs (paper Q2 "Prebuilt Database").
+        int best_unroll = 1;
+        double best_cycles = 1e30;
+        for (int u = 1; u <= options.maxUnroll; u *= 2) {
+            auto [config, perf, res] = evaluate(u);
+            if (device.worstUtilization(res) >
+                options.budgetFraction) {
+                break;
+            }
+            if (perf.cycles < best_cycles) {
+                best_cycles = perf.cycles;
+                best_unroll = u;
+            }
+        }
+        auto [config, perf, res] = evaluate(best_unroll);
+        result.config = config;
+        result.perf = perf;
+        result.resources = res;
+        result.candidatesEvaluated = 0;
+        result.fromDatabase = true;
+        result.dseHours = 0.0;
+        result.synthHours = synthesisHours(res);
+        return result;
+    }
+
+    // Bottleneck-guided exploration: grow the unroll while the
+    // estimated cycles improve meaningfully and the design fits.
+    int unroll = 1;
+    auto [best_config, best_perf, best_res] = evaluate(unroll);
+    result.candidatesEvaluated = 1;
+    result.dseHours = synthesisHours(best_res);
+    while (unroll * 2 <= options.maxUnroll) {
+        auto [config, perf, res] = evaluate(unroll * 2);
+        ++result.candidatesEvaluated;
+        result.dseHours += synthesisHours(res);
+        if (device.worstUtilization(res) > options.budgetFraction)
+            break;
+        if (perf.cycles > best_perf.cycles * 0.97) {
+            // Memory bound or saturated: AutoDSE stops growing this
+            // parameter (it favors fewer resources, paper Q4).
+            if (perf.cycles < best_perf.cycles) {
+                best_config = config;
+                best_perf = perf;
+                best_res = res;
+            }
+            break;
+        }
+        best_config = config;
+        best_perf = perf;
+        best_res = res;
+        unroll *= 2;
+    }
+    result.config = best_config;
+    result.perf = best_perf;
+    result.resources = best_res;
+    result.synthHours = synthesisHours(best_res);
+    return result;
+}
+
+} // namespace overgen::hls

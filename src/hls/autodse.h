@@ -1,0 +1,55 @@
+#ifndef OVERGEN_HLS_AUTODSE_H
+#define OVERGEN_HLS_AUTODSE_H
+
+/**
+ * @file
+ * AutoDSE-style bottleneck-guided exploration of HLS pragma
+ * configurations (paper baseline, Sohrabizadeh et al.): repeatedly
+ * grow the parameter that relieves the current bottleneck, evaluating
+ * candidates with the HLS model; the exploration cost is dominated by
+ * per-candidate synthesis time. Workloads present in the pre-built
+ * database (gemm) skip exploration.
+ */
+
+#include "hls/hls_model.h"
+
+namespace overgen::hls {
+
+/** Exploration options. */
+struct AutoDseOptions
+{
+    double clockMhz = 250.0;
+    int maxUnroll = 64;
+    /** Resource budget fraction AutoDSE targets. */
+    double budgetFraction = 0.8;
+    int dramChannels = 1;
+    /** Honor the pre-built best-config database (paper Q2). */
+    bool useDatabase = true;
+};
+
+/** Final chosen design plus exploration cost. */
+struct AutoDseResult
+{
+    std::string kernel;
+    bool tuned = false;
+    HlsConfig config;
+    HlsPerf perf;
+    model::Resources resources;
+    int candidatesEvaluated = 0;
+    /** Exploration time (candidate synthesis runs). */
+    double dseHours = 0.0;
+    /** Final bitstream synthesis + P&R. */
+    double synthHours = 0.0;
+    bool fromDatabase = false;
+};
+
+/**
+ * Run AutoDSE for one kernel. @p tuned selects the manually tuned
+ * source (paper Q2 evaluates both).
+ */
+AutoDseResult runAutoDse(const wl::KernelSpec &spec, bool tuned,
+                         const AutoDseOptions &options = {});
+
+} // namespace overgen::hls
+
+#endif // OVERGEN_HLS_AUTODSE_H

@@ -1,0 +1,225 @@
+#include "hls/hls_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "compiler/reuse.h"
+
+namespace overgen::hls {
+
+namespace {
+
+/**
+ * Whether the kernel carries a dependence through the innermost loop:
+ * a store whose address does not move with the innermost induction
+ * variable (a reduction), whose value chain the pipeline must wait on.
+ */
+bool
+hasInnerReduction(const wl::KernelSpec &spec)
+{
+    size_t inner = spec.loops.size() - 1;
+    for (const wl::AccessSpec &access : spec.accesses) {
+        if (!access.isWrite)
+            continue;
+        int64_t coeff = inner < access.coeffs.size()
+                            ? access.coeffs[inner]
+                            : 0;
+        if (coeff == 0)
+            return true;
+    }
+    return false;
+}
+
+/** Largest innermost-loop access stride (elements). */
+int64_t
+maxInnerStride(const wl::KernelSpec &spec)
+{
+    int64_t stride = 1;
+    size_t inner = spec.loops.size() - 1;
+    for (const wl::AccessSpec &access : spec.accesses) {
+        if (inner < access.coeffs.size())
+            stride = std::max(stride, std::abs(access.coeffs[inner]));
+    }
+    return stride;
+}
+
+/** Count of distinct window rows (same-coefficient tap groups). */
+int
+windowRowCount(const wl::KernelSpec &spec)
+{
+    // Overlapping unit-stride taps on one array: rows = taps / 3-ish;
+    // approximate by the square root of the tap count.
+    int taps = 0;
+    for (const wl::AccessSpec &access : spec.accesses) {
+        if (!access.isWrite && !access.indirect())
+            ++taps;
+    }
+    return std::max(1, static_cast<int>(std::round(std::sqrt(taps))));
+}
+
+} // namespace
+
+int
+initiationInterval(const wl::KernelSpec &spec, bool tuned)
+{
+    const wl::CodePatterns &patterns = spec.patterns;
+    int ii = 1;
+    if (patterns.variableTripCount) {
+        // Variable trips defeat loop flattening. When the innermost
+        // loop also carries a reduction, the pipeline waits for the
+        // carried op's latency (Table IV: cholesky 10, crs 4); plain
+        // variable-trip control overhead costs two cycles (fft 2).
+        int untuned = 2;
+        if (hasInnerReduction(spec) &&
+            dataTypeIsFloat(spec.dominantType())) {
+            bool heavy = spec.opCount(Opcode::Div) > 0 &&
+                         spec.opCount(Opcode::Sqrt) > 0;
+            untuned = heavy ? 10 : 4;
+        }
+        // Tuning (guarded max-trip loops) halves the dependence cost.
+        ii = std::max(ii, tuned ? std::max(1, untuned / 2) : untuned);
+    } else if (patterns.smallStrideAccess && !tuned) {
+        // Un-coalescible strided BRAM/DRAM access serializes the
+        // pipeline (Table IV: bgr2grey 9, channel-ext 8, blur 6,
+        // stencil-3d 6): each strided load costs its stride in bank
+        // conflicts, overlapping window rows conflict pairwise.
+        int64_t stride = maxInnerStride(spec);
+        int penalty;
+        if (stride > 1) {
+            int strided_reads = 0;
+            size_t inner = spec.loops.size() - 1;
+            for (const wl::AccessSpec &access : spec.accesses) {
+                if (!access.isWrite &&
+                    inner < access.coeffs.size() &&
+                    std::abs(access.coeffs[inner]) > 1) {
+                    ++strided_reads;
+                }
+            }
+            penalty = static_cast<int>(stride) *
+                      std::max(strided_reads, 2);
+        } else {
+            penalty = 2 * windowRowCount(spec);
+        }
+        ii = std::max(ii, std::min(penalty, 12));
+    }
+    return ii;
+}
+
+HlsPerf
+estimatePerf(const wl::KernelSpec &spec, bool tuned,
+             const HlsConfig &config)
+{
+    HlsPerf perf;
+    perf.ii = initiationInterval(spec, tuned);
+
+    double iterations =
+        static_cast<double>(spec.totalIterations());
+    int unroll = std::max(1, config.unroll);
+    // Pipeline fill per innermost-loop entry.
+    double outer = 1.0;
+    for (size_t d = 0; d + 1 < spec.loops.size(); ++d)
+        outer *= std::max<int64_t>(spec.loops[d].tripBase, 1);
+    perf.computeCycles =
+        iterations * perf.ii / unroll + outer * 8.0 + 500.0;
+
+    // Memory: arrays that fit on-chip are transferred once
+    // (footprint); streaming arrays pay full traffic. Sliding-window
+    // kernels keep overlapped rows in line buffers.
+    double bytes = 0.0;
+    for (size_t i = 0; i < spec.accesses.size(); ++i) {
+        auto analysis = compiler::analyzeAccess(spec,
+                                                static_cast<int>(i));
+        const wl::ArraySpec &array =
+            spec.arrayByName(spec.accesses[i].array);
+        double elem = dataTypeBytes(array.type);
+        double traffic =
+            static_cast<double>(analysis.trafficElements) * elem;
+        double footprint =
+            static_cast<double>(array.sizeBytes());
+        double moved;
+        if (footprint <= 1024.0 * 1024.0) {
+            moved = std::min(traffic, footprint);
+        } else if (spec.patterns.slidingWindow) {
+            moved = footprint;  // each element read once (line buffer)
+        } else {
+            moved = traffic;
+        }
+        // Untuned small-stride access defeats burst coalescing: each
+        // strided element drags its neighbors across the AXI bus.
+        if (spec.patterns.smallStrideAccess && !tuned) {
+            size_t inner = spec.loops.size() - 1;
+            int64_t stride = inner < spec.accesses[i].coeffs.size()
+                                 ? std::abs(
+                                       spec.accesses[i].coeffs[inner])
+                                 : 1;
+            if (stride > 1)
+                moved *= std::min<double>(static_cast<double>(stride),
+                                          4.0);
+        }
+        bytes += moved;
+    }
+    // AXI burst width 64B/cycle per channel at the kernel clock.
+    perf.memoryCycles = bytes / (64.0 * config.dramChannels);
+    perf.cycles = std::max(perf.computeCycles, perf.memoryCycles);
+    perf.memoryBound = perf.memoryCycles > perf.computeCycles;
+    perf.seconds = perf.cycles / (config.clockMhz * 1e6);
+    return perf;
+}
+
+model::Resources
+estimateResources(const wl::KernelSpec &spec, const HlsConfig &config)
+{
+    model::Resources r;
+    // Control/state machine + AXI interfaces.
+    r.lut = 9000.0;
+    r.ff = 12000.0;
+    r.bram = 12.0;
+    int unroll = std::max(1, config.unroll);
+    for (const wl::OpSpec &op : spec.ops) {
+        bool flt = dataTypeIsFloat(op.type);
+        int eb = dataTypeBytes(op.type);
+        double lut = 0.0, dsp = 0.0;
+        switch (op.op) {
+          case Opcode::Mul:
+            lut = flt ? 80.0 : 20.0;
+            dsp = flt ? (eb == 8 ? 8.0 : 3.0)
+                      : std::max(1.0, eb / 4.0);
+            break;
+          case Opcode::Div:
+            lut = flt ? (eb == 8 ? 3200.0 : 1800.0) : 40.0 * eb;
+            dsp = flt ? 4.0 : 0.0;
+            break;
+          case Opcode::Sqrt:
+            lut = flt ? (eb == 8 ? 2800.0 : 1500.0) : 30.0 * eb;
+            break;
+          default:
+            lut = flt ? 200.0 : 10.0 * eb;
+            dsp = flt ? 2.0 : 0.0;
+        }
+        r.lut += lut * unroll;
+        r.dsp += dsp * unroll;
+    }
+    // Array partitioning for on-chip buffers: one BRAM bank slice per
+    // unroll lane per on-chip array.
+    for (const wl::ArraySpec &array : spec.arrays) {
+        if (array.sizeBytes() <= 1024 * 1024) {
+            r.bram += std::max<double>(
+                std::ceil(array.sizeBytes() / 4096.0),
+                unroll);
+        }
+    }
+    r.ff += 1.1 * r.lut;
+    return r;
+}
+
+double
+synthesisHours(const model::Resources &resources)
+{
+    // Empirical shape: a small kernel synthesizes in ~25 min; P&R time
+    // grows superlinearly with logic utilization on the VU9P.
+    double util = resources.lut / 1182240.0;
+    return 0.4 + 6.0 * util + 18.0 * util * util;
+}
+
+} // namespace overgen::hls

@@ -1,0 +1,63 @@
+#ifndef OVERGEN_HLS_HLS_MODEL_H
+#define OVERGEN_HLS_HLS_MODEL_H
+
+/**
+ * @file
+ * HLS performance/resource model standing in for Merlin + Vivado HLS
+ * (see DESIGN.md "Substitutions"). Reproduces the initiation-interval
+ * behavior of paper Table IV: variable loop trip counts and small-
+ * stride access patterns inflate the II of untuned kernels; manual
+ * kernel tuning restores II=1 (or halves it for loop-carried float
+ * dependences); sliding-window kernels get line-buffer reuse.
+ */
+
+#include "model/resources.h"
+#include "workloads/kernelspec.h"
+
+namespace overgen::hls {
+
+/** One HLS design point (pragma configuration). */
+struct HlsConfig
+{
+    /** Innermost-loop unroll / array-partition factor. */
+    int unroll = 1;
+    /** Kernel clock after P&R, MHz. */
+    double clockMhz = 250.0;
+    /** DRAM channels enabled. */
+    int dramChannels = 1;
+};
+
+/** Performance estimate of one HLS design point. */
+struct HlsPerf
+{
+    int ii = 1;
+    double computeCycles = 0.0;
+    double memoryCycles = 0.0;
+    double cycles = 0.0;
+    double seconds = 0.0;
+    bool memoryBound = false;
+};
+
+/**
+ * Initiation interval of the pipelined innermost loop (paper Table IV).
+ * @p tuned selects the manually kernel-tuned source variant.
+ */
+int initiationInterval(const wl::KernelSpec &spec, bool tuned);
+
+/** Cycle/time estimate for @p spec at @p config. */
+HlsPerf estimatePerf(const wl::KernelSpec &spec, bool tuned,
+                     const HlsConfig &config);
+
+/** FPGA resources of the fixed-function pipeline at @p config. */
+model::Resources estimateResources(const wl::KernelSpec &spec,
+                                   const HlsConfig &config);
+
+/**
+ * Out-of-context synthesis + P&R wall-clock hours for one candidate —
+ * the dominant cost of AutoDSE's exploration (paper Fig. 15).
+ */
+double synthesisHours(const model::Resources &resources);
+
+} // namespace overgen::hls
+
+#endif // OVERGEN_HLS_HLS_MODEL_H

@@ -1,0 +1,236 @@
+#include "model/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace overgen::model {
+
+Mlp::Mlp(int input_dim, std::vector<int> hidden, int output_dim,
+         uint64_t seed)
+    : rng(seed)
+{
+    OG_ASSERT(input_dim > 0 && output_dim > 0, "bad MLP shape");
+    std::vector<int> dims;
+    dims.push_back(input_dim);
+    for (int h : hidden)
+        dims.push_back(h);
+    dims.push_back(output_dim);
+    for (size_t i = 0; i + 1 < dims.size(); ++i) {
+        Layer layer;
+        layer.in = dims[i];
+        layer.out = dims[i + 1];
+        layer.weight.resize(static_cast<size_t>(layer.in) * layer.out);
+        layer.bias.assign(layer.out, 0.0);
+        layer.weightVel.assign(layer.weight.size(), 0.0);
+        layer.biasVel.assign(layer.out, 0.0);
+        // He initialization for ReLU layers.
+        double scale = std::sqrt(2.0 / layer.in);
+        for (double &w : layer.weight)
+            w = rng.nextGaussian() * scale;
+        layers.push_back(std::move(layer));
+    }
+}
+
+int
+Mlp::parameterCount() const
+{
+    int count = 0;
+    for (const Layer &layer : layers)
+        count += static_cast<int>(layer.weight.size() +
+                                  layer.bias.size());
+    return count;
+}
+
+void
+Mlp::standardize(std::vector<double> &features) const
+{
+    for (size_t i = 0; i < features.size(); ++i)
+        features[i] = (features[i] - featMean[i]) / featStd[i];
+}
+
+std::vector<double>
+Mlp::forward(std::span<const double> input,
+             std::vector<std::vector<double>> *activations) const
+{
+    std::vector<double> current(input.begin(), input.end());
+    if (activations)
+        activations->push_back(current);
+    for (size_t l = 0; l < layers.size(); ++l) {
+        const Layer &layer = layers[l];
+        std::vector<double> next(layer.out, 0.0);
+        for (int o = 0; o < layer.out; ++o) {
+            double sum = layer.bias[o];
+            const double *row =
+                &layer.weight[static_cast<size_t>(o) * layer.in];
+            for (int i = 0; i < layer.in; ++i)
+                sum += row[i] * current[i];
+            bool last = (l + 1 == layers.size());
+            next[o] = last ? sum : std::max(sum, 0.0);
+        }
+        current = std::move(next);
+        if (activations)
+            activations->push_back(current);
+    }
+    return current;
+}
+
+double
+Mlp::train(const std::vector<std::vector<double>> &features,
+           const std::vector<std::vector<double>> &targets,
+           const MlpTrainConfig &config)
+{
+    OG_ASSERT(features.size() == targets.size(), "feature/target size");
+    OG_ASSERT(!features.empty(), "empty training set");
+    size_t n = features.size();
+    size_t input_dim = features[0].size();
+    OG_ASSERT(input_dim == static_cast<size_t>(layers.front().in),
+              "feature dim mismatch");
+
+    // Standardization statistics over the full set.
+    featMean.assign(input_dim, 0.0);
+    featStd.assign(input_dim, 0.0);
+    for (const auto &f : features) {
+        for (size_t i = 0; i < input_dim; ++i)
+            featMean[i] += f[i];
+    }
+    for (size_t i = 0; i < input_dim; ++i)
+        featMean[i] /= static_cast<double>(n);
+    for (const auto &f : features) {
+        for (size_t i = 0; i < input_dim; ++i) {
+            double d = f[i] - featMean[i];
+            featStd[i] += d * d;
+        }
+    }
+    for (size_t i = 0; i < input_dim; ++i) {
+        featStd[i] = std::sqrt(featStd[i] / static_cast<double>(n));
+        if (featStd[i] < 1e-9)
+            featStd[i] = 1.0;
+    }
+
+    // Target statistics in log1p space (resource counts span orders of
+    // magnitude; standardized log targets keep gradients balanced).
+    size_t output_dim = targets[0].size();
+    targetMean.assign(output_dim, 0.0);
+    targetStd.assign(output_dim, 0.0);
+    for (const auto &t : targets) {
+        for (size_t o = 0; o < output_dim; ++o)
+            targetMean[o] += std::log1p(std::max(t[o], 0.0));
+    }
+    for (size_t o = 0; o < output_dim; ++o)
+        targetMean[o] /= static_cast<double>(n);
+    for (const auto &t : targets) {
+        for (size_t o = 0; o < output_dim; ++o) {
+            double d = std::log1p(std::max(t[o], 0.0)) - targetMean[o];
+            targetStd[o] += d * d;
+        }
+    }
+    for (size_t o = 0; o < output_dim; ++o) {
+        targetStd[o] =
+            std::sqrt(targetStd[o] / static_cast<double>(n));
+        if (targetStd[o] < 1e-9)
+            targetStd[o] = 1.0;
+    }
+
+    // Shuffle and split train/validation.
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i)
+        order[i] = i;
+    for (size_t i = n; i > 1; --i)
+        std::swap(order[i - 1], order[rng.nextBelow(i)]);
+    size_t val_count = static_cast<size_t>(
+        static_cast<double>(n) * config.validationFraction);
+    val_count = std::min(val_count, n - 1);
+    size_t train_count = n - val_count;
+
+    auto prepare = [&](size_t idx, std::vector<double> &x,
+                       std::vector<double> &y) {
+        x = features[order[idx]];
+        standardize(x);
+        y = targets[order[idx]];
+        for (size_t o = 0; o < y.size(); ++o) {
+            y[o] = (std::log1p(std::max(y[o], 0.0)) - targetMean[o]) /
+                   targetStd[o];
+        }
+    };
+
+    std::vector<double> x, y;
+    for (int epoch = 0; epoch < config.epochs; ++epoch) {
+        // Decaying learning rate.
+        double lr = config.learningRate /
+                    (1.0 + 0.02 * static_cast<double>(epoch));
+        for (size_t idx = 0; idx < train_count; ++idx) {
+            prepare(idx, x, y);
+            std::vector<std::vector<double>> acts;
+            std::vector<double> pred = forward(x, &acts);
+
+            // Backward pass: MSE gradient, clipped for stability.
+            std::vector<double> grad(pred.size());
+            for (size_t o = 0; o < pred.size(); ++o) {
+                grad[o] = 2.0 * (pred[o] - y[o]) /
+                          static_cast<double>(pred.size());
+                grad[o] = std::clamp(grad[o], -4.0, 4.0);
+            }
+
+            for (int l = static_cast<int>(layers.size()) - 1; l >= 0;
+                 --l) {
+                Layer &layer = layers[l];
+                const std::vector<double> &in_act = acts[l];
+                const std::vector<double> &out_act = acts[l + 1];
+                std::vector<double> next_grad(layer.in, 0.0);
+                bool last = (l + 1 == static_cast<int>(layers.size()));
+                for (int o = 0; o < layer.out; ++o) {
+                    double g = grad[o];
+                    if (!last && out_act[o] <= 0.0)
+                        g = 0.0;  // ReLU gate
+                    double *row =
+                        &layer.weight[static_cast<size_t>(o) * layer.in];
+                    double *vel = &layer.weightVel[
+                        static_cast<size_t>(o) * layer.in];
+                    for (int i = 0; i < layer.in; ++i) {
+                        next_grad[i] += g * row[i];
+                        double dw = g * in_act[i];
+                        vel[i] = config.momentum * vel[i] - lr * dw;
+                        row[i] += vel[i];
+                    }
+                    layer.biasVel[o] =
+                        config.momentum * layer.biasVel[o] - lr * g;
+                    layer.bias[o] += layer.biasVel[o];
+                }
+                grad = std::move(next_grad);
+            }
+        }
+    }
+
+    // Validation: mean relative error in resource space.
+    double rel_sum = 0.0;
+    int rel_count = 0;
+    for (size_t idx = train_count; idx < n; ++idx) {
+        std::vector<double> raw = features[order[idx]];
+        std::vector<double> pred = predict(raw);
+        const std::vector<double> &truth = targets[order[idx]];
+        for (size_t o = 0; o < pred.size(); ++o) {
+            rel_sum += std::abs(pred[o] - truth[o]) / (truth[o] + 1.0);
+            ++rel_count;
+        }
+    }
+    valError = rel_count > 0 ? rel_sum / rel_count : 0.0;
+    return valError;
+}
+
+std::vector<double>
+Mlp::predict(std::span<const double> features) const
+{
+    OG_ASSERT(!featMean.empty(), "predict before train");
+    std::vector<double> x(features.begin(), features.end());
+    standardize(x);
+    std::vector<double> pred = forward(x, nullptr);
+    for (size_t o = 0; o < pred.size(); ++o) {
+        double log_val = pred[o] * targetStd[o] + targetMean[o];
+        pred[o] = std::max(0.0, std::expm1(log_val));
+    }
+    return pred;
+}
+
+} // namespace overgen::model

@@ -1,0 +1,258 @@
+#include "model/oracle.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace overgen::model {
+
+namespace {
+
+/**
+ * All cost rates below are calibrated so the oracle reproduces the
+ * paper's resource *proportions* (Q4/Fig. 16): LUTs are the binding
+ * resource; a fully-provisioned 512-bit "general" tile is roughly a
+ * quarter of the XCVU9P; suite-specialized tiles are a tenth; the NoC
+ * crossbar is one of the biggest single LUT components; scratchpads and
+ * the L2 dominate BRAM; floating-point maps to DSPs.
+ */
+
+/** Deterministic +-4% pseudo-noise keyed by the parameter hash, standing
+ * in for synthesis run-to-run variation in the training data. */
+double
+noise(uint64_t key)
+{
+    key ^= key >> 33;
+    key *= 0xff51afd7ed558ccdull;
+    key ^= key >> 33;
+    key *= 0xc4ceb9fe1a85ec53ull;
+    key ^= key >> 33;
+    double unit = static_cast<double>(key % 10007) / 10006.0;  // [0,1]
+    return 1.0 + (unit - 0.5) * 0.08;
+}
+
+uint64_t
+hashCombine(uint64_t h, uint64_t v)
+{
+    return h ^ (v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2));
+}
+
+/** Per-capability FU cost, at `lanes` subword lanes. */
+Resources
+fuCost(const FuCapability &cap, int lanes)
+{
+    int eb = dataTypeBytes(cap.type);
+    bool flt = dataTypeIsFloat(cap.type);
+    Resources r;
+    if (!flt) {
+        switch (cap.op) {
+          case Opcode::Mul:
+            r.lut = 1.0 * lanes;
+            r.dsp = std::max(1.0, lanes * eb / 16.0);
+            break;
+          case Opcode::Div:
+            r.lut = 40.0 * eb;  // iterative divider, flat per type
+            break;
+          case Opcode::Sqrt:
+            r.lut = 35.0 * eb;
+            break;
+          default:
+            r.lut = 0.75 * eb * lanes;  // ALU-class ops
+        }
+    } else {
+        bool f64 = cap.type == DataType::F64;
+        switch (cap.op) {
+          case Opcode::Add:
+          case Opcode::Sub:
+          case Opcode::Acc:
+            r.lut = (f64 ? 20.0 : 10.0) * lanes;
+            break;
+          case Opcode::Mul:
+            r.lut = (f64 ? 12.0 : 6.0) * lanes;
+            r.dsp = (f64 ? 2.0 : 1.0) * lanes;
+            break;
+          case Opcode::Div:
+            r.lut = f64 ? 550.0 : 300.0;
+            r.dsp = 3.0;
+            break;
+          case Opcode::Sqrt:
+            r.lut = f64 ? 500.0 : 280.0;
+            r.dsp = 3.0;
+            break;
+          default:
+            r.lut = (f64 ? 6.0 : 3.0) * lanes;  // min/max/cmp/select
+        }
+    }
+    r.ff = r.lut * 1.2;
+    return r;
+}
+
+Resources
+peCost(const adg::PeSpec &pe)
+{
+    Resources r;
+    // Firing logic, operand buffering, and configuration state.
+    r.lut = 300.0 + 25.0 * pe.datapathBytes;
+    r.ff = 1.3 * r.lut + 8.0 * pe.datapathBytes * pe.maxDelayFifoDepth;
+    if (pe.controlLut)
+        r.lut += 300.0;
+    for (const FuCapability &cap : pe.capabilities) {
+        int lanes = subwordLanes(pe.datapathBytes, cap.type);
+        if (lanes <= 0)
+            continue;
+        r += fuCost(cap, lanes);
+    }
+    return r;
+}
+
+Resources
+switchCost(const adg::SwitchSpec &sw, int radix)
+{
+    Resources r;
+    double half = std::max(1.0, radix / 2.0);
+    r.lut = 0.45 * sw.datapathBytes * half * half + 25.0 * radix;
+    r.ff = 1.1 * r.lut;
+    return r;
+}
+
+Resources
+portCost(const adg::PortSpec &port, bool is_input)
+{
+    Resources r;
+    r.lut = 120.0 + 22.0 * port.widthBytes +
+            (port.padding ? 80.0 : 0.0) +
+            (port.statedStream ? 120.0 : 0.0);
+    r.ff = 8.0 * port.widthBytes * port.fifoDepth + 1.1 * r.lut;
+    // Output ports carry backpressure aggregation.
+    if (!is_input)
+        r.lut += 60.0;
+    // Deep wide FIFOs spill from LUTRAM to BRAM.
+    double fifo_bytes =
+        static_cast<double>(port.widthBytes) * port.fifoDepth;
+    if (fifo_bytes > 2048.0)
+        r.bram = std::ceil(fifo_bytes / 4096.0);
+    return r;
+}
+
+Resources
+dmaCost(const adg::DmaSpec &dma)
+{
+    Resources r;
+    r.lut = 1800.0 + 40.0 * dma.bandwidthBytes +
+            (dma.indirect ? 700.0 : 0.0);
+    r.ff = 1.4 * r.lut;
+    // ROB entries are cache-line wide; TLB adds two BRAMs.
+    r.bram = std::ceil(dma.robEntries * 64.0 / 4096.0) + 2.0;
+    return r;
+}
+
+Resources
+spadCost(const adg::ScratchpadSpec &spad)
+{
+    Resources r;
+    int bw = spad.readBandwidthBytes + spad.writeBandwidthBytes;
+    r.lut = 500.0 + 20.0 * bw + (spad.indirect ? 600.0 : 0.0);
+    r.ff = 1.2 * r.lut;
+    // One BRAM36 per 4 KiB, and at least one bank per 8 bytes/cycle.
+    double banks = std::max(1.0, spad.readBandwidthBytes / 8.0);
+    r.bram = std::max(std::ceil(spad.capacityKiB / 4.0), banks);
+    return r;
+}
+
+} // namespace
+
+Resources
+synthesizeNode(const adg::Node &node, int radix)
+{
+    Resources r;
+    uint64_t key = hashCombine(static_cast<uint64_t>(node.kind), radix);
+    switch (node.kind) {
+      case adg::NodeKind::Pe:
+        r = peCost(node.pe());
+        key = hashCombine(key, node.pe().capabilities.size());
+        key = hashCombine(key, node.pe().datapathBytes);
+        break;
+      case adg::NodeKind::Switch:
+        r = switchCost(node.sw(), radix);
+        key = hashCombine(key, node.sw().datapathBytes);
+        break;
+      case adg::NodeKind::InPort:
+      case adg::NodeKind::OutPort:
+        r = portCost(node.port(), node.kind == adg::NodeKind::InPort);
+        key = hashCombine(key, node.port().widthBytes);
+        key = hashCombine(key, node.port().fifoDepth);
+        break;
+      case adg::NodeKind::Dma:
+        r = dmaCost(node.dma());
+        key = hashCombine(key, node.dma().bandwidthBytes);
+        break;
+      case adg::NodeKind::Scratchpad:
+        r = spadCost(node.spad());
+        key = hashCombine(key, node.spad().capacityKiB);
+        break;
+      case adg::NodeKind::Recurrence:
+        r.lut = 400.0 + 25.0 * node.rec().bandwidthBytes;
+        r.ff = 1.2 * r.lut;
+        break;
+      case adg::NodeKind::Generate:
+        r.lut = 350.0 + 20.0 * node.gen().bandwidthBytes;
+        r.ff = 1.2 * r.lut;
+        break;
+      case adg::NodeKind::Register:
+        r.lut = 250.0 + 10.0 * node.reg().bandwidthBytes;
+        r.ff = 1.2 * r.lut;
+        break;
+    }
+    return r * noise(key);
+}
+
+Resources
+synthesizeControlCore()
+{
+    // Rocket with small single-issue config and 16 KiB private caches.
+    return { 14000.0, 11000.0, 18.0, 4.0 };
+}
+
+Resources
+synthesizeNoc(int num_tiles, int l2_banks, int noc_bytes)
+{
+    OG_ASSERT(num_tiles >= 1 && l2_banks >= 1, "bad NoC shape");
+    double endpoints = num_tiles * 2.0 + l2_banks + 1.0;
+    Resources r;
+    r.lut = 1.2 * noc_bytes * endpoints * endpoints + 450.0 * endpoints;
+    r.ff = 1.3 * r.lut;
+    return r * noise(hashCombine(hashCombine(num_tiles, l2_banks),
+                                 noc_bytes));
+}
+
+Resources
+synthesizeL2(int capacity_kib, int banks)
+{
+    Resources r;
+    r.lut = 3200.0 * banks + 2000.0;  // per-bank control + MSHRs
+    r.ff = 1.2 * r.lut;
+    r.bram = std::ceil(capacity_kib / 4.0) + 4.0 * banks;
+    return r * noise(hashCombine(capacity_kib, banks));
+}
+
+Resources
+synthesizeDramController(int channels)
+{
+    Resources r;
+    r.lut = 11000.0 * channels;
+    r.ff = 12000.0 * channels;
+    r.bram = 8.0 * channels;
+    return r;
+}
+
+Resources
+synthesizeUncore(const adg::SystemParams &sys)
+{
+    Resources r = synthesizeNoc(sys.numTiles, sys.l2Banks, sys.nocBytes);
+    r += synthesizeL2(sys.l2CapacityKiB, sys.l2Banks);
+    r += synthesizeDramController(sys.dramChannels);
+    r += { 3000.0, 3000.0, 2.0, 0.0 };  // peripherals (JTAG etc.)
+    return r;
+}
+
+} // namespace overgen::model

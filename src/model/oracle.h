@@ -1,0 +1,46 @@
+#ifndef OVERGEN_MODEL_ORACLE_H
+#define OVERGEN_MODEL_ORACLE_H
+
+/**
+ * @file
+ * Synthesis oracle: the stand-in for Vivado out-of-context synthesis
+ * (see DESIGN.md "Substitutions"). Produces per-module LUT/FF/BRAM/DSP
+ * ground truth from analytic cost functions with deterministic,
+ * parameter-keyed pseudo-noise — the data the ML resource model is
+ * trained on, exactly as the paper trains on Vivado runs (Table I).
+ */
+
+#include "adg/adg.h"
+#include "model/resources.h"
+
+namespace overgen::model {
+
+/**
+ * "Synthesize" one ADG node out-of-context. @p radix is the number of
+ * incident edges (switch/port cost grows with it).
+ */
+Resources synthesizeNode(const adg::Node &node, int radix);
+
+/** Rocket-class control core (exhaustively characterized). */
+Resources synthesizeControlCore();
+
+/**
+ * Crossbar NoC connecting @p num_tiles accelerator endpoints to
+ * @p l2_banks cache banks at @p noc_bytes per cycle per link. The
+ * crossbar LUT cost is quadratic in endpoints — the paper observes the
+ * NoC as one of the biggest LUT components (Q4).
+ */
+Resources synthesizeNoc(int num_tiles, int l2_banks, int noc_bytes);
+
+/** Banked, inclusive, directory-based L2. */
+Resources synthesizeL2(int capacity_kib, int banks);
+
+/** DRAM channel controller (fixed-location hard IP wrapper). */
+Resources synthesizeDramController(int channels);
+
+/** System-wide non-tile resources (NoC + L2 + DRAM + peripherals). */
+Resources synthesizeUncore(const adg::SystemParams &sys);
+
+} // namespace overgen::model
+
+#endif // OVERGEN_MODEL_ORACLE_H

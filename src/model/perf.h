@@ -1,0 +1,88 @@
+#ifndef OVERGEN_MODEL_PERF_H
+#define OVERGEN_MODEL_PERF_H
+
+/**
+ * @file
+ * Bottleneck-based performance model (paper §V-C, Eq. 1-2): estimated
+ * IPC of an mDFG on a design point is its instruction bandwidth times
+ * the tile count, scaled by the most-bottlenecked
+ * production/consumption ratio over the memory hierarchy (scratchpad,
+ * L2, DRAM) and the fabric port interfaces. Stream reuse factors from
+ * the compiler's reuse analysis reduce consumption at each level.
+ */
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "adg/adg.h"
+#include "dfg/mdfg.h"
+
+namespace overgen::model {
+
+/** Which hardware backs a memory stream after placement. */
+enum class Backing : uint8_t {
+    Dma,         //!< shared L2 / DRAM via the DMA engine
+    Scratchpad,  //!< private on-tile scratchpad
+    Recurrence,  //!< recurrence engine (no memory traffic in steady state)
+    Generate,    //!< value generation (no memory traffic)
+    Register,    //!< scalar collection (negligible)
+};
+
+/** Technology constants of the memory system (bytes/cycle). */
+struct PerfConfig
+{
+    double l2BankBandwidthBytes = 32.0;
+    /** At the overlay clock (DDR4 ~18 GB/s at ~93 MHz). */
+    double dramChannelBandwidthBytes = 192.0;
+};
+
+/** One mDFG plus its stream placements. */
+struct PerfInput
+{
+    const dfg::Mdfg *mdfg = nullptr;
+    /** Backing per memory-stream node; streams absent from the map
+     * derive their backing from the stream source and the array's
+     * preferred placement. */
+    std::map<dfg::NodeId, Backing> backing;
+};
+
+/** IPC estimate with the limiting factor decomposition. */
+struct PerfBreakdown
+{
+    double ipc = 0.0;
+    /**
+     * Source-iteration throughput: vectorization x tiles x bottleneck.
+     * IPC rewards memory ops as work (Eq. 1), so when choosing among
+     * variants of the *same* kernel the DSE compares work rates.
+     */
+    double workRate = 0.0;
+    double instBandwidth = 0.0;
+    double fabricFactor = 1.0;  //!< in/out port interface
+    double spadFactor = 1.0;
+    double l2Factor = 1.0;
+    double dramFactor = 1.0;
+    std::string bottleneck;     //!< name of the limiting level
+};
+
+/** @return the default backing of each memory stream of @p mdfg given
+ * the engines available in @p tile (spad capacity honored greedily in
+ * array-size order; recurrence requires a recurrence engine). */
+std::map<dfg::NodeId, Backing> deriveBacking(const dfg::Mdfg &mdfg,
+                                             const adg::Adg &tile);
+
+/** Estimate the IPC of one mDFG on the design point (Eq. 1). */
+PerfBreakdown estimateIpc(const PerfInput &input, const adg::Adg &tile,
+                          const adg::SystemParams &sys,
+                          const PerfConfig &config = {});
+
+/**
+ * Overall DSE performance objective: weighted geometric mean of the
+ * best per-workload IPC estimates (paper §III-A).
+ */
+double performanceObjective(const std::vector<PerfBreakdown> &per_workload,
+                            const std::vector<double> &weights);
+
+} // namespace overgen::model
+
+#endif // OVERGEN_MODEL_PERF_H

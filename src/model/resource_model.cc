@@ -1,0 +1,297 @@
+#include "model/resource_model.h"
+
+#include <mutex>
+
+#include "common/logging.h"
+#include "model/oracle.h"
+
+namespace overgen::model {
+
+namespace {
+
+std::vector<double>
+resourcesToTargets(const Resources &r)
+{
+    return { r.lut, r.ff, r.bram, r.dsp };
+}
+
+Resources
+targetsToResources(const std::vector<double> &t)
+{
+    OG_ASSERT(t.size() == 4, "bad target vector");
+    return { t[0], t[1], t[2], t[3] };
+}
+
+/** Random PE spec sampler covering the DSE design space. */
+adg::PeSpec
+samplePe(Rng &rng)
+{
+    adg::PeSpec pe;
+    const int widths[] = { 8, 16, 32, 64 };
+    pe.datapathBytes = widths[rng.nextBelow(4)];
+    pe.maxDelayFifoDepth = static_cast<int>(rng.nextRange(2, 16));
+    pe.controlLut = rng.nextBool(0.3);
+    const DataType types[] = { DataType::I8,  DataType::I16,
+                               DataType::I32, DataType::I64,
+                               DataType::F32, DataType::F64 };
+    int cap_count = static_cast<int>(rng.nextRange(1, 20));
+    const auto &ops = allOpcodes();
+    for (int c = 0; c < cap_count; ++c) {
+        Opcode op = ops[rng.nextBelow(ops.size())];
+        DataType type = types[rng.nextBelow(6)];
+        if (dataTypeIsFloat(type) &&
+            (op == Opcode::Shl || op == Opcode::Shr ||
+             op == Opcode::And || op == Opcode::Or ||
+             op == Opcode::Xor)) {
+            continue;
+        }
+        if (!dataTypeIsFloat(type) && op == Opcode::Sqrt)
+            continue;
+        pe.capabilities.insert({ op, type });
+    }
+    if (pe.capabilities.empty())
+        pe.capabilities.insert({ Opcode::Add, DataType::I64 });
+    return pe;
+}
+
+adg::PortSpec
+samplePort(Rng &rng)
+{
+    adg::PortSpec port;
+    const int widths[] = { 4, 8, 16, 32, 64 };
+    port.widthBytes = widths[rng.nextBelow(5)];
+    port.fifoDepth = static_cast<int>(rng.nextRange(2, 32));
+    port.padding = rng.nextBool();
+    port.statedStream = rng.nextBool();
+    return port;
+}
+
+} // namespace
+
+std::vector<double>
+peFeatures(const adg::PeSpec &pe)
+{
+    double int_caps = 0, flt_caps = 0, div_sqrt = 0, mul = 0;
+    double max_latency = 0;
+    for (const FuCapability &cap : pe.capabilities) {
+        if (dataTypeIsFloat(cap.type))
+            flt_caps += 1;
+        else
+            int_caps += 1;
+        if (cap.op == Opcode::Div || cap.op == Opcode::Sqrt)
+            div_sqrt += 1;
+        if (cap.op == Opcode::Mul)
+            mul += 1;
+        max_latency = std::max(
+            max_latency,
+            static_cast<double>(opProperties(cap.op, cap.type).latency));
+        // Total FU byte-width drives the dominant cost.
+    }
+    double total_lanes = 0;
+    for (const FuCapability &cap : pe.capabilities)
+        total_lanes += subwordLanes(pe.datapathBytes, cap.type);
+    return { static_cast<double>(pe.datapathBytes),
+             int_caps,
+             flt_caps,
+             div_sqrt,
+             mul,
+             total_lanes,
+             max_latency,
+             static_cast<double>(pe.maxDelayFifoDepth),
+             pe.controlLut ? 1.0 : 0.0 };
+}
+
+std::vector<double>
+switchFeatures(const adg::SwitchSpec &sw, int radix)
+{
+    return { static_cast<double>(sw.datapathBytes),
+             static_cast<double>(radix),
+             static_cast<double>(sw.datapathBytes) * radix * radix };
+}
+
+std::vector<double>
+portFeatures(const adg::PortSpec &port)
+{
+    return { static_cast<double>(port.widthBytes),
+             static_cast<double>(port.fifoDepth),
+             port.padding ? 1.0 : 0.0,
+             port.statedStream ? 1.0 : 0.0,
+             static_cast<double>(port.widthBytes) * port.fifoDepth };
+}
+
+FpgaResourceModel
+FpgaResourceModel::train(const ResourceModelConfig &config)
+{
+    FpgaResourceModel model;
+    model.pessimism = config.pessimism;
+    Rng rng(config.seed);
+
+    // PEs.
+    {
+        std::vector<std::vector<double>> x, y;
+        for (int i = 0; i < config.peSamples; ++i) {
+            adg::Node node;
+            node.kind = adg::NodeKind::Pe;
+            node.spec = samplePe(rng);
+            x.push_back(peFeatures(node.pe()));
+            y.push_back(resourcesToTargets(synthesizeNode(node, 3)));
+        }
+        model.peMlp = std::make_unique<Mlp>(
+            static_cast<int>(x[0].size()), std::vector<int>{ 48, 24 },
+            4, config.seed + 1);
+        model.peMlp->train(x, y, config.train);
+    }
+    // Switches.
+    {
+        std::vector<std::vector<double>> x, y;
+        for (int i = 0; i < config.switchSamples; ++i) {
+            adg::Node node;
+            node.kind = adg::NodeKind::Switch;
+            const int widths[] = { 8, 16, 32, 64 };
+            node.spec = adg::SwitchSpec{
+                widths[rng.nextBelow(4)] };
+            int radix = static_cast<int>(rng.nextRange(2, 10));
+            x.push_back(switchFeatures(node.sw(), radix));
+            y.push_back(resourcesToTargets(synthesizeNode(node, radix)));
+        }
+        model.switchMlp = std::make_unique<Mlp>(
+            static_cast<int>(x[0].size()), std::vector<int>{ 24, 12 },
+            4, config.seed + 2);
+        model.switchMlp->train(x, y, config.train);
+    }
+    // Ports (input and output trained separately, as in Table I).
+    auto train_port = [&](int samples, adg::NodeKind kind,
+                          uint64_t seed) {
+        std::vector<std::vector<double>> x, y;
+        for (int i = 0; i < samples; ++i) {
+            adg::Node node;
+            node.kind = kind;
+            node.spec = samplePort(rng);
+            x.push_back(portFeatures(node.port()));
+            y.push_back(resourcesToTargets(synthesizeNode(node, 2)));
+        }
+        auto mlp = std::make_unique<Mlp>(
+            static_cast<int>(x[0].size()), std::vector<int>{ 24, 12 },
+            4, seed);
+        mlp->train(x, y, config.train);
+        return mlp;
+    };
+    model.inPortMlp = train_port(config.inPortSamples,
+                                 adg::NodeKind::InPort, config.seed + 3);
+    model.outPortMlp = train_port(config.outPortSamples,
+                                  adg::NodeKind::OutPort,
+                                  config.seed + 4);
+    return model;
+}
+
+const FpgaResourceModel &
+FpgaResourceModel::defaultModel()
+{
+    static std::once_flag once;
+    static std::unique_ptr<FpgaResourceModel> instance;
+    std::call_once(once, [] {
+        instance = std::make_unique<FpgaResourceModel>(
+            FpgaResourceModel::train());
+    });
+    return *instance;
+}
+
+Resources
+FpgaResourceModel::predict(const Mlp &mlp,
+                           const std::vector<double> &features) const
+{
+    return targetsToResources(mlp.predict(features)) * pessimism;
+}
+
+Resources
+FpgaResourceModel::nodeResources(const adg::Node &node, int radix) const
+{
+    switch (node.kind) {
+      case adg::NodeKind::Pe:
+        return predict(*peMlp, peFeatures(node.pe()));
+      case adg::NodeKind::Switch:
+        return predict(*switchMlp, switchFeatures(node.sw(), radix));
+      case adg::NodeKind::InPort:
+        return predict(*inPortMlp, portFeatures(node.port()));
+      case adg::NodeKind::OutPort:
+        return predict(*outPortMlp, portFeatures(node.port()));
+      default:
+        // Few-parameter engines are exhaustively characterized: use
+        // the synthesis result directly.
+        return synthesizeNode(node, radix) * pessimism;
+    }
+}
+
+Resources
+FpgaResourceModel::tileResources(const adg::Adg &adg) const
+{
+    Resources total;
+    for (adg::NodeId id : adg.nodeIds())
+        total += nodeResources(adg.node(id), adg.radix(id));
+    return total;
+}
+
+FpgaResourceModel::TileBreakdown
+FpgaResourceModel::tileBreakdown(const adg::Adg &adg) const
+{
+    TileBreakdown breakdown;
+    for (adg::NodeId id : adg.nodeIds()) {
+        const adg::Node &node = adg.node(id);
+        Resources r = nodeResources(node, adg.radix(id));
+        switch (node.kind) {
+          case adg::NodeKind::Pe:
+            breakdown.pe += r;
+            break;
+          case adg::NodeKind::Switch:
+            breakdown.network += r;
+            break;
+          case adg::NodeKind::InPort:
+          case adg::NodeKind::OutPort:
+            breakdown.ports += r;
+            break;
+          case adg::NodeKind::Scratchpad:
+            breakdown.spad += r;
+            break;
+          default:
+            breakdown.dma += r;
+            break;
+        }
+    }
+    return breakdown;
+}
+
+Resources
+FpgaResourceModel::systemResources(const adg::SysAdg &design) const
+{
+    Resources tile = tileResources(design.adg);
+    tile += synthesizeControlCore() * pessimism;
+    Resources total = tile * static_cast<double>(design.sys.numTiles);
+    total += synthesizeUncore(design.sys) * pessimism;
+    return total;
+}
+
+double
+FpgaResourceModel::peError() const
+{
+    return peMlp->validationRelativeError();
+}
+
+double
+FpgaResourceModel::switchError() const
+{
+    return switchMlp->validationRelativeError();
+}
+
+double
+FpgaResourceModel::inPortError() const
+{
+    return inPortMlp->validationRelativeError();
+}
+
+double
+FpgaResourceModel::outPortError() const
+{
+    return outPortMlp->validationRelativeError();
+}
+
+} // namespace overgen::model

@@ -1,0 +1,97 @@
+#ifndef OVERGEN_MODEL_RESOURCES_H
+#define OVERGEN_MODEL_RESOURCES_H
+
+/**
+ * @file
+ * FPGA resource vectors (LUT/FF/BRAM/DSP) and the evaluation device
+ * budget (Xilinx XCVU9P on the VCU118 board, paper §VII).
+ */
+
+#include <algorithm>
+#include <string>
+
+namespace overgen::model {
+
+/** A resource vector over the four FPGA resource classes. */
+struct Resources
+{
+    double lut = 0.0;
+    double ff = 0.0;
+    double bram = 0.0;  //!< BRAM36 blocks
+    double dsp = 0.0;
+
+    Resources &
+    operator+=(const Resources &other)
+    {
+        lut += other.lut;
+        ff += other.ff;
+        bram += other.bram;
+        dsp += other.dsp;
+        return *this;
+    }
+
+    friend Resources
+    operator+(Resources a, const Resources &b)
+    {
+        a += b;
+        return a;
+    }
+
+    friend Resources
+    operator*(Resources a, double s)
+    {
+        a.lut *= s;
+        a.ff *= s;
+        a.bram *= s;
+        a.dsp *= s;
+        return a;
+    }
+
+    friend Resources
+    operator*(double s, Resources a)
+    {
+        return a * s;
+    }
+
+    bool
+    operator==(const Resources &other) const = default;
+};
+
+/** An FPGA device's available resources. */
+struct FpgaDevice
+{
+    std::string name;
+    Resources total;
+
+    /** @return the XCVU9P (VCU118) budget. */
+    static FpgaDevice
+    xcvu9p()
+    {
+        return { "xcvu9p", { 1182240.0, 2364480.0, 2160.0, 6840.0 } };
+    }
+
+    /**
+     * @return the utilization fraction of the scarcest resource —
+     * > 1 means the design does not fit.
+     */
+    double
+    worstUtilization(const Resources &used) const
+    {
+        double w = used.lut / total.lut;
+        w = std::max(w, used.ff / total.ff);
+        w = std::max(w, used.bram / total.bram);
+        w = std::max(w, used.dsp / total.dsp);
+        return w;
+    }
+
+    /** @return whether @p used fits within @p budget_fraction. */
+    bool
+    fits(const Resources &used, double budget_fraction = 1.0) const
+    {
+        return worstUtilization(used) <= budget_fraction;
+    }
+};
+
+} // namespace overgen::model
+
+#endif // OVERGEN_MODEL_RESOURCES_H

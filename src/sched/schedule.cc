@@ -1,0 +1,125 @@
+#include "sched/schedule.h"
+
+#include "common/logging.h"
+
+namespace overgen::sched {
+
+adg::NodeId
+Schedule::placedOn(dfg::NodeId node) const
+{
+    auto it = placement.find(node);
+    OG_ASSERT(it != placement.end(), "dfg node ", node, " unplaced");
+    return it->second;
+}
+
+bool
+Schedule::isPlaced(dfg::NodeId node) const
+{
+    return placement.count(node) > 0;
+}
+
+std::map<adg::NodeId, std::set<FuCapability>>
+usedCapabilities(const Schedule &schedule, const dfg::Mdfg &mdfg)
+{
+    std::map<adg::NodeId, std::set<FuCapability>> used;
+    for (const auto &[dfg_node, adg_node] : schedule.placement) {
+        const dfg::Node &node = mdfg.node(dfg_node);
+        if (node.kind == dfg::NodeKind::Instruction) {
+            used[adg_node].insert(
+                FuCapability{ node.inst.op, node.inst.type });
+        }
+    }
+    return used;
+}
+
+std::map<dfg::NodeId, model::Backing>
+backingFromSchedule(const Schedule &schedule, const adg::Adg &adg,
+                    const dfg::Mdfg &mdfg)
+{
+    std::map<dfg::NodeId, model::Backing> backing;
+    auto classify_stream = [&](dfg::NodeId id) {
+        const dfg::StreamNode &stream = mdfg.node(id).stream;
+        switch (stream.source) {
+          case dfg::StreamSource::Generated:
+            backing[id] = model::Backing::Generate;
+            return;
+          case dfg::StreamSource::Register:
+            backing[id] = model::Backing::Register;
+            return;
+          case dfg::StreamSource::Recurrence:
+            backing[id] = model::Backing::Recurrence;
+            return;
+          case dfg::StreamSource::Memory:
+            break;
+        }
+        if (stream.array == dfg::invalidNode ||
+            !schedule.isPlaced(stream.array)) {
+            backing[id] = model::Backing::Dma;
+            return;
+        }
+        adg::NodeId engine = schedule.placedOn(stream.array);
+        backing[id] =
+            adg.hasNode(engine) &&
+                    adg.node(engine).kind == adg::NodeKind::Scratchpad
+                ? model::Backing::Scratchpad
+                : model::Backing::Dma;
+    };
+    for (dfg::NodeId id :
+         mdfg.nodeIdsOfKind(dfg::NodeKind::InputStream)) {
+        classify_stream(id);
+    }
+    for (dfg::NodeId id :
+         mdfg.nodeIdsOfKind(dfg::NodeKind::OutputStream)) {
+        classify_stream(id);
+    }
+    return backing;
+}
+
+std::string
+checkSchedule(const Schedule &schedule, const adg::Adg &adg,
+              const dfg::Mdfg &mdfg)
+{
+    for (const auto &[dfg_node, adg_node] : schedule.placement) {
+        if (!adg.hasNode(adg_node)) {
+            return "placement target " + std::to_string(adg_node) +
+                   " is dead";
+        }
+        const dfg::Node &dn = mdfg.node(dfg_node);
+        const adg::Node &an = adg.node(adg_node);
+        if (dn.kind == dfg::NodeKind::Instruction) {
+            if (an.kind != adg::NodeKind::Pe)
+                return "instruction on a non-PE node";
+            FuCapability cap{ dn.inst.op, dn.inst.type };
+            if (!an.pe().capabilities.count(cap)) {
+                return "PE " + std::to_string(adg_node) +
+                       " lost capability " + fuCapabilityName(cap);
+            }
+            int needed =
+                dn.inst.lanes * dataTypeBytes(dn.inst.type);
+            if (an.pe().datapathBytes < needed) {
+                return "PE " + std::to_string(adg_node) +
+                       " datapath too narrow";
+            }
+        }
+    }
+    for (const auto &[edge_index, route] : schedule.routes) {
+        if (edge_index < 0 ||
+            edge_index >= static_cast<int>(mdfg.edges().size())) {
+            return "route for unknown dfg edge";
+        }
+        adg::NodeId at = adg::invalidNode;
+        for (adg::EdgeId eid : route) {
+            if (!adg.hasEdge(eid)) {
+                return "route uses dead edge " + std::to_string(eid);
+            }
+            const adg::Edge &edge = adg.edge(eid);
+            if (at != adg::invalidNode && edge.src != at)
+                return "route discontinuous at edge " +
+                       std::to_string(eid);
+            at = edge.dst;
+        }
+    }
+    return "";
+}
+
+} // namespace overgen::sched

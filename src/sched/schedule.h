@@ -1,0 +1,96 @@
+#ifndef OVERGEN_SCHED_SCHEDULE_H
+#define OVERGEN_SCHED_SCHEDULE_H
+
+/**
+ * @file
+ * A spatial schedule: the mapping of one mDFG onto one ADG — node
+ * placements, circuit-switched routes for every dataflow edge, and the
+ * per-operand delay-FIFO settings that keep PE pipelines balanced
+ * (paper Fig. 2d and §V-B).
+ */
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "adg/adg.h"
+#include "dfg/mdfg.h"
+#include "model/perf.h"
+
+namespace overgen::sched {
+
+/** A routed path: the ADG edges traversed, in order. */
+using Route = std::vector<adg::EdgeId>;
+
+/** The mapping of one mDFG variant onto an ADG. */
+struct Schedule
+{
+    /** The scheduled variant's name (mDFGs are owned by the caller). */
+    std::string mdfgName;
+    /** ADG mutation counter at scheduling time (staleness check). */
+    uint64_t adgVersion = 0;
+
+    /** dfg node -> ADG node. Instructions map to PEs, streams to
+     * ports (index streams to engines), arrays to memory engines. */
+    std::map<dfg::NodeId, adg::NodeId> placement;
+
+    /** dfg edge index (into Mdfg::edges()) -> routed path. Edges that
+     * need no fabric route (array->stream, index feeds) are absent. */
+    std::map<int, Route> routes;
+
+    /** PE-mapped dfg instruction -> operand index -> delay-FIFO depth. */
+    std::map<dfg::NodeId, std::map<int, int>> delayFifos;
+
+    bool valid = false;
+
+    /** Total routed edge count (the scheduler's distance cost). */
+    int routeCost = 0;
+
+    /**
+     * Worst pipeline imbalance beyond what delay FIFOs and port FIFOs
+     * absorb, in cycles. Imbalance produces pipeline bubbles that
+     * reduce throughput (paper §V-B, Fig. 7b); the DSE objective
+     * penalizes it via throughputFactor().
+     */
+    int maxImbalance = 0;
+
+    /** Throughput derating due to unabsorbed pipeline imbalance. */
+    double
+    throughputFactor() const
+    {
+        return 1.0 / (1.0 + 0.25 * maxImbalance);
+    }
+
+    /** @return the ADG node a dfg node is placed on (panics if absent). */
+    adg::NodeId placedOn(dfg::NodeId node) const;
+    /** @return whether @p node has a placement. */
+    bool isPlaced(dfg::NodeId node) const;
+};
+
+/**
+ * @return per-PE capabilities actually exercised by @p schedule —
+ * input to module-capability pruning (paper §V-B).
+ */
+std::map<adg::NodeId, std::set<FuCapability>>
+usedCapabilities(const Schedule &schedule, const dfg::Mdfg &mdfg);
+
+/**
+ * @return the perf-model backing of every memory stream implied by the
+ * schedule's array placements.
+ */
+std::map<dfg::NodeId, model::Backing>
+backingFromSchedule(const Schedule &schedule, const adg::Adg &adg,
+                    const dfg::Mdfg &mdfg);
+
+/**
+ * Re-validate @p schedule against (a possibly mutated) @p adg: checks
+ * that every placement target is alive and still capable, and every
+ * route edge alive and connected. @return empty string when intact,
+ * else the first violation.
+ */
+std::string checkSchedule(const Schedule &schedule, const adg::Adg &adg,
+                          const dfg::Mdfg &mdfg);
+
+} // namespace overgen::sched
+
+#endif // OVERGEN_SCHED_SCHEDULE_H

@@ -1,0 +1,732 @@
+#include "sched/scheduler.h"
+
+#include <algorithm>
+#include <functional>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace overgen::sched {
+
+namespace {
+
+using adg::Adg;
+using adg::NodeKind;
+using dfg::Mdfg;
+using dfg::StreamSource;
+
+/** One randomized-greedy scheduling attempt over a fixed ADG. */
+class Attempt
+{
+  public:
+    Attempt(const Adg &adg, const Mdfg &mdfg, Rng &rng)
+        : adg(adg), mdfg(mdfg), rng(rng)
+    {
+        schedule.mdfgName = mdfg.name;
+        schedule.adgVersion = adg.version();
+        for (adg::NodeId id : adg.nodeIdsOfKind(NodeKind::Scratchpad)) {
+            spadRemaining[id] =
+                static_cast<int64_t>(adg.node(id).spad().capacityKiB) *
+                1024;
+        }
+    }
+
+    /** Seed the attempt with surviving parts of a prior schedule. */
+    void
+    adoptPrior(const Schedule &prior)
+    {
+        // Keep placements that are still individually legal. Arrays
+        // first: stream legality depends on the array's engine.
+        auto adopt_pass = [&](bool arrays) {
+            for (const auto &[dfg_node, adg_node] : prior.placement) {
+                if (dfg_node >= mdfg.numNodes() ||
+                    !adg.hasNode(adg_node)) {
+                    continue;
+                }
+                bool is_array = mdfg.node(dfg_node).kind ==
+                                dfg::NodeKind::Array;
+                if (is_array != arrays)
+                    continue;
+                if (schedule.isPlaced(dfg_node))
+                    continue;
+                if (!placementLegal(dfg_node, adg_node))
+                    continue;
+                commitPlacement(dfg_node, adg_node);
+            }
+        };
+        adopt_pass(true);
+        adopt_pass(false);
+        // Keep routes whose endpoints survived and whose edges live.
+        for (const auto &[edge_index, route] : prior.routes) {
+            if (edge_index >=
+                static_cast<int>(mdfg.edges().size())) {
+                continue;
+            }
+            const dfg::Edge &de = mdfg.edges()[edge_index];
+            if (!schedule.isPlaced(de.src) || !schedule.isPlaced(de.dst))
+                continue;
+            bool intact = !route.empty();
+            adg::NodeId at = schedule.placedOn(de.src);
+            for (adg::EdgeId eid : route) {
+                if (!adg.hasEdge(eid) || adg.edge(eid).src != at) {
+                    intact = false;
+                    break;
+                }
+                at = adg.edge(eid).dst;
+            }
+            if (!intact || at != schedule.placedOn(de.dst))
+                continue;
+            commitRoute(edge_index, route, de.src);
+        }
+    }
+
+    std::optional<Schedule>
+    run()
+    {
+        if (!placeArrays()) {
+            OG_INFORM("schedule ", mdfg.name, ": array placement failed");
+            return std::nullopt;
+        }
+        if (!placeStreams()) {
+            OG_INFORM("schedule ", mdfg.name, ": stream placement failed");
+            return std::nullopt;
+        }
+        if (!placeInstructions()) {
+            OG_INFORM("schedule ", mdfg.name,
+                      ": instruction placement failed");
+            return std::nullopt;
+        }
+        if (!routeAll()) {
+            OG_INFORM("schedule ", mdfg.name, ": routing failed");
+            return std::nullopt;
+        }
+        balanceDelays();
+        schedule.valid = true;
+        schedule.routeCost = 0;
+        for (const auto &[edge_index, route] : schedule.routes)
+            schedule.routeCost += static_cast<int>(route.size());
+        return schedule;
+    }
+
+  private:
+    /** @name Placement legality */
+    /// @{
+    bool
+    placementLegal(dfg::NodeId dfg_node, adg::NodeId adg_node) const
+    {
+        const dfg::Node &dn = mdfg.node(dfg_node);
+        const adg::Node &an = adg.node(adg_node);
+        switch (dn.kind) {
+          case dfg::NodeKind::Instruction:
+            return instructionLegal(dn, an, adg_node);
+          case dfg::NodeKind::Array:
+            return arrayLegal(dn, an, adg_node);
+          case dfg::NodeKind::InputStream:
+            return inputStreamLegal(dn, an, adg_node);
+          case dfg::NodeKind::OutputStream:
+            return outputStreamLegal(dn, an, adg_node);
+        }
+        return false;
+    }
+
+    bool
+    instructionLegal(const dfg::Node &dn, const adg::Node &an,
+                     adg::NodeId adg_node) const
+    {
+        if (an.kind != NodeKind::Pe || usedPes.count(adg_node))
+            return false;
+        const adg::PeSpec &pe = an.pe();
+        if (!pe.capabilities.count({ dn.inst.op, dn.inst.type }))
+            return false;
+        if (dn.inst.predicated && !pe.controlLut)
+            return false;
+        return pe.datapathBytes >=
+               dn.inst.lanes * dataTypeBytes(dn.inst.type);
+    }
+
+    bool
+    arrayLegal(const dfg::Node &dn, const adg::Node &an,
+               adg::NodeId adg_node) const
+    {
+        if (an.kind == NodeKind::Dma) {
+            return !dn.array.indirectIndexed || an.dma().indirect;
+        }
+        if (an.kind == NodeKind::Scratchpad) {
+            if (dn.array.indirectIndexed && !an.spad().indirect)
+                return false;
+            auto it = spadRemaining.find(adg_node);
+            return it != spadRemaining.end() &&
+                   it->second >= dn.array.sizeBytes;
+        }
+        return false;
+    }
+
+    /** Engine a memory stream's data comes from (its array's home). */
+    adg::NodeId
+    streamEngine(const dfg::Node &dn) const
+    {
+        switch (dn.stream.source) {
+          case StreamSource::Memory: {
+            if (dn.stream.array == dfg::invalidNode ||
+                !schedule.isPlaced(dn.stream.array)) {
+                return adg::invalidNode;
+            }
+            return schedule.placedOn(dn.stream.array);
+          }
+          case StreamSource::Recurrence: {
+            auto engines = adg.nodeIdsOfKind(NodeKind::Recurrence);
+            return engines.empty() ? adg::invalidNode : engines[0];
+          }
+          case StreamSource::Generated: {
+            auto engines = adg.nodeIdsOfKind(NodeKind::Generate);
+            return engines.empty() ? adg::invalidNode : engines[0];
+          }
+          case StreamSource::Register: {
+            auto engines = adg.nodeIdsOfKind(NodeKind::Register);
+            return engines.empty() ? adg::invalidNode : engines[0];
+          }
+        }
+        return adg::invalidNode;
+    }
+
+    bool
+    portSupportsStream(const adg::PortSpec &port,
+                       const dfg::StreamNode &stream) const
+    {
+        if (port.widthBytes < dataTypeBytes(stream.type))
+            return false;
+        if (stream.variableTripCount && !port.statedStream)
+            return false;
+        if (stream.variableTripCount && stream.lanes > 1 &&
+            !port.padding) {
+            return false;
+        }
+        return true;
+    }
+
+    bool
+    inputStreamLegal(const dfg::Node &dn, const adg::Node &an,
+                     adg::NodeId adg_node) const
+    {
+        // Index streams live on the data stream's engine, not a port.
+        if (isIndexStream(dn.id))
+            return isStreamEngine(an.kind);
+        if (an.kind != NodeKind::InPort || usedPorts.count(adg_node))
+            return false;
+        if (!portSupportsStream(an.port(), dn.stream))
+            return false;
+        adg::NodeId engine = streamEngine(dn);
+        if (engine == adg::invalidNode)
+            return false;
+        if (dn.stream.indirect && !engineIndirect(engine))
+            return false;
+        // Requirement: a direct ADG edge engine -> port.
+        for (adg::EdgeId eid : adg.inEdges(adg_node)) {
+            if (adg.edge(eid).src == engine)
+                return true;
+        }
+        return false;
+    }
+
+    bool
+    outputStreamLegal(const dfg::Node &dn, const adg::Node &an,
+                      adg::NodeId adg_node) const
+    {
+        if (an.kind != NodeKind::OutPort || usedPorts.count(adg_node))
+            return false;
+        if (!portSupportsStream(an.port(), dn.stream))
+            return false;
+        adg::NodeId engine = streamEngine(dn);
+        if (engine == adg::invalidNode)
+            return false;
+        for (adg::EdgeId eid : adg.outEdges(adg_node)) {
+            if (adg.edge(eid).dst == engine)
+                return true;
+        }
+        return false;
+    }
+
+    bool
+    engineIndirect(adg::NodeId engine) const
+    {
+        const adg::Node &node = adg.node(engine);
+        if (node.kind == NodeKind::Dma)
+            return node.dma().indirect;
+        if (node.kind == NodeKind::Scratchpad)
+            return node.spad().indirect;
+        return false;
+    }
+
+    bool
+    isIndexStream(dfg::NodeId id) const
+    {
+        // A stream is an index stream if some other stream names it.
+        for (dfg::NodeId other :
+             mdfg.nodeIdsOfKind(dfg::NodeKind::InputStream)) {
+            if (mdfg.node(other).stream.indexStream == id)
+                return true;
+        }
+        return false;
+    }
+    /// @}
+
+    void
+    commitPlacement(dfg::NodeId dfg_node, adg::NodeId adg_node)
+    {
+        schedule.placement[dfg_node] = adg_node;
+        const dfg::Node &dn = mdfg.node(dfg_node);
+        const adg::Node &an = adg.node(adg_node);
+        if (dn.kind == dfg::NodeKind::Instruction)
+            usedPes.insert(adg_node);
+        if ((dn.kind == dfg::NodeKind::InputStream && !isIndexStream(dfg_node)) ||
+            dn.kind == dfg::NodeKind::OutputStream) {
+            usedPorts.insert(adg_node);
+        }
+        if (dn.kind == dfg::NodeKind::Array &&
+            an.kind == NodeKind::Scratchpad) {
+            spadRemaining[adg_node] -= dn.array.sizeBytes;
+        }
+    }
+
+    void
+    commitRoute(int edge_index, const Route &route, dfg::NodeId signal)
+    {
+        schedule.routes[edge_index] = route;
+        for (adg::EdgeId eid : route)
+            edgeSignal[eid] = signal;
+    }
+
+    /** @name Placement passes */
+    /// @{
+    bool
+    placeArrays()
+    {
+        for (dfg::NodeId id : mdfg.nodeIdsOfKind(dfg::NodeKind::Array)) {
+            if (schedule.isPlaced(id))
+                continue;
+            const dfg::Node &dn = mdfg.node(id);
+            std::vector<adg::NodeId> candidates;
+            auto spads = adg.nodeIdsOfKind(NodeKind::Scratchpad);
+            auto dmas = adg.nodeIdsOfKind(NodeKind::Dma);
+            if (dn.array.preferred == dfg::ArrayPlacement::Scratchpad) {
+                candidates = spads;
+                candidates.insert(candidates.end(), dmas.begin(),
+                                  dmas.end());
+            } else {
+                candidates = dmas;
+                candidates.insert(candidates.end(), spads.begin(),
+                                  spads.end());
+            }
+            bool placed = false;
+            for (adg::NodeId c : candidates) {
+                if (placementLegal(id, c)) {
+                    commitPlacement(id, c);
+                    placed = true;
+                    break;
+                }
+            }
+            if (!placed)
+                return false;
+        }
+        return true;
+    }
+
+    bool
+    placeStreams()
+    {
+        auto place_kind = [&](dfg::NodeKind kind, NodeKind port_kind) {
+            for (dfg::NodeId id : mdfg.nodeIdsOfKind(kind)) {
+                if (schedule.isPlaced(id))
+                    continue;
+                if (kind == dfg::NodeKind::InputStream &&
+                    isIndexStream(id)) {
+                    // Index values feed the engine of the data stream.
+                    adg::NodeId engine =
+                        streamEngine(mdfg.node(id));
+                    if (engine == adg::invalidNode)
+                        return false;
+                    commitPlacement(id, engine);
+                    continue;
+                }
+                std::vector<adg::NodeId> candidates =
+                    adg.nodeIdsOfKind(port_kind);
+                // Prefer the narrowest port that still sustains full
+                // rate, leaving wide ports for wide streams.
+                double want = mdfg.node(id).stream.bytesPerFiring();
+                std::stable_sort(
+                    candidates.begin(), candidates.end(),
+                    [&](adg::NodeId a, adg::NodeId b) {
+                        auto score = [&](adg::NodeId p) {
+                            int w = adg.node(p).port().widthBytes;
+                            double deficit =
+                                std::max(0.0, want - w) * 16.0;
+                            return deficit + w;
+                        };
+                        return score(a) < score(b);
+                    });
+                bool placed = false;
+                for (adg::NodeId c : candidates) {
+                    if (placementLegal(id, c)) {
+                        commitPlacement(id, c);
+                        placed = true;
+                        break;
+                    }
+                }
+                if (!placed)
+                    return false;
+            }
+            return true;
+        };
+        return place_kind(dfg::NodeKind::InputStream,
+                          NodeKind::InPort) &&
+               place_kind(dfg::NodeKind::OutputStream,
+                          NodeKind::OutPort);
+    }
+
+    bool
+    placeInstructions()
+    {
+        // Topological order over instruction dependencies.
+        std::vector<dfg::NodeId> order = topoInstructions();
+        for (dfg::NodeId id : order) {
+            if (schedule.isPlaced(id))
+                continue;
+            std::vector<adg::NodeId> pes =
+                adg.nodeIdsOfKind(NodeKind::Pe);
+            // Score candidates by hop distance from placed producers.
+            adg::NodeId best = adg::invalidNode;
+            double best_score = 1e18;
+            for (adg::NodeId pe : pes) {
+                if (!placementLegal(id, pe))
+                    continue;
+                double score = rng.nextDouble();  // tiebreak
+                for (const dfg::Edge &e : mdfg.inEdgesOf(id)) {
+                    if (mdfg.node(e.src).kind == dfg::NodeKind::Array)
+                        continue;
+                    if (!schedule.isPlaced(e.src))
+                        continue;
+                    int d = hopDistance(schedule.placedOn(e.src), pe);
+                    score += d < 0 ? 1e6 : d * 4.0;
+                }
+                if (score < best_score) {
+                    best_score = score;
+                    best = pe;
+                }
+            }
+            if (best == adg::invalidNode)
+                return false;
+            commitPlacement(id, best);
+        }
+        return true;
+    }
+
+    std::vector<dfg::NodeId>
+    topoInstructions() const
+    {
+        std::vector<dfg::NodeId> insts =
+            mdfg.nodeIdsOfKind(dfg::NodeKind::Instruction);
+        std::map<dfg::NodeId, int> depth;
+        std::function<int(dfg::NodeId)> depth_of =
+            [&](dfg::NodeId id) -> int {
+            auto it = depth.find(id);
+            if (it != depth.end())
+                return it->second;
+            depth[id] = 0;  // break cycles defensively
+            int d = 0;
+            for (const dfg::Edge &e : mdfg.inEdgesOf(id)) {
+                if (mdfg.node(e.src).kind ==
+                    dfg::NodeKind::Instruction) {
+                    d = std::max(d, depth_of(e.src) + 1);
+                }
+            }
+            depth[id] = d;
+            return d;
+        };
+        std::stable_sort(insts.begin(), insts.end(),
+                         [&](dfg::NodeId a, dfg::NodeId b) {
+                             return depth_of(a) < depth_of(b);
+                         });
+        return insts;
+    }
+    /// @}
+
+    /** @name Routing */
+    /// @{
+    /** BFS hop distance through the fabric (any node), -1 if none. */
+    int
+    hopDistance(adg::NodeId from, adg::NodeId to) const
+    {
+        if (from == to)
+            return 0;
+        std::map<adg::NodeId, int> dist;
+        std::queue<adg::NodeId> queue;
+        dist[from] = 0;
+        queue.push(from);
+        while (!queue.empty()) {
+            adg::NodeId at = queue.front();
+            queue.pop();
+            for (adg::EdgeId eid : adg.outEdges(at)) {
+                adg::NodeId next = adg.edge(eid).dst;
+                if (dist.count(next))
+                    continue;
+                dist[next] = dist[at] + 1;
+                if (next == to)
+                    return dist[next];
+                queue.push(next);
+            }
+        }
+        return -1;
+    }
+
+    /**
+     * Dijkstra route from @p from to @p to for @p signal. Edges held
+     * by other signals are blocked; edges already carrying this signal
+     * are free (circuit fanout reuse). Intermediate hops must be
+     * switches (or the endpoints themselves).
+     */
+    std::optional<Route>
+    findRoute(adg::NodeId from, adg::NodeId to, dfg::NodeId signal)
+    {
+        struct Entry
+        {
+            double cost;
+            adg::NodeId node;
+            bool operator>(const Entry &other) const
+            {
+                return cost > other.cost;
+            }
+        };
+        std::priority_queue<Entry, std::vector<Entry>,
+                            std::greater<Entry>>
+            queue;
+        std::map<adg::NodeId, double> best;
+        std::map<adg::NodeId, adg::EdgeId> via;
+        queue.push({ 0.0, from });
+        best[from] = 0.0;
+        while (!queue.empty()) {
+            Entry entry = queue.top();
+            queue.pop();
+            if (entry.node == to)
+                break;
+            if (entry.cost > best[entry.node] + 1e-9)
+                continue;
+            for (adg::EdgeId eid : adg.outEdges(entry.node)) {
+                const adg::Edge &edge = adg.edge(eid);
+                adg::NodeId next = edge.dst;
+                // Only traverse the fabric; stop at the target.
+                if (next != to &&
+                    adg.node(next).kind != NodeKind::Switch) {
+                    continue;
+                }
+                auto held = edgeSignal.find(eid);
+                double edge_cost = 1.0;
+                if (held != edgeSignal.end()) {
+                    if (held->second != signal)
+                        continue;  // circuit taken by another value
+                    edge_cost = 0.0;  // fanout reuse
+                }
+                double cost = entry.cost + edge_cost;
+                auto it = best.find(next);
+                if (it == best.end() || cost < it->second - 1e-9) {
+                    best[next] = cost;
+                    via[next] = eid;
+                    queue.push({ cost, next });
+                }
+            }
+        }
+        if (!best.count(to))
+            return std::nullopt;
+        Route route;
+        adg::NodeId at = to;
+        while (at != from) {
+            adg::EdgeId eid = via.at(at);
+            route.push_back(eid);
+            at = adg.edge(eid).src;
+        }
+        std::reverse(route.begin(), route.end());
+        return route;
+    }
+
+    bool
+    routeAll()
+    {
+        const auto &edges = mdfg.edges();
+        // Collect routable edges and route the longest first: short
+        // connections can detour, long ones cannot.
+        std::vector<std::pair<int, int>> work;  // (-distance, index)
+        for (int i = 0; i < static_cast<int>(edges.size()); ++i) {
+            if (schedule.routes.count(i))
+                continue;  // adopted from the prior schedule
+            const dfg::Edge &de = edges[i];
+            const dfg::Node &src = mdfg.node(de.src);
+            const dfg::Node &dst = mdfg.node(de.dst);
+            // Array attachments and index feeds need no fabric route.
+            if (src.kind == dfg::NodeKind::Array)
+                continue;
+            if (src.kind == dfg::NodeKind::InputStream &&
+                dst.kind == dfg::NodeKind::InputStream) {
+                continue;
+            }
+            int distance = hopDistance(schedule.placedOn(de.src),
+                                       schedule.placedOn(de.dst));
+            work.emplace_back(-distance, i);
+        }
+        std::sort(work.begin(), work.end());
+        for (auto [neg_dist, i] : work) {
+            const dfg::Edge &de = edges[i];
+            auto route = findRoute(schedule.placedOn(de.src),
+                                   schedule.placedOn(de.dst), de.src);
+            if (!route)
+                return false;
+            commitRoute(i, *route, de.src);
+        }
+        return true;
+    }
+    /// @}
+
+    /**
+     * Compute arrival times and assign per-operand delay FIFOs.
+     * Imbalance beyond the available FIFO depth is not fatal in a
+     * dataflow fabric — port FIFOs backpressure — but it costs
+     * pipeline bubbles, recorded as Schedule::maxImbalance.
+     */
+    void
+    balanceDelays()
+    {
+        std::map<dfg::NodeId, double> arrival;
+        auto route_delay = [&](int edge_index) {
+            double d = 0.0;
+            for (adg::EdgeId eid : schedule.routes.at(edge_index))
+                d += adg.edge(eid).delay;
+            return d;
+        };
+        for (dfg::NodeId id : topoInstructions()) {
+            const dfg::Node &dn = mdfg.node(id);
+            const adg::Node &an = adg.node(schedule.placedOn(id));
+            // Collect operand arrival times.
+            std::map<int, double> operand_time;
+            const auto &edges = mdfg.edges();
+            for (int i = 0; i < static_cast<int>(edges.size()); ++i) {
+                const dfg::Edge &e = edges[i];
+                if (e.dst != id || !schedule.routes.count(i))
+                    continue;
+                double t = route_delay(i);
+                const dfg::Node &src = mdfg.node(e.src);
+                if (src.kind == dfg::NodeKind::Instruction)
+                    t += arrival[e.src];
+                operand_time[e.operandIndex] =
+                    std::max(operand_time[e.operandIndex], t);
+            }
+            double latest = 0.0;
+            for (auto [operand, t] : operand_time)
+                latest = std::max(latest, t);
+            for (auto [operand, t] : operand_time) {
+                int mismatch = static_cast<int>(latest - t);
+                if (mismatch <= 0)
+                    continue;
+                int fifo = std::min(mismatch,
+                                    an.pe().maxDelayFifoDepth);
+                schedule.delayFifos[id][operand] = fifo;
+                // Port FIFOs absorb further skew for stream operands.
+                int slack = fifo;
+                if (operandFromStream(id, operand))
+                    slack += portFifoSlack(id, operand);
+                int excess = mismatch - slack;
+                if (excess > 0) {
+                    schedule.maxImbalance =
+                        std::max(schedule.maxImbalance, excess);
+                }
+            }
+            arrival[id] =
+                latest +
+                opProperties(dn.inst.op, dn.inst.type).latency;
+        }
+    }
+
+    /** Whether operand @p operand of @p inst is fed by a stream. */
+    bool
+    operandFromStream(dfg::NodeId inst, int operand) const
+    {
+        for (const dfg::Edge &e : mdfg.inEdgesOf(inst)) {
+            if (e.operandIndex == operand &&
+                mdfg.node(e.src).kind == dfg::NodeKind::InputStream) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** FIFO depth of the port feeding operand @p operand of @p inst. */
+    int
+    portFifoSlack(dfg::NodeId inst, int operand) const
+    {
+        for (const dfg::Edge &e : mdfg.inEdgesOf(inst)) {
+            if (e.operandIndex != operand)
+                continue;
+            const dfg::Node &src = mdfg.node(e.src);
+            if (src.kind != dfg::NodeKind::InputStream)
+                continue;
+            if (!schedule.isPlaced(e.src))
+                continue;
+            const adg::Node &an = adg.node(schedule.placedOn(e.src));
+            if (an.kind == NodeKind::InPort)
+                return an.port().fifoDepth;
+        }
+        return 0;
+    }
+
+    const Adg &adg;
+    const Mdfg &mdfg;
+    Rng &rng;
+    Schedule schedule;
+    std::set<adg::NodeId> usedPes;
+    std::set<adg::NodeId> usedPorts;
+    std::map<adg::NodeId, int64_t> spadRemaining;
+    std::map<adg::EdgeId, dfg::NodeId> edgeSignal;
+};
+
+} // namespace
+
+SpatialScheduler::SpatialScheduler(const Adg &adg,
+                                   SchedulerOptions options)
+    : adg(adg), options(options)
+{
+}
+
+std::optional<Schedule>
+SpatialScheduler::schedule(const Mdfg &mdfg)
+{
+    Rng rng(options.seed ^ std::hash<std::string>{}(mdfg.name));
+    for (int r = 0; r < std::max(1, options.restarts); ++r) {
+        Attempt attempt(adg, mdfg, rng);
+        auto result = attempt.run();
+        if (result)
+            return result;
+    }
+    return std::nullopt;
+}
+
+std::optional<Schedule>
+SpatialScheduler::repair(const Mdfg &mdfg, const Schedule &prior)
+{
+    Rng rng(options.seed ^ prior.adgVersion);
+    Attempt attempt(adg, mdfg, rng);
+    attempt.adoptPrior(prior);
+    auto result = attempt.run();
+    if (result)
+        return result;
+    return schedule(mdfg);
+}
+
+std::optional<std::pair<Schedule, int>>
+SpatialScheduler::scheduleFirstFit(const std::vector<Mdfg> &variants)
+{
+    for (int i = 0; i < static_cast<int>(variants.size()); ++i) {
+        auto result = schedule(variants[i]);
+        if (result)
+            return std::make_pair(std::move(*result), i);
+    }
+    return std::nullopt;
+}
+
+} // namespace overgen::sched

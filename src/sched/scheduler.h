@@ -1,0 +1,65 @@
+#ifndef OVERGEN_SCHED_SCHEDULER_H
+#define OVERGEN_SCHED_SCHEDULER_H
+
+/**
+ * @file
+ * The spatial scheduler: maps mDFGs (instructions, streams, and array
+ * nodes) onto an ADG (PEs, ports, switches, stream engines) with
+ * circuit-switched routing and pipeline-balancing delay FIFOs
+ * (paper §II-C, §IV-B "mDFG Scheduling"). Supports schedule repair
+ * against a mutated ADG so the DSE avoids recompilation (paper §V-A).
+ */
+
+#include <optional>
+
+#include "common/rng.h"
+#include "sched/schedule.h"
+
+namespace overgen::sched {
+
+/** Scheduler knobs. */
+struct SchedulerOptions
+{
+    uint64_t seed = 1;
+    /** Randomized greedy restarts before giving up. */
+    int restarts = 4;
+};
+
+/** Maps mDFGs onto one ADG instance. */
+class SpatialScheduler
+{
+  public:
+    explicit SpatialScheduler(const adg::Adg &adg,
+                              SchedulerOptions options = {});
+
+    /**
+     * Schedule @p mdfg from scratch. @return nullopt when no restart
+     * produces a complete mapping.
+     */
+    std::optional<Schedule> schedule(const dfg::Mdfg &mdfg);
+
+    /**
+     * Schedule repair (paper §II-C, §V-A): keep every placement and
+     * route of @p prior that is still legal on this (mutated) ADG and
+     * fill in only the broken parts. Falls back to from-scratch
+     * scheduling when repair cannot complete.
+     */
+    std::optional<Schedule> repair(const dfg::Mdfg &mdfg,
+                                   const Schedule &prior);
+
+    /**
+     * Walk @p variants (most aggressive first) and return the first
+     * that schedules, together with its index — the compiler's
+     * "relax DFG complexity" loop (paper Fig. 3).
+     */
+    std::optional<std::pair<Schedule, int>>
+    scheduleFirstFit(const std::vector<dfg::Mdfg> &variants);
+
+  private:
+    const adg::Adg &adg;
+    SchedulerOptions options;
+};
+
+} // namespace overgen::sched
+
+#endif // OVERGEN_SCHED_SCHEDULER_H

@@ -1,0 +1,109 @@
+#ifndef OVERGEN_SIM_EXEC_H
+#define OVERGEN_SIM_EXEC_H
+
+/**
+ * @file
+ * Execution-support structures of the simulator: the flat address map
+ * of a kernel's arrays, the vectorized iteration walker both the
+ * compute fabric and the stream engines advance through, and the
+ * runtime classification of mDFG streams into delivery disciplines.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dfg/mdfg.h"
+#include "workloads/interpreter.h"
+#include "workloads/kernelspec.h"
+
+namespace overgen::sim {
+
+/** Flat byte-address layout of a kernel's arrays. */
+class AddressMap
+{
+  public:
+    /** Lay out all arrays of @p spec, line-aligned. */
+    static AddressMap build(const wl::KernelSpec &spec,
+                            int line_bytes = 64);
+
+    /** @return base address of @p array. */
+    uint64_t base(const std::string &array) const;
+    /** @return byte address of element @p index of @p array. */
+    uint64_t elementAddress(const wl::KernelSpec &spec,
+                            const std::string &array,
+                            int64_t index) const;
+    /** @return total mapped bytes. */
+    uint64_t totalBytes() const { return top; }
+
+  private:
+    std::map<std::string, uint64_t> bases;
+    uint64_t top = 0;
+};
+
+/**
+ * Walks a kernel's iteration space in order, vectorized over the
+ * innermost loop in chunks of @p unroll, restricted to an outer-loop
+ * range [outer_lo, outer_hi) — the per-tile partition (paper §VI-E:
+ * all tiles parallelize the same region).
+ */
+class IterationWalker
+{
+  public:
+    IterationWalker(const wl::KernelSpec &spec, int unroll,
+                    int64_t outer_lo, int64_t outer_hi);
+
+    /** @return whether all firings have been consumed. */
+    bool done() const { return finished; }
+    /** Current firing's loop indices (innermost = chunk start). */
+    const std::vector<int64_t> &indices() const { return ivs; }
+    /** Iterations covered by the current firing (<= unroll). */
+    int count() const { return chunk; }
+    /** @return whether this firing starts a new innermost loop pass. */
+    bool innerStart() const { return ivs.back() == 0; }
+    /** Number of firings consumed so far. */
+    int64_t firingIndex() const { return firings; }
+    /** Advance to the next firing. */
+    void advance();
+
+  private:
+    void settle();  //!< skip zero-trip positions, compute chunk
+
+    const wl::KernelSpec &spec;
+    int unroll;
+    int64_t outerHi;
+    std::vector<int64_t> ivs;
+    int chunk = 0;
+    int64_t firings = 0;
+    bool finished = false;
+};
+
+/** Delivery discipline of a runtime stream. */
+enum class StreamKind : uint8_t
+{
+    Vector,       //!< count (x members) fresh elements per firing
+    Stationary,   //!< one fresh element per innermost-loop pass
+    ConstantTaps, //!< all elements once, before the first firing
+    RecurrenceIn, //!< fed by the recurrence engine
+    RecurrenceOut,//!< drained into the recurrence engine
+    Generated,    //!< affine value generator
+    Register,     //!< scalar drain to the control core
+    WriteVector,  //!< count fresh results per firing
+    WriteOnce,    //!< one result per firing (reduction store)
+};
+
+/** Classify an mDFG stream for the simulator. */
+StreamKind classifyStream(const dfg::Mdfg &mdfg, dfg::NodeId id);
+
+/**
+ * Elements the stream produces/consumes for a firing with @p count
+ * iterations at walker state @p walker. ConstantTaps return 0 (handled
+ * out of band).
+ */
+int64_t elemsForFiring(const dfg::Mdfg &mdfg, dfg::NodeId id,
+                       StreamKind kind, const IterationWalker &walker);
+
+} // namespace overgen::sim
+
+#endif // OVERGEN_SIM_EXEC_H

@@ -1,0 +1,243 @@
+#include "sim/memory_system.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace overgen::sim {
+
+MemorySystem::MemorySystem(const adg::SystemParams &sys,
+                           const SimConfig &config)
+    : sys(sys), config(config)
+{
+    OG_ASSERT(sys.l2Banks >= 1, "no L2 banks");
+    int64_t bank_bytes =
+        static_cast<int64_t>(sys.l2CapacityKiB) * 1024 / sys.l2Banks;
+    setsPerBank = std::max<int>(
+        1, static_cast<int>(bank_bytes /
+                            (config.cacheLineBytes * config.l2Ways)));
+    banks.resize(sys.l2Banks);
+    for (Bank &bank : banks)
+        bank.sets.resize(setsPerBank);
+    channelBudget.assign(std::max(1, sys.dramChannels), 0.0);
+    tileLink.resize(std::max(1, sys.numTiles));
+    tileLinkBudget.assign(tileLink.size(), 0.0);
+}
+
+int
+MemorySystem::bankOf(uint64_t addr) const
+{
+    return static_cast<int>((addr / config.cacheLineBytes) %
+                            banks.size());
+}
+
+int
+MemorySystem::channelOf(uint64_t addr) const
+{
+    return static_cast<int>((addr / config.cacheLineBytes) %
+                            channelBudget.size());
+}
+
+MemorySystem::LookupResult
+MemorySystem::lookup(Bank &bank, uint64_t addr, bool write)
+{
+    uint64_t line = addr / config.cacheLineBytes;
+    uint64_t set_index = (line / banks.size()) % setsPerBank;
+    auto &set = bank.sets[set_index];
+    auto it = std::find_if(set.begin(), set.end(),
+                           [line](const CacheLine &cl) {
+                               return cl.tag == line;
+                           });
+    LookupResult result;
+    if (it != set.end()) {
+        result.hit = true;
+        CacheLine cl = *it;
+        cl.dirty |= write;
+        set.erase(it);
+        set.insert(set.begin(), cl);  // move to MRU
+        return result;
+    }
+    // Allocate; evict LRU, writing back if dirty.
+    set.insert(set.begin(), CacheLine{ line, write });
+    if (static_cast<int>(set.size()) > config.l2Ways) {
+        if (set.back().dirty)
+            result.evictedDirty = true;
+        set.pop_back();
+    }
+    return result;
+}
+
+bool
+MemorySystem::canAccept(int tile) const
+{
+    OG_ASSERT(tile >= 0 && tile < static_cast<int>(tileLink.size()),
+              "bad tile ", tile);
+    // Bounded per-tile queue so engines self-throttle.
+    return tileLink[tile].size() < 64;
+}
+
+TxnId
+MemorySystem::submit(int tile, uint64_t addr, int bytes, bool write)
+{
+    OG_ASSERT(canAccept(tile), "submit to a full tile link");
+    Txn txn;
+    txn.id = nextId++;
+    txn.tile = tile;
+    txn.addr = addr;
+    txn.bytes = bytes;
+    txn.write = write;
+    inFlight[txn.id] = txn;
+    tileLink[tile].push_back(txn);
+    return txn.id;
+}
+
+bool
+MemorySystem::consumeCompleted(TxnId id)
+{
+    auto it = completed.find(id);
+    if (it == completed.end() || it->second > cycle)
+        return false;
+    completed.erase(it);
+    return true;
+}
+
+bool
+MemorySystem::busy() const
+{
+    return !inFlight.empty();
+}
+
+void
+MemorySystem::tick()
+{
+    ++cycle;
+
+    // Tile links: move requests to their bank queues within the NoC
+    // byte budget of each tile's link.
+    for (size_t t = 0; t < tileLink.size(); ++t) {
+        tileLinkBudget[t] += sys.nocBytes;
+        while (!tileLink[t].empty()) {
+            Txn &txn = tileLink[t].front();
+            if (tileLinkBudget[t] < txn.bytes)
+                break;
+            tileLinkBudget[t] -= txn.bytes;
+            memStats.nocBytes += txn.bytes;
+            banks[bankOf(txn.addr)].queue.push_back(txn);
+            tileLink[t].pop_front();
+        }
+        // The cap must admit at least one full line even on narrow
+        // links, or sub-line bandwidths could never accumulate enough
+        // budget to move a transaction.
+        tileLinkBudget[t] = std::min(
+            tileLinkBudget[t],
+            std::max(static_cast<double>(sys.nocBytes),
+                     static_cast<double>(config.cacheLineBytes)));
+    }
+
+    // L2 banks: service requests within bank bandwidth.
+    for (Bank &bank : banks) {
+        bank.byteBudget += config.l2BankBandwidthBytes;
+        // Expire finished fills so merged requests stop matching.
+        for (auto it = bank.fillReady.begin();
+             it != bank.fillReady.end();) {
+            if (it->second <= cycle) {
+                it = bank.fillReady.erase(it);
+                --bank.mshrsInUse;
+            } else {
+                ++it;
+            }
+        }
+        while (!bank.queue.empty()) {
+            Txn &txn = bank.queue.front();
+            if (bank.byteBudget < txn.bytes)
+                break;
+            uint64_t line = txn.addr / config.cacheLineBytes;
+            auto fill = bank.fillReady.find(line);
+            if (fill != bank.fillReady.end()) {
+                // MSHR merge: complete with the in-flight fill; the
+                // line is already tagged, no extra DRAM traffic.
+                ++memStats.l2Hits;
+                bank.byteBudget -= txn.bytes;
+                completed[txn.id] = fill->second;
+                if (txn.write)
+                    lookup(bank, txn.addr, true);  // set dirty
+                inFlight.erase(txn.id);
+                bank.queue.pop_front();
+                continue;
+            }
+            if (bank.mshrsInUse >= config.l2MshrsPerBank) {
+                ++memStats.mshrStallCycles;
+                break;
+            }
+            LookupResult result = lookup(bank, txn.addr, txn.write);
+            bank.byteBudget -= txn.bytes;
+            if (result.evictedDirty) {
+                bank.writebackBytes += config.cacheLineBytes;
+            }
+            if (result.hit) {
+                ++memStats.l2Hits;
+                completed[txn.id] = cycle + config.l2HitLatency;
+                inFlight.erase(txn.id);
+            } else if (txn.write) {
+                // Write-allocate, no fetch: the line is established
+                // and dirtied; data arrives from the tile.
+                ++memStats.l2Misses;
+                completed[txn.id] = cycle + config.l2HitLatency;
+                inFlight.erase(txn.id);
+            } else {
+                // Read miss: fetch the line from DRAM.
+                ++memStats.l2Misses;
+                ++bank.mshrsInUse;
+                bank.dramQueue.push_back(txn);
+            }
+            bank.queue.pop_front();
+        }
+        bank.byteBudget = std::min(
+            bank.byteBudget,
+            std::max(static_cast<double>(config.l2BankBandwidthBytes),
+                     static_cast<double>(config.cacheLineBytes)));
+    }
+
+    // DRAM channels: drain read fills and dirty writebacks within
+    // channel bandwidth.
+    for (double &budget : channelBudget)
+        budget += config.dramChannelBandwidthBytes;
+    for (Bank &bank : banks) {
+        while (!bank.dramQueue.empty()) {
+            Txn &txn = bank.dramQueue.front();
+            double &budget = channelBudget[channelOf(txn.addr)];
+            if (budget < config.cacheLineBytes)
+                break;
+            budget -= config.cacheLineBytes;
+            memStats.dramBytesRead += config.cacheLineBytes;
+            uint64_t ready =
+                cycle + config.l2HitLatency + config.dramLatency;
+            completed[txn.id] = ready;
+            uint64_t line = txn.addr / config.cacheLineBytes;
+            bank.fillReady[line] = ready;  // MSHR held until fill
+            inFlight.erase(txn.id);
+            bank.dramQueue.pop_front();
+        }
+        // Writebacks share the channel bandwidth (channel 0 slice for
+        // simplicity of attribution).
+        while (bank.writebackBytes > 0) {
+            double &budget = channelBudget[bankOf(
+                static_cast<uint64_t>(bank.writebackBytes)) %
+                                           channelBudget.size()];
+            if (budget < config.cacheLineBytes)
+                break;
+            budget -= config.cacheLineBytes;
+            bank.writebackBytes -= config.cacheLineBytes;
+            memStats.dramBytesWritten += config.cacheLineBytes;
+        }
+    }
+    for (double &budget : channelBudget) {
+        budget = std::min(
+            budget,
+            std::max(
+                static_cast<double>(config.dramChannelBandwidthBytes),
+                static_cast<double>(config.cacheLineBytes)));
+    }
+}
+
+} // namespace overgen::sim

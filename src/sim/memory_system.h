@@ -1,0 +1,129 @@
+#ifndef OVERGEN_SIM_MEMORY_SYSTEM_H
+#define OVERGEN_SIM_MEMORY_SYSTEM_H
+
+/**
+ * @file
+ * Cycle-level shared memory system: crossbar NoC with per-tile link
+ * bandwidth, a banked set-associative inclusive L2 with MSHRs, and a
+ * channel-interleaved DRAM bandwidth/latency model (paper Fig. 8).
+ */
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "adg/adg.h"
+#include "sim/config.h"
+
+namespace overgen::sim {
+
+/** Identifier of an in-flight memory transaction. */
+using TxnId = int64_t;
+
+/** Aggregate memory-system statistics. */
+struct MemoryStats
+{
+    uint64_t l2Hits = 0;
+    uint64_t l2Misses = 0;
+    uint64_t dramBytesRead = 0;
+    uint64_t dramBytesWritten = 0;
+    uint64_t nocBytes = 0;
+    uint64_t mshrStallCycles = 0;
+};
+
+/**
+ * The shared memory system. Tiles submit line-granular transactions;
+ * completion is polled. Contention is modeled with per-cycle byte
+ * budgets on each tile link, L2 bank, and DRAM channel.
+ */
+class MemorySystem
+{
+  public:
+    MemorySystem(const adg::SystemParams &sys, const SimConfig &config);
+
+    /**
+     * Submit a line transaction from @p tile. @p addr is a byte
+     * address in the simulated flat address space. @return the txn id
+     * to poll, or -1 when the tile's request queue is full this cycle.
+     */
+    TxnId submit(int tile, uint64_t addr, int bytes, bool write);
+
+    /** @return whether @p tile may submit a transaction this cycle. */
+    bool canAccept(int tile) const;
+
+    /** @return whether @p id has completed (and forget it). */
+    bool consumeCompleted(TxnId id);
+
+    /** Advance one cycle. */
+    void tick();
+
+    /** @return current cycle count. */
+    uint64_t now() const { return cycle; }
+
+    /** @return statistics gathered so far. */
+    const MemoryStats &stats() const { return memStats; }
+
+    /** @return whether any transaction is still in flight. */
+    bool busy() const;
+
+  private:
+    struct Txn
+    {
+        TxnId id;
+        int tile;
+        uint64_t addr;
+        int bytes;
+        bool write;
+        uint64_t readyAt = 0;
+    };
+
+    struct CacheLine
+    {
+        uint64_t tag = 0;
+        bool dirty = false;
+    };
+
+    struct Bank
+    {
+        /** Tag store: set -> lines, MRU first. */
+        std::vector<std::vector<CacheLine>> sets;
+        std::deque<Txn> queue;      //!< waiting for bank bandwidth
+        std::deque<Txn> dramQueue;  //!< read misses waiting for DRAM
+        /** Lines being filled from DRAM: line -> ready cycle (one MSHR
+         * each; later requests to the line merge). */
+        std::map<uint64_t, uint64_t> fillReady;
+        /** Dirty eviction bytes pending DRAM write bandwidth. */
+        int64_t writebackBytes = 0;
+        int mshrsInUse = 0;
+        double byteBudget = 0.0;
+    };
+
+    struct LookupResult
+    {
+        bool hit = false;
+        bool evictedDirty = false;
+    };
+
+    int bankOf(uint64_t addr) const;
+    int channelOf(uint64_t addr) const;
+    /** Probe and update the tag store (allocates on miss). */
+    LookupResult lookup(Bank &bank, uint64_t addr, bool write);
+
+    adg::SystemParams sys;
+    SimConfig config;
+    std::vector<Bank> banks;
+    std::vector<double> channelBudget;
+    std::vector<std::deque<Txn>> tileLink;  //!< per-tile request queue
+    std::vector<double> tileLinkBudget;
+    std::map<TxnId, uint64_t> completed;    //!< id -> completion cycle
+    std::map<TxnId, Txn> inFlight;
+    int setsPerBank = 0;
+    TxnId nextId = 1;
+    uint64_t cycle = 0;
+    MemoryStats memStats;
+};
+
+} // namespace overgen::sim
+
+#endif // OVERGEN_SIM_MEMORY_SYSTEM_H

@@ -1,0 +1,78 @@
+#include "sim/simulate.h"
+
+#include <memory>
+
+#include "common/logging.h"
+
+namespace overgen::sim {
+
+SimResult
+simulate(const wl::KernelSpec &spec, const dfg::Mdfg &mdfg,
+         const sched::Schedule &schedule, const adg::SysAdg &design,
+         wl::Memory &memory, const SimConfig &config)
+{
+    OG_ASSERT(schedule.valid, "simulating an invalid schedule");
+    AddressMap addresses =
+        AddressMap::build(spec, config.cacheLineBytes);
+    MemorySystem memsys(design.sys, config);
+
+    // Partition the outermost loop across tiles.
+    int tiles = std::max(1, design.sys.numTiles);
+    int64_t outer = std::max<int64_t>(spec.loops[0].tripBase, 1);
+    std::vector<std::unique_ptr<TileSim>> sims;
+    for (int t = 0; t < tiles; ++t) {
+        int64_t lo = outer * t / tiles;
+        int64_t hi = outer * (t + 1) / tiles;
+        if (lo >= hi)
+            continue;
+        sims.push_back(std::make_unique<TileSim>(
+            spec, mdfg, schedule, design.adg, addresses, memory,
+            memsys, t, lo, hi, config));
+    }
+
+    SimResult result;
+    uint64_t cycle = 0;
+    while (cycle < config.maxCycles) {
+        ++cycle;
+        memsys.tick();
+        bool all_done = true;
+        for (auto &tile : sims) {
+            tile->tick(cycle);
+            all_done &= tile->done();
+        }
+        if (all_done)
+            break;
+    }
+
+    result.completed = cycle < config.maxCycles;
+    result.cycles = cycle;
+    result.memory = memsys.stats();
+    double insts = 0.0;
+    for (auto &tile : sims) {
+        result.tiles.push_back(tile->stats());
+        result.totalIterations += tile->stats().iterations;
+        insts += static_cast<double>(tile->stats().firings) *
+                 mdfg.instructionBandwidth() /
+                 std::max(1, mdfg.vectorization()) *
+                 mdfg.unrollFactor;
+    }
+    result.ipc = cycle > 0 ? insts / static_cast<double>(cycle) : 0.0;
+    return result;
+}
+
+uint64_t
+reconfigurationCycles(const sched::Schedule &schedule,
+                      const adg::Adg &adg)
+{
+    // Configuration state: per mapped node ~8 bytes, per routed hop
+    // ~2 bytes, loaded through the D-cache at 8 bytes/cycle with a
+    // small command overhead.
+    uint64_t bytes = 0;
+    bytes += schedule.placement.size() * 8;
+    for (const auto &[edge, route] : schedule.routes)
+        bytes += route.size() * 2;
+    (void)adg;
+    return 32 + bytes / 8;
+}
+
+} // namespace overgen::sim

@@ -1,0 +1,49 @@
+#ifndef OVERGEN_SIM_SIMULATE_H
+#define OVERGEN_SIM_SIMULATE_H
+
+/**
+ * @file
+ * Whole-system simulation entry point: N tiles executing the same
+ * scheduled mDFG over a partitioned iteration space, sharing the banked
+ * L2 and DRAM (paper Fig. 8, §VI-E execution convention).
+ */
+
+#include "sched/schedule.h"
+#include "sim/memory_system.h"
+#include "sim/tile.h"
+
+namespace overgen::sim {
+
+/** Result of one simulated kernel execution. */
+struct SimResult
+{
+    bool completed = false;
+    uint64_t cycles = 0;
+    uint64_t totalIterations = 0;
+    /** Committed instructions (compute + memory ops) per cycle. */
+    double ipc = 0.0;
+    MemoryStats memory;
+    std::vector<TileStats> tiles;
+};
+
+/**
+ * Simulate @p mdfg as scheduled on every tile of @p design, sharing
+ * @p memory functionally. The outermost loop is partitioned across
+ * tiles. @p memory must have been init()ed for @p spec.
+ */
+SimResult simulate(const wl::KernelSpec &spec, const dfg::Mdfg &mdfg,
+                   const sched::Schedule &schedule,
+                   const adg::SysAdg &design, wl::Memory &memory,
+                   const SimConfig &config = {});
+
+/**
+ * Cycles to reconfigure the fabric with a new spatial bitstream through
+ * the D-cache path (paper §VI-B): proportional to the mapped
+ * configuration state. Contrast: full-FPGA reflash takes > 1 s.
+ */
+uint64_t reconfigurationCycles(const sched::Schedule &schedule,
+                               const adg::Adg &adg);
+
+} // namespace overgen::sim
+
+#endif // OVERGEN_SIM_SIMULATE_H

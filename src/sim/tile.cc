@@ -1,0 +1,838 @@
+#include "sim/tile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace overgen::sim {
+
+namespace {
+
+/** A port FIFO carrying element credits with delivery latency. */
+struct PortFifo
+{
+    int64_t capacity = 4;
+    int64_t available = 0;
+    int64_t pending = 0;
+    std::deque<std::pair<uint64_t, int64_t>> arrivals;
+
+    int64_t
+    space() const
+    {
+        return std::max<int64_t>(0, capacity - available - pending);
+    }
+
+    void
+    deliver(uint64_t ready_at, int64_t elems)
+    {
+        pending += elems;
+        arrivals.emplace_back(ready_at, elems);
+    }
+
+    void
+    tick(uint64_t now)
+    {
+        while (!arrivals.empty() && arrivals.front().first <= now) {
+            available += arrivals.front().second;
+            pending -= arrivals.front().second;
+            arrivals.pop_front();
+        }
+    }
+
+    bool
+    drained() const
+    {
+        return available == 0 && pending == 0;
+    }
+};
+
+} // namespace
+
+/** Full tile state. */
+struct TileSim::Impl
+{
+    /** Runtime state of one mDFG stream. */
+    struct StreamRt
+    {
+        dfg::NodeId id = dfg::invalidNode;
+        StreamKind kind = StreamKind::Vector;
+        bool input = true;
+        int elemBytes = 8;
+        int members = 1;
+        /** Representative spec accesses for address generation. */
+        std::vector<int> accesses;
+        PortFifo port;
+        /** Engine-side cursor over the demand schedule. */
+        std::unique_ptr<IterationWalker> walker;
+        int64_t firingRemaining = 0;
+        bool tapsDelivered = false;
+        bool engineDone = false;
+        uint64_t activeAt = 0;
+        /** Read-after-write throttle (memory-variant reductions). */
+        StreamRt *hazardPeer = nullptr;
+        int64_t hazardWindow = 0;
+        int64_t issuedElems = 0;
+        int64_t drainedElems = 0;
+        /** Indirect-access coupling. */
+        StreamRt *indexPeer = nullptr;
+        int64_t indexAvail = 0;
+        bool isIndexFeed = false;
+        StreamRt *indexConsumer = nullptr;
+        /** Synthetic access for index feeds (reads the index array
+         * affinely with the consumer's coefficients). */
+        std::optional<wl::AccessSpec> syntheticAccess;
+        /** Recurrence pairing (on the in-stream). */
+        StreamRt *recurrenceOut = nullptr;
+        int64_t recInitialRemaining = 0;
+        int64_t recPool = 0;
+        adg::NodeId engine = adg::invalidNode;
+    };
+
+    /** Stream-engine runtime (one per ADG engine with mapped work). */
+    struct EngineRt
+    {
+        adg::NodeKind kind = adg::NodeKind::Dma;
+        double bandwidthBytes = 8.0;
+        double budget = 0.0;
+        bool issueToggle = false;
+        std::vector<StreamRt *> streams;
+        /** In-flight line transactions: txn -> (stream, elems). */
+        std::map<TxnId, std::pair<StreamRt *, int64_t>> outstanding;
+        int robEntries = 16;
+        size_t rrNext = 0;
+    };
+
+    Impl(const wl::KernelSpec &spec, const dfg::Mdfg &mdfg,
+         const sched::Schedule &schedule, const adg::Adg &adg,
+         const AddressMap &addresses, wl::Memory &memory,
+         MemorySystem &memsys, int tile_index, int64_t outer_lo,
+         int64_t outer_hi, const SimConfig &config)
+        : spec(spec), mdfg(mdfg), schedule(schedule), adg(adg),
+          addresses(addresses), memory(memory), memsys(memsys),
+          tileIndex(tile_index), config(config),
+          fabricWalker(spec, mdfg.unrollFactor *
+                                 (mdfg.tuned && spec.tuning.unroll2d
+                                      ? 2
+                                      : 1),
+                       outer_lo, outer_hi)
+    {
+        buildStreams(outer_lo, outer_hi);
+        // Dispatcher startup: parameter configuration + dispatch.
+        int num_streams = static_cast<int>(streams.size());
+        stats.startupCycles = num_streams * config.configCyclesPerStream +
+                              config.dispatchLatency +
+                              config.dispatchBusStages;
+        int k = 0;
+        for (auto &rt : streams)
+            rt->activeAt = stats.startupCycles + k++;
+        // Fabric pipeline characteristics.
+        iiInterval = 1.0 / schedule.throughputFactor();
+        pipelineDepth = 4 + schedule.routeCost /
+                                std::max<int>(1,
+                                              static_cast<int>(
+                                                  schedule.routes.size()));
+    }
+
+    void buildStreams(int64_t outer_lo, int64_t outer_hi);
+    void tick(uint64_t cycle);
+    bool done() const;
+
+    void engineTick(adg::NodeId engine_id, EngineRt &engine,
+                    uint64_t cycle);
+    void memoryEngineIssue(EngineRt &engine, uint64_t cycle);
+    void recurrenceTick(EngineRt &engine, uint64_t cycle);
+    void generateTick(EngineRt &engine, uint64_t cycle);
+    void registerTick(EngineRt &engine, uint64_t cycle);
+    void fabricTick(uint64_t cycle);
+
+    /** Advance a stream's engine-side cursor past zero-demand firings. */
+    void settleDemand(StreamRt &rt);
+    /** Next element addresses sharing one cache line (<= space). */
+    std::vector<uint64_t> gatherLine(StreamRt &rt, int64_t max_elems);
+    bool readReady(const StreamRt &rt, uint64_t cycle) const;
+    bool writeReady(const StreamRt &rt, uint64_t cycle) const;
+
+    const wl::KernelSpec &spec;
+    const dfg::Mdfg &mdfg;
+    const sched::Schedule &schedule;
+    const adg::Adg &adg;
+    const AddressMap &addresses;
+    wl::Memory &memory;
+    MemorySystem &memsys;
+    int tileIndex;
+    SimConfig config;
+
+    std::vector<std::unique_ptr<StreamRt>> streams;
+    std::map<dfg::NodeId, StreamRt *> byNode;
+    std::map<adg::NodeId, EngineRt> engines;
+
+    IterationWalker fabricWalker;
+    double iiInterval = 1.0;
+    double nextFire = 0.0;
+    int pipelineDepth = 4;
+    TileStats stats;
+    bool finished = false;
+};
+
+void
+TileSim::Impl::buildStreams(int64_t outer_lo, int64_t outer_hi)
+{
+    int unroll = mdfg.unrollFactor;
+    auto make_stream = [&](dfg::NodeId id, bool input) {
+        const dfg::StreamNode &node = mdfg.node(id).stream;
+        auto rt = std::make_unique<StreamRt>();
+        rt->id = id;
+        rt->input = input;
+        rt->kind = classifyStream(mdfg, id);
+        rt->elemBytes = dataTypeBytes(node.type);
+        rt->members = std::max<int>(
+            1, static_cast<int>(node.specAccesses.size()));
+        rt->accesses = node.specAccesses;
+        rt->walker = std::make_unique<IterationWalker>(
+            spec, unroll, outer_lo, outer_hi);
+        // Port capacity from the placed port's spec.
+        if (schedule.isPlaced(id)) {
+            adg::NodeId target = schedule.placedOn(id);
+            const adg::Node &an = adg.node(target);
+            if (an.kind == adg::NodeKind::InPort ||
+                an.kind == adg::NodeKind::OutPort) {
+                rt->port.capacity = std::max<int64_t>(
+                    2, static_cast<int64_t>(an.port().fifoDepth) *
+                           an.port().widthBytes / rt->elemBytes);
+            }
+        }
+        // Keep taps and stationary values resident.
+        if (rt->kind == StreamKind::ConstantTaps) {
+            rt->port.capacity =
+                std::max<int64_t>(rt->port.capacity, rt->members);
+        }
+        settleDemand(*rt);
+        byNode[id] = rt.get();
+        streams.push_back(std::move(rt));
+        return streams.back().get();
+    };
+
+    for (dfg::NodeId id :
+         mdfg.nodeIdsOfKind(dfg::NodeKind::InputStream)) {
+        make_stream(id, true);
+    }
+    for (dfg::NodeId id :
+         mdfg.nodeIdsOfKind(dfg::NodeKind::OutputStream)) {
+        make_stream(id, false);
+    }
+
+    // Engine assignment: port-placed streams find their engine through
+    // the array placement (or the engine kind for rec/gen/register);
+    // index streams are placed directly on engines.
+    auto engine_of = [&](StreamRt &rt) -> adg::NodeId {
+        const dfg::StreamNode &node = mdfg.node(rt.id).stream;
+        switch (node.source) {
+          case dfg::StreamSource::Memory:
+            if (node.array != dfg::invalidNode &&
+                schedule.isPlaced(node.array)) {
+                return schedule.placedOn(node.array);
+            }
+            return adg::invalidNode;
+          case dfg::StreamSource::Recurrence: {
+            auto recs = adg.nodeIdsOfKind(adg::NodeKind::Recurrence);
+            return recs.empty() ? adg::invalidNode : recs[0];
+          }
+          case dfg::StreamSource::Generated: {
+            auto gens = adg.nodeIdsOfKind(adg::NodeKind::Generate);
+            return gens.empty() ? adg::invalidNode : gens[0];
+          }
+          case dfg::StreamSource::Register: {
+            auto regs = adg.nodeIdsOfKind(adg::NodeKind::Register);
+            return regs.empty() ? adg::invalidNode : regs[0];
+          }
+        }
+        return adg::invalidNode;
+    };
+
+    for (auto &rt : streams) {
+        rt->engine = engine_of(*rt);
+        OG_ASSERT(rt->engine != adg::invalidNode,
+                  "stream without an engine in ", mdfg.name);
+        EngineRt &engine = engines[rt->engine];
+        const adg::Node &an = adg.node(rt->engine);
+        engine.kind = an.kind;
+        switch (an.kind) {
+          case adg::NodeKind::Dma:
+            engine.bandwidthBytes = an.dma().bandwidthBytes;
+            engine.robEntries = an.dma().robEntries;
+            break;
+          case adg::NodeKind::Scratchpad:
+            engine.bandwidthBytes = an.spad().readBandwidthBytes +
+                                    an.spad().writeBandwidthBytes;
+            break;
+          case adg::NodeKind::Recurrence:
+            engine.bandwidthBytes = an.rec().bandwidthBytes;
+            break;
+          case adg::NodeKind::Generate:
+            engine.bandwidthBytes = an.gen().bandwidthBytes;
+            break;
+          case adg::NodeKind::Register:
+            engine.bandwidthBytes = an.reg().bandwidthBytes;
+            break;
+          default:
+            OG_PANIC("stream on non-engine node");
+        }
+        engine.streams.push_back(rt.get());
+    }
+
+    // Indirect-access coupling: the index stream feeds its consumer,
+    // reading the index array with the consumer's affine function.
+    for (auto &rt : streams) {
+        const dfg::StreamNode &node = mdfg.node(rt->id).stream;
+        if (node.indexStream != dfg::invalidNode) {
+            StreamRt *index = byNode.at(node.indexStream);
+            rt->indexPeer = index;
+            index->isIndexFeed = true;
+            index->indexConsumer = rt.get();
+            OG_ASSERT(!rt->accesses.empty(),
+                      "indirect stream without accesses");
+            wl::AccessSpec synth = spec.accesses[rt->accesses[0]];
+            synth.array = synth.indexArray;
+            synth.indexArray.clear();
+            index->syntheticAccess = synth;
+        }
+    }
+
+    // Read-after-write hazards: a memory read with a recurrent peer in
+    // the same array throttles behind the write stream's drain.
+    for (auto &rt : streams) {
+        if (!rt->input || rt->kind != StreamKind::Vector)
+            continue;
+        const dfg::StreamNode &node = mdfg.node(rt->id).stream;
+        if (node.source != dfg::StreamSource::Memory ||
+            node.reuse.recurrentConcurrency <= 0) {
+            continue;
+        }
+        for (auto &other : streams) {
+            if (other->input)
+                continue;
+            const dfg::StreamNode &on = mdfg.node(other->id).stream;
+            if (on.source == dfg::StreamSource::Memory &&
+                on.array == node.array) {
+                rt->hazardPeer = other.get();
+                rt->hazardWindow = node.reuse.recurrentConcurrency;
+            }
+        }
+    }
+
+    // Recurrence pairing: each in-stream tracks its own out-peer,
+    // initial window, and forwarding pool.
+    for (auto &rt : streams) {
+        if (rt->kind != StreamKind::RecurrenceIn)
+            continue;
+        const dfg::StreamNode &node = mdfg.node(rt->id).stream;
+        OG_ASSERT(node.recurrencePeer != dfg::invalidNode,
+                  "recurrence stream without a peer in ", mdfg.name);
+        rt->recurrenceOut = byNode.at(node.recurrencePeer);
+        rt->recInitialRemaining =
+            std::max<int64_t>(1, node.reuse.recurrentConcurrency);
+    }
+}
+
+void
+TileSim::Impl::settleDemand(StreamRt &rt)
+{
+    while (!rt.walker->done() && rt.firingRemaining == 0) {
+        rt.firingRemaining =
+            elemsForFiring(mdfg, rt.id, rt.kind, *rt.walker);
+        if (rt.firingRemaining == 0)
+            rt.walker->advance();
+    }
+    if (rt.walker->done() && rt.firingRemaining == 0) {
+        if (rt.kind != StreamKind::ConstantTaps || rt.tapsDelivered)
+            rt.engineDone = true;
+    }
+}
+
+std::vector<uint64_t>
+TileSim::Impl::gatherLine(StreamRt &rt, int64_t max_elems)
+{
+    std::vector<uint64_t> out;
+    if (rt.walker->done() && rt.kind != StreamKind::ConstantTaps)
+        return out;
+    if (rt.kind == StreamKind::ConstantTaps) {
+        for (int access : rt.accesses) {
+            int64_t idx = wl::resolveIndex(
+                spec, spec.accesses[access], rt.walker->indices(),
+                memory);
+            out.push_back(addresses.elementAddress(
+                spec, spec.accesses[access].array, idx));
+        }
+        return out;
+    }
+    uint64_t line_base = 0;
+    const int line = config.cacheLineBytes;
+    while (static_cast<int64_t>(out.size()) < max_elems &&
+           rt.firingRemaining > 0) {
+        int64_t total =
+            elemsForFiring(mdfg, rt.id, rt.kind, *rt.walker);
+        int64_t flat = total - rt.firingRemaining;
+        const wl::AccessSpec *access = nullptr;
+        std::vector<int64_t> ivs = rt.walker->indices();
+        if (rt.syntheticAccess) {
+            access = &*rt.syntheticAccess;
+            ivs.back() += flat;
+        } else if (rt.members > 1 && !rt.accesses.empty() &&
+                   total == rt.walker->count() * rt.members) {
+            // Coalesced: lane-major over members.
+            access = &spec.accesses[rt.accesses[flat % rt.members]];
+            ivs.back() += flat / rt.members;
+        } else if (!rt.accesses.empty()) {
+            access = &spec.accesses[rt.accesses[0]];
+            ivs.back() += flat;
+        }
+        if (access == nullptr)
+            return out;
+        int64_t idx = wl::resolveIndex(spec, *access, ivs, memory);
+        uint64_t addr =
+            addresses.elementAddress(spec, access->array, idx);
+        if (out.empty()) {
+            line_base = addr / line;
+        } else if (addr / line != line_base) {
+            break;  // next element is on another line
+        }
+        out.push_back(addr);
+        --rt.firingRemaining;
+        if (rt.firingRemaining == 0) {
+            rt.walker->advance();
+            settleDemand(rt);
+            // Indirect gathers: one element per transaction.
+            if (mdfg.node(rt.id).stream.indirect)
+                break;
+        }
+        if (mdfg.node(rt.id).stream.indirect)
+            break;
+    }
+    return out;
+}
+
+bool
+TileSim::Impl::readReady(const StreamRt &rt, uint64_t cycle) const
+{
+    if (!rt.input || rt.engineDone || cycle < rt.activeAt)
+        return false;
+    if (rt.kind == StreamKind::ConstantTaps)
+        return !rt.tapsDelivered;
+    if (rt.isIndexFeed) {
+        // Deliver into the consumer's index buffer (bounded).
+        return rt.indexConsumer->indexAvail < 64;
+    }
+    if (rt.port.space() <= 0)
+        return false;
+    if (rt.indexPeer && rt.indexAvail <= 0)
+        return false;
+    if (rt.hazardPeer) {
+        int64_t horizon =
+            (rt.issuedElems / std::max<int64_t>(1, rt.hazardWindow)) *
+            rt.hazardWindow;
+        if (horizon > rt.hazardPeer->drainedElems)
+            return false;
+    }
+    return true;
+}
+
+bool
+TileSim::Impl::writeReady(const StreamRt &rt, uint64_t cycle) const
+{
+    return !rt.input && !rt.engineDone && cycle >= rt.activeAt &&
+           rt.port.available > 0;
+}
+
+void
+TileSim::Impl::memoryEngineIssue(EngineRt &engine, uint64_t cycle)
+{
+    bool is_spad = engine.kind == adg::NodeKind::Scratchpad;
+    // Stream-table issue: one stream per cycle; without the one-hot
+    // bypass a single active stream issues every other cycle (Fig 11).
+    int active = 0;
+    for (StreamRt *rt : engine.streams)
+        active += !rt->engineDone;
+    if (active == 0)
+        return;
+    if (!config.oneHotBypass && active == 1) {
+        engine.issueToggle = !engine.issueToggle;
+        if (!engine.issueToggle)
+            return;
+    }
+    if (!is_spad &&
+        (static_cast<int>(engine.outstanding.size()) >=
+             engine.robEntries ||
+         !memsys.canAccept(tileIndex))) {
+        return;
+    }
+
+    // Round-robin stream selection.
+    for (size_t probe = 0; probe < engine.streams.size(); ++probe) {
+        StreamRt &rt =
+            *engine.streams[(engine.rrNext + probe) %
+                            engine.streams.size()];
+        bool ready = rt.input ? readReady(rt, cycle)
+                              : writeReady(rt, cycle);
+        if (!ready)
+            continue;
+        if (engine.budget < rt.elemBytes)
+            return;  // accumulate bandwidth before issuing
+        engine.rrNext =
+            (engine.rrNext + probe + 1) % engine.streams.size();
+
+        int64_t max_elems;
+        if (rt.input) {
+            max_elems = rt.kind == StreamKind::ConstantTaps
+                            ? rt.members
+                            : rt.port.space();
+            if (rt.isIndexFeed)
+                max_elems = 64 - rt.indexConsumer->indexAvail;
+            if (rt.indexPeer)
+                max_elems = std::min<int64_t>(max_elems, rt.indexAvail);
+        } else {
+            max_elems = rt.port.available;
+        }
+        max_elems = std::min<int64_t>(
+            max_elems,
+            std::max<int64_t>(1, static_cast<int64_t>(engine.budget) /
+                                     rt.elemBytes));
+        if (max_elems <= 0)
+            continue;
+
+        std::vector<uint64_t> addrs = gatherLine(rt, max_elems);
+        if (addrs.empty()) {
+            settleDemand(rt);
+            continue;
+        }
+        int64_t elems = static_cast<int64_t>(addrs.size());
+        double bytes = static_cast<double>(elems) * rt.elemBytes;
+
+        if (rt.kind == StreamKind::ConstantTaps)
+            rt.tapsDelivered = true;
+        if (rt.input) {
+            rt.issuedElems += elems;
+            if (rt.indexPeer)
+                rt.indexAvail -= elems;
+        } else {
+            rt.port.available -= elems;
+        }
+
+        if (is_spad) {
+            engine.budget -= bytes;
+            stats.spadBytes += static_cast<uint64_t>(bytes);
+            if (rt.input) {
+                if (rt.isIndexFeed) {
+                    rt.indexConsumer->indexAvail += elems;
+                } else {
+                    rt.port.deliver(cycle + config.spadLatency, elems);
+                }
+            } else {
+                rt.drainedElems += elems;
+            }
+            if (rt.walker->done() && rt.firingRemaining == 0)
+                settleDemand(rt);
+        } else {
+            // DMA: one line transaction covering the gathered elems.
+            engine.budget -= config.cacheLineBytes;
+            stats.dmaBytes += config.cacheLineBytes;
+            TxnId txn = memsys.submit(tileIndex, addrs.front(),
+                                      config.cacheLineBytes,
+                                      !rt.input);
+            engine.outstanding[txn] = { &rt, elems };
+        }
+        return;  // one issue per cycle
+    }
+}
+
+void
+TileSim::Impl::recurrenceTick(EngineRt &engine, uint64_t cycle)
+{
+    // Bandwidth is shared over all pairs mapped to this engine.
+    double budget = engine.bandwidthBytes;
+    for (StreamRt *in : engine.streams) {
+        if (in->kind != StreamKind::RecurrenceIn)
+            continue;
+        StreamRt *out = in->recurrenceOut;
+        int64_t budget_elems = std::max<int64_t>(
+            1, static_cast<int64_t>(budget) / in->elemBytes);
+
+        // Drain the peer out-port into this pair's forwarding pool.
+        if (out && cycle >= out->activeAt && !out->engineDone &&
+            out->port.available > 0) {
+            int64_t n = std::min(out->port.available, budget_elems);
+            out->port.available -= n;
+            out->drainedElems += n;
+            in->recPool += n;
+            stats.recurrenceBytes +=
+                static_cast<uint64_t>(n) * out->elemBytes;
+            int64_t left = n;
+            while (left > 0 && !out->engineDone) {
+                int64_t take = std::min(left, out->firingRemaining);
+                if (take <= 0)
+                    break;
+                out->firingRemaining -= take;
+                left -= take;
+                if (out->firingRemaining == 0) {
+                    out->walker->advance();
+                    settleDemand(*out);
+                }
+            }
+        }
+
+        // Feed the in-port from the initial window, then the pool.
+        if (cycle >= in->activeAt && !in->engineDone &&
+            in->port.space() > 0) {
+            int64_t want = std::min(in->port.space(), budget_elems);
+            int64_t supplied = 0;
+            while (want > 0 && !in->engineDone) {
+                int64_t take = std::min(want, in->firingRemaining);
+                if (take <= 0)
+                    break;
+                int64_t from_initial =
+                    std::min(take, in->recInitialRemaining);
+                int64_t from_pool =
+                    std::min(take - from_initial, in->recPool);
+                int64_t got = from_initial + from_pool;
+                if (got == 0)
+                    break;
+                in->recInitialRemaining -= from_initial;
+                in->recPool -= from_pool;
+                in->firingRemaining -= got;
+                supplied += got;
+                want -= got;
+                if (in->firingRemaining == 0) {
+                    in->walker->advance();
+                    settleDemand(*in);
+                }
+            }
+            if (supplied > 0) {
+                in->port.deliver(cycle + config.recurrenceLatency,
+                                 supplied);
+            }
+        }
+    }
+}
+
+void
+TileSim::Impl::generateTick(EngineRt &engine, uint64_t cycle)
+{
+    for (StreamRt *rt : engine.streams) {
+        if (rt->engineDone || cycle < rt->activeAt)
+            continue;
+        int64_t budget_elems = std::max<int64_t>(
+            1, static_cast<int64_t>(engine.bandwidthBytes) /
+                   rt->elemBytes);
+        int64_t n = std::min(rt->port.space(), budget_elems);
+        while (n > 0 && !rt->engineDone) {
+            int64_t take = std::min(n, rt->firingRemaining);
+            if (take <= 0)
+                break;
+            rt->firingRemaining -= take;
+            rt->port.deliver(cycle + 1, take);
+            n -= take;
+            if (rt->firingRemaining == 0) {
+                rt->walker->advance();
+                settleDemand(*rt);
+            }
+        }
+    }
+}
+
+void
+TileSim::Impl::registerTick(EngineRt &engine, uint64_t cycle)
+{
+    for (StreamRt *rt : engine.streams) {
+        if (rt->input || rt->engineDone || cycle < rt->activeAt)
+            continue;
+        if (rt->port.available > 0) {
+            --rt->port.available;
+            ++rt->drainedElems;
+            if (--rt->firingRemaining == 0) {
+                rt->walker->advance();
+                settleDemand(*rt);
+            }
+        }
+    }
+}
+
+void
+TileSim::Impl::engineTick(adg::NodeId engine_id, EngineRt &engine,
+                          uint64_t cycle)
+{
+    (void)engine_id;
+    engine.budget =
+        std::min(engine.budget + engine.bandwidthBytes,
+                 engine.bandwidthBytes +
+                     static_cast<double>(config.cacheLineBytes));
+
+    // Retire completed memory transactions.
+    for (auto it = engine.outstanding.begin();
+         it != engine.outstanding.end();) {
+        if (memsys.consumeCompleted(it->first)) {
+            auto [rt, elems] = it->second;
+            if (rt->input) {
+                if (rt->isIndexFeed)
+                    rt->indexConsumer->indexAvail += elems;
+                else
+                    rt->port.deliver(cycle, elems);
+            } else {
+                rt->drainedElems += elems;
+            }
+            if (rt->walker->done() && rt->firingRemaining == 0)
+                settleDemand(*rt);
+            it = engine.outstanding.erase(it);
+        } else {
+            ++it;
+        }
+    }
+
+    switch (engine.kind) {
+      case adg::NodeKind::Dma:
+      case adg::NodeKind::Scratchpad:
+        memoryEngineIssue(engine, cycle);
+        break;
+      case adg::NodeKind::Recurrence:
+        recurrenceTick(engine, cycle);
+        break;
+      case adg::NodeKind::Generate:
+        generateTick(engine, cycle);
+        break;
+      case adg::NodeKind::Register:
+        registerTick(engine, cycle);
+        break;
+      default:
+        OG_PANIC("engine of wrong kind");
+    }
+}
+
+void
+TileSim::Impl::fabricTick(uint64_t cycle)
+{
+    if (fabricWalker.done())
+        return;
+    if (cycle < stats.startupCycles ||
+        static_cast<double>(cycle) < nextFire) {
+        return;
+    }
+
+    // All port-fed input streams must have this firing's elements, all
+    // output ports space.
+    for (auto &rt : streams) {
+        if (rt->isIndexFeed)
+            continue;
+        int64_t need =
+            elemsForFiring(mdfg, rt->id, rt->kind, fabricWalker);
+        if (rt->input) {
+            if (rt->kind == StreamKind::ConstantTaps) {
+                if (rt->port.available < rt->members) {
+                    ++stats.fabricStallCycles;
+                    return;
+                }
+            } else if (rt->port.available < need) {
+                ++stats.fabricStallCycles;
+                return;
+            }
+        } else if (rt->port.available >= rt->port.capacity) {
+            // Out-port FIFO full: values in the fabric pipeline live in
+            // pipeline registers, so only the arrived-but-undrained
+            // backlog exerts backpressure.
+            ++stats.fabricStallCycles;
+            return;
+        }
+        (void)need;
+    }
+
+    // Consume inputs, evaluate functionally, produce outputs.
+    for (auto &rt : streams) {
+        if (rt->isIndexFeed || !rt->input)
+            continue;
+        if (rt->kind == StreamKind::ConstantTaps)
+            continue;  // held resident
+        rt->port.available -=
+            elemsForFiring(mdfg, rt->id, rt->kind, fabricWalker);
+    }
+    std::vector<int64_t> ivs = fabricWalker.indices();
+    int count = fabricWalker.count();
+    for (int lane = 0; lane < count; ++lane) {
+        wl::evalIteration(spec, ivs, memory);
+        ++ivs.back();
+    }
+    for (auto &rt : streams) {
+        if (rt->input)
+            continue;
+        int64_t produced =
+            elemsForFiring(mdfg, rt->id, rt->kind, fabricWalker);
+        rt->port.deliver(cycle + pipelineDepth, produced);
+    }
+    stats.iterations += count;
+    ++stats.firings;
+    fabricWalker.advance();
+    nextFire = static_cast<double>(cycle) + iiInterval;
+}
+
+void
+TileSim::Impl::tick(uint64_t cycle)
+{
+    if (finished)
+        return;
+    for (auto &rt : streams)
+        rt->port.tick(cycle);
+    for (auto &[engine_id, engine] : engines)
+        engineTick(engine_id, engine, cycle);
+    fabricTick(cycle);
+
+    if (fabricWalker.done()) {
+        bool drained = true;
+        for (auto &rt : streams) {
+            if (!rt->input) {
+                drained &= rt->port.drained();
+            }
+        }
+        for (auto &[engine_id, engine] : engines)
+            drained &= engine.outstanding.empty();
+        if (drained) {
+            finished = true;
+            stats.finishCycle = cycle;
+        }
+    }
+}
+
+bool
+TileSim::Impl::done() const
+{
+    return finished;
+}
+
+TileSim::TileSim(const wl::KernelSpec &spec, const dfg::Mdfg &mdfg,
+                 const sched::Schedule &schedule, const adg::Adg &adg,
+                 const AddressMap &addresses, wl::Memory &memory,
+                 MemorySystem &memsys, int tile_index, int64_t outer_lo,
+                 int64_t outer_hi, const SimConfig &config)
+    : impl(std::make_unique<Impl>(spec, mdfg, schedule, adg, addresses,
+                                  memory, memsys, tile_index, outer_lo,
+                                  outer_hi, config))
+{
+}
+
+TileSim::~TileSim() = default;
+
+void
+TileSim::tick(uint64_t cycle)
+{
+    impl->tick(cycle);
+}
+
+bool
+TileSim::done() const
+{
+    return impl->done();
+}
+
+const TileStats &
+TileSim::stats() const
+{
+    return impl->stats;
+}
+
+} // namespace overgen::sim

@@ -1,0 +1,62 @@
+#ifndef OVERGEN_SIM_TILE_H
+#define OVERGEN_SIM_TILE_H
+
+/**
+ * @file
+ * Cycle-level model of one OverGen tile (paper Fig. 8-10): the control
+ * core / stream dispatcher startup, stream engines with stream-table
+ * issue (one-hot bypass), port FIFOs, and the dataflow compute fabric.
+ * Values move functionally (the fabric evaluates real iterations), so
+ * simulation results are verified against the interpreter.
+ */
+
+#include <deque>
+#include <memory>
+
+#include "sched/schedule.h"
+#include "sim/exec.h"
+#include "sim/memory_system.h"
+
+namespace overgen::sim {
+
+/** Per-tile statistics. */
+struct TileStats
+{
+    uint64_t firings = 0;
+    uint64_t iterations = 0;
+    uint64_t fabricStallCycles = 0;
+    uint64_t startupCycles = 0;
+    uint64_t spadBytes = 0;
+    uint64_t dmaBytes = 0;
+    uint64_t recurrenceBytes = 0;
+    uint64_t finishCycle = 0;
+};
+
+/** One tile executing a scheduled mDFG over an outer-loop partition. */
+class TileSim
+{
+  public:
+    TileSim(const wl::KernelSpec &spec, const dfg::Mdfg &mdfg,
+            const sched::Schedule &schedule, const adg::Adg &adg,
+            const AddressMap &addresses, wl::Memory &memory,
+            MemorySystem &memsys, int tile_index, int64_t outer_lo,
+            int64_t outer_hi, const SimConfig &config);
+    ~TileSim();
+
+    /** Advance one cycle. @p cycle is the global cycle count. */
+    void tick(uint64_t cycle);
+
+    /** @return whether all work (including drains) has retired. */
+    bool done() const;
+
+    /** @return statistics. */
+    const TileStats &stats() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl;
+};
+
+} // namespace overgen::sim
+
+#endif // OVERGEN_SIM_TILE_H

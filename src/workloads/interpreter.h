@@ -1,0 +1,77 @@
+#ifndef OVERGEN_WORKLOADS_INTERPRETER_H
+#define OVERGEN_WORKLOADS_INTERPRETER_H
+
+/**
+ * @file
+ * Golden reference execution of a KernelSpec: a direct interpreter of the
+ * loop nest with sequential semantics. The functional simulator must
+ * reproduce these results exactly (both use evalScalarOp), which is how
+ * end-to-end compilation + scheduling + simulation is verified.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "workloads/kernelspec.h"
+
+namespace overgen::wl {
+
+/**
+ * Named array storage for one kernel run. Values are carried as doubles;
+ * integer types operate on exactly-representable small integers (the
+ * deterministic initializer guarantees magnitudes far below 2^53), and
+ * bitwise ops round-trip through int64.
+ */
+class Memory
+{
+  public:
+    /** Allocate and deterministically initialize all arrays. */
+    void init(const KernelSpec &spec, uint64_t seed = 1);
+
+    /** @return backing store of @p name; fatal when unknown. */
+    std::vector<double> &array(const std::string &name);
+    const std::vector<double> &array(const std::string &name) const;
+
+    /** @return whether @p name exists. */
+    bool has(const std::string &name) const;
+
+  private:
+    std::map<std::string, std::vector<double>> arrays;
+};
+
+/**
+ * Evaluate one scalar op with the overlay's arithmetic semantics.
+ * Integer types truncate division and round results to integers.
+ */
+double evalScalarOp(Opcode op, DataType type, double a, double b);
+
+/** Execute @p spec over @p mem with sequential semantics. */
+void interpret(const KernelSpec &spec, Memory &mem);
+
+/**
+ * Resolve the flat element index of @p access at the given loop indices.
+ * Handles indirect accesses by reading the index array from @p mem.
+ * The result is clamped into the target array (mirrors the paper's
+ * "no memory access will overflow" assumption, §IV-B).
+ */
+int64_t resolveIndex(const KernelSpec &spec, const AccessSpec &access,
+                     const std::vector<int64_t> &ivs, const Memory &mem);
+
+/** @return trip count of loop @p depth at the given outer indices. */
+int64_t loopTrip(const KernelSpec &spec, size_t depth,
+                 const std::vector<int64_t> &ivs);
+
+/**
+ * Evaluate the per-iteration op DAG once at loop indices @p ivs,
+ * reading and writing @p mem with sequential semantics. The simulator's
+ * compute fabric calls this per fabric firing lane, which is how
+ * simulated results stay bit-identical to interpret().
+ */
+void evalIteration(const KernelSpec &spec,
+                   const std::vector<int64_t> &ivs, Memory &mem);
+
+} // namespace overgen::wl
+
+#endif // OVERGEN_WORKLOADS_INTERPRETER_H

@@ -1,0 +1,84 @@
+#include "workloads/kernelspec.h"
+
+#include <map>
+
+#include "common/logging.h"
+
+namespace overgen::wl {
+
+std::string
+suiteName(Suite suite)
+{
+    switch (suite) {
+      case Suite::Dsp:
+        return "dsp";
+      case Suite::MachSuite:
+        return "machsuite";
+      case Suite::Vision:
+        return "vision";
+    }
+    OG_PANIC("unknown suite");
+}
+
+const ArraySpec &
+KernelSpec::arrayByName(const std::string &array_name) const
+{
+    for (const ArraySpec &a : arrays) {
+        if (a.name == array_name)
+            return a;
+    }
+    OG_FATAL("kernel '", name, "' has no array '", array_name, "'");
+}
+
+int
+KernelSpec::arrayIndex(const std::string &array_name) const
+{
+    for (size_t i = 0; i < arrays.size(); ++i) {
+        if (arrays[i].name == array_name)
+            return static_cast<int>(i);
+    }
+    OG_FATAL("kernel '", name, "' has no array '", array_name, "'");
+}
+
+int64_t
+KernelSpec::totalIterations() const
+{
+    // For affine (triangular) trips this uses the base trip, i.e. an
+    // upper bound consistent with the HLS max-trip transformation.
+    int64_t total = 1;
+    for (const LoopSpec &loop : loops)
+        total *= std::max<int64_t>(loop.tripBase, 1);
+    return total;
+}
+
+DataType
+KernelSpec::dominantType() const
+{
+    std::map<DataType, int> votes;
+    for (const OpSpec &op : ops)
+        ++votes[op.type];
+    if (votes.empty())
+        return DataType::I64;
+    DataType best = votes.begin()->first;
+    int best_count = 0;
+    for (auto [type, count] : votes) {
+        if (count > best_count) {
+            best = type;
+            best_count = count;
+        }
+    }
+    return best;
+}
+
+int
+KernelSpec::opCount(Opcode op) const
+{
+    int count = 0;
+    for (const OpSpec &spec : ops) {
+        if (spec.op == op)
+            ++count;
+    }
+    return count;
+}
+
+} // namespace overgen::wl

@@ -1,0 +1,178 @@
+#ifndef OVERGEN_WORKLOADS_KERNELSPEC_H
+#define OVERGEN_WORKLOADS_KERNELSPEC_H
+
+/**
+ * @file
+ * Structured workload descriptors. A KernelSpec encodes exactly what the
+ * paper's Clang front end hands the decoupled-spatial compiler after
+ * pragma processing: the loop nest, the arrays, the (possibly indirect)
+ * affine accesses, and the per-iteration compute DAG — plus the
+ * code-pattern flags that drive HLS initiation-interval analysis
+ * (paper Table IV). See DESIGN.md "Substitutions".
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/opcode.h"
+#include "common/types.h"
+
+namespace overgen::wl {
+
+/** Workload suite (paper §VII). */
+enum class Suite : uint8_t {
+    Dsp,        //!< REVEL DSP kernels
+    MachSuite,  //!< MachSuite accelerator kernels
+    Vision,     //!< Xilinx Vitis vision library kernels
+};
+
+/** @return printable suite name. */
+std::string suiteName(Suite suite);
+
+/**
+ * One loop of a nest, outermost first. The trip count may be an affine
+ * function of outer loop variables (triangular nests):
+ * trip = tripBase + sum_d tripCoeff[d] * i_d over enclosing loops.
+ */
+struct LoopSpec
+{
+    std::string name;
+    int64_t tripBase = 1;
+    /** One coefficient per *enclosing* loop (may be empty). */
+    std::vector<int64_t> tripCoeff;
+    /** Trip count only known at runtime (HLS pattern, Table IV). */
+    bool variable = false;
+};
+
+/** A named array with element type and size. */
+struct ArraySpec
+{
+    std::string name;
+    DataType type = DataType::I64;
+    int64_t elements = 0;
+    /** Index array: initialized with valid indices into `indexTarget`. */
+    bool isIndex = false;
+    std::string indexTarget;
+
+    int64_t
+    sizeBytes() const
+    {
+        return elements * dataTypeBytes(type);
+    }
+};
+
+/**
+ * An array access: element index is affine in the loop variables,
+ * optionally routed through an index array (a[b[affine]]).
+ */
+struct AccessSpec
+{
+    std::string array;
+    /** One coefficient per loop, outermost first. */
+    std::vector<int64_t> coeffs;
+    int64_t offset = 0;
+    bool isWrite = false;
+    /** When non-empty, the affine index reads this array and its value
+     * (mod target size) indexes `array` instead. */
+    std::string indexArray;
+
+    /** @return whether this is an indirect access. */
+    bool indirect() const { return !indexArray.empty(); }
+};
+
+/**
+ * Operand of a compute op: a read access, a prior op, an immediate, or
+ * a loop induction variable (lowered to the generate engine's affine
+ * value sequences, paper §III-B).
+ */
+struct Operand
+{
+    enum class Kind : uint8_t { Access, Op, Imm, Index };
+
+    Kind kind = Kind::Imm;
+    int index = 0;    //!< access index, op index, or loop depth
+    double imm = 0.0; //!< immediate payload
+
+    static Operand access(int i) { return { Kind::Access, i, 0.0 }; }
+    static Operand op(int i) { return { Kind::Op, i, 0.0 }; }
+    static Operand imm64(double v) { return { Kind::Imm, 0, v }; }
+    /** The value of the loop at depth @p loop (outermost = 0). */
+    static Operand
+    indexVar(int loop)
+    {
+        return { Kind::Index, loop, 0.0 };
+    }
+};
+
+/**
+ * One compute op of the per-iteration DAG. Unary ops use only `lhs`.
+ * When `writeAccess` >= 0 the op's result is stored through that access.
+ */
+struct OpSpec
+{
+    Opcode op = Opcode::Add;
+    DataType type = DataType::I64;
+    Operand lhs;
+    Operand rhs;
+    int writeAccess = -1;
+};
+
+/** Code-pattern flags driving the HLS II model (paper Table IV, Q2). */
+struct CodePatterns
+{
+    /** Variable loop trip counts / imperfect nest. */
+    bool variableTripCount = false;
+    /** Small-stride access the HLS tool cannot coalesce. */
+    bool smallStrideAccess = false;
+    /** Sliding-window reuse HLS can capture with a line buffer. */
+    bool slidingWindow = false;
+    /** Present in AutoDSE's pre-built configuration database. */
+    bool inPrebuiltDatabase = false;
+};
+
+/** Source-level tuning applied to the OverGen version (paper Q2). */
+struct OverGenTuning
+{
+    /** Peel trailing iterations so scalar tails coalesce (fft). */
+    bool peelTail = false;
+    /** Unroll across two inner dimensions for reuse (gemm). */
+    bool unroll2d = false;
+    /** Manual unroll to reuse overlapped window data (stencils/blur). */
+    bool unrollForOverlap = false;
+};
+
+/**
+ * A complete workload: loop nest, arrays, accesses, compute DAG, and the
+ * modeling metadata (suite, patterns, tuning hooks).
+ */
+struct KernelSpec
+{
+    std::string name;
+    Suite suite = Suite::Dsp;
+    std::vector<LoopSpec> loops;
+    std::vector<ArraySpec> arrays;
+    std::vector<AccessSpec> accesses;
+    std::vector<OpSpec> ops;
+    CodePatterns patterns;
+    OverGenTuning tuning;
+    /** Maximum data-parallel unroll of the innermost loop. */
+    int maxUnroll = 8;
+    /** Arrays the pragma marks scratchpad-suitable (paper Fig. 5). */
+    std::vector<std::string> scratchpadHints;
+
+    /** @return the array spec by name; fatal when unknown. */
+    const ArraySpec &arrayByName(const std::string &array_name) const;
+    /** @return index of array by name; fatal when unknown. */
+    int arrayIndex(const std::string &array_name) const;
+    /** @return product of all (base) trip counts. */
+    int64_t totalIterations() const;
+    /** @return the dominant element data type of the kernel. */
+    DataType dominantType() const;
+    /** @return count of ops with opcode @p op in the per-iteration DAG. */
+    int opCount(Opcode op) const;
+};
+
+} // namespace overgen::wl
+
+#endif // OVERGEN_WORKLOADS_KERNELSPEC_H

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "adg/adg.h"
+#include "adg/builders.h"
+
+namespace overgen::adg {
+namespace {
+
+PeSpec
+simplePe()
+{
+    PeSpec pe;
+    pe.capabilities = { { Opcode::Add, DataType::I64 } };
+    return pe;
+}
+
+/** A minimal valid tile: dma -> in -> pe -> out -> dma, plus a switch. */
+Adg
+tinyTile()
+{
+    Adg adg;
+    NodeId dma = adg.addDma();
+    NodeId in = adg.addInPort();
+    NodeId sw = adg.addSwitch();
+    NodeId pe = adg.addPe(simplePe());
+    NodeId out = adg.addOutPort();
+    adg.addEdge(dma, in);
+    adg.addEdge(in, sw);
+    adg.addEdge(sw, pe);
+    adg.addEdge(in, pe);
+    adg.addEdge(pe, out);
+    adg.addEdge(out, dma);
+    return adg;
+}
+
+TEST(Adg, AddNodesAndCount)
+{
+    Adg adg = tinyTile();
+    EXPECT_EQ(adg.numNodes(), 5);
+    EXPECT_EQ(adg.countKind(NodeKind::Pe), 1);
+    EXPECT_EQ(adg.countKind(NodeKind::Switch), 1);
+    EXPECT_EQ(adg.countKind(NodeKind::Dma), 1);
+    EXPECT_EQ(adg.numEdges(), 6);
+}
+
+TEST(Adg, ValidTinyTile)
+{
+    EXPECT_EQ(tinyTile().validate(), "");
+}
+
+TEST(Adg, AdjacencyTracksEdges)
+{
+    Adg adg;
+    NodeId a = adg.addSwitch();
+    NodeId b = adg.addSwitch();
+    EdgeId e = adg.addEdge(a, b);
+    ASSERT_EQ(adg.outEdges(a).size(), 1u);
+    EXPECT_EQ(adg.outEdges(a)[0], e);
+    ASSERT_EQ(adg.inEdges(b).size(), 1u);
+    EXPECT_EQ(adg.edge(e).src, a);
+    EXPECT_EQ(adg.edge(e).dst, b);
+}
+
+TEST(Adg, RemoveEdge)
+{
+    Adg adg;
+    NodeId a = adg.addSwitch();
+    NodeId b = adg.addSwitch();
+    EdgeId e = adg.addEdge(a, b);
+    adg.removeEdge(e);
+    EXPECT_FALSE(adg.hasEdge(e));
+    EXPECT_TRUE(adg.outEdges(a).empty());
+    EXPECT_TRUE(adg.inEdges(b).empty());
+}
+
+TEST(Adg, RemoveNodeRemovesIncidentEdges)
+{
+    Adg adg;
+    NodeId a = adg.addSwitch();
+    NodeId b = adg.addSwitch();
+    NodeId c = adg.addSwitch();
+    adg.addEdge(a, b);
+    adg.addEdge(b, c);
+    adg.removeNode(b);
+    EXPECT_FALSE(adg.hasNode(b));
+    EXPECT_EQ(adg.numEdges(), 0);
+    EXPECT_TRUE(adg.outEdges(a).empty());
+    EXPECT_TRUE(adg.inEdges(c).empty());
+}
+
+TEST(Adg, IdsStableAcrossRemoval)
+{
+    Adg adg;
+    NodeId a = adg.addSwitch();
+    NodeId b = adg.addSwitch();
+    NodeId c = adg.addSwitch();
+    adg.removeNode(b);
+    EXPECT_TRUE(adg.hasNode(a));
+    EXPECT_TRUE(adg.hasNode(c));
+    EXPECT_EQ(adg.node(c).id, c);
+}
+
+TEST(Adg, EdgeLegalityMatrix)
+{
+    EXPECT_TRUE(Adg::edgeLegal(NodeKind::Dma, NodeKind::InPort));
+    EXPECT_TRUE(Adg::edgeLegal(NodeKind::InPort, NodeKind::Pe));
+    EXPECT_TRUE(Adg::edgeLegal(NodeKind::Pe, NodeKind::Pe));
+    EXPECT_TRUE(Adg::edgeLegal(NodeKind::OutPort, NodeKind::Scratchpad));
+    EXPECT_FALSE(Adg::edgeLegal(NodeKind::Dma, NodeKind::Pe));
+    EXPECT_FALSE(Adg::edgeLegal(NodeKind::OutPort, NodeKind::InPort));
+    EXPECT_FALSE(Adg::edgeLegal(NodeKind::Register, NodeKind::InPort));
+    EXPECT_FALSE(Adg::edgeLegal(NodeKind::Pe, NodeKind::InPort));
+}
+
+TEST(AdgDeathTest, IllegalEdgePanics)
+{
+    Adg adg;
+    NodeId dma = adg.addDma();
+    NodeId pe = adg.addPe(simplePe());
+    EXPECT_DEATH(adg.addEdge(dma, pe), "illegal ADG edge");
+}
+
+TEST(AdgDeathTest, AccessDeadNodePanics)
+{
+    Adg adg;
+    NodeId a = adg.addSwitch();
+    adg.removeNode(a);
+    EXPECT_DEATH(adg.node(a), "dead node");
+}
+
+TEST(Adg, ValidationCatchesDanglingPe)
+{
+    Adg adg;
+    NodeId pe = adg.addPe(simplePe());
+    (void)pe;
+    EXPECT_NE(adg.validate().find("dangling"), std::string::npos);
+}
+
+TEST(Adg, ValidationCatchesUnfedInPort)
+{
+    Adg adg = tinyTile();
+    NodeId in2 = adg.addInPort();
+    NodeId pe = adg.nodeIdsOfKind(NodeKind::Pe)[0];
+    adg.addEdge(in2, pe);
+    EXPECT_NE(adg.validate().find("fed by no stream engine"),
+              std::string::npos);
+}
+
+TEST(Adg, RadixAndAverage)
+{
+    Adg adg;
+    NodeId a = adg.addSwitch();
+    NodeId b = adg.addSwitch();
+    NodeId c = adg.addSwitch();
+    adg.addEdge(a, b);
+    adg.addEdge(b, c);
+    adg.addEdge(c, a);
+    EXPECT_EQ(adg.radix(a), 2);
+    EXPECT_DOUBLE_EQ(adg.averageSwitchRadix(), 2.0);
+}
+
+TEST(Adg, VersionBumpsOnMutation)
+{
+    Adg adg;
+    uint64_t v0 = adg.version();
+    NodeId a = adg.addSwitch();
+    EXPECT_GT(adg.version(), v0);
+    NodeId b = adg.addSwitch();
+    EdgeId e = adg.addEdge(a, b);
+    uint64_t v1 = adg.version();
+    adg.removeEdge(e);
+    EXPECT_GT(adg.version(), v1);
+}
+
+TEST(Adg, JsonRoundTrip)
+{
+    Adg adg = tinyTile();
+    Json json = adg.toJson();
+    Adg back = Adg::fromJson(json);
+    EXPECT_EQ(back.numNodes(), adg.numNodes());
+    EXPECT_EQ(back.numEdges(), adg.numEdges());
+    EXPECT_EQ(back.countKind(NodeKind::Pe), 1);
+    EXPECT_EQ(back.validate(), "");
+    // Spec payloads survive.
+    NodeId pe = back.nodeIdsOfKind(NodeKind::Pe)[0];
+    EXPECT_EQ(back.node(pe).pe().capabilities.size(), 1u);
+}
+
+TEST(Adg, JsonRoundTripAfterMutation)
+{
+    Adg adg = tinyTile();
+    // Kill the switch so ids become sparse, then round-trip.
+    adg.removeNode(adg.nodeIdsOfKind(NodeKind::Switch)[0]);
+    Adg back = Adg::fromJson(adg.toJson());
+    EXPECT_EQ(back.numNodes(), adg.numNodes());
+    EXPECT_EQ(back.numEdges(), adg.numEdges());
+}
+
+TEST(SystemParams, JsonRoundTrip)
+{
+    SystemParams sys;
+    sys.numTiles = 7;
+    sys.l2Banks = 16;
+    sys.l2CapacityKiB = 1024;
+    sys.nocBytes = 64;
+    sys.dramChannels = 2;
+    SystemParams back = SystemParams::fromJson(sys.toJson());
+    EXPECT_EQ(back, sys);
+}
+
+TEST(SysAdg, JsonRoundTrip)
+{
+    SysAdg design;
+    design.adg = tinyTile();
+    design.sys.numTiles = 4;
+    SysAdg back = SysAdg::fromJson(design.toJson());
+    EXPECT_EQ(back.sys, design.sys);
+    EXPECT_EQ(back.adg.numNodes(), design.adg.numNodes());
+}
+
+} // namespace
+} // namespace overgen::adg

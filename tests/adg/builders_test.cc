@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "adg/builders.h"
+
+namespace overgen::adg {
+namespace {
+
+MeshConfig
+baseConfig()
+{
+    MeshConfig config;
+    config.rows = 3;
+    config.cols = 3;
+    config.numPes = 4;
+    config.peCapabilities = intCapabilities(DataType::I64);
+    config.numInPorts = 3;
+    config.numOutPorts = 2;
+    return config;
+}
+
+TEST(Builders, MeshTileIsValid)
+{
+    Adg adg = buildMeshTile(baseConfig());
+    EXPECT_EQ(adg.validate(), "");
+}
+
+TEST(Builders, MeshTileCounts)
+{
+    Adg adg = buildMeshTile(baseConfig());
+    EXPECT_EQ(adg.countKind(NodeKind::Switch), 9);
+    EXPECT_EQ(adg.countKind(NodeKind::Pe), 4);
+    EXPECT_EQ(adg.countKind(NodeKind::InPort), 3);
+    EXPECT_EQ(adg.countKind(NodeKind::OutPort), 2);
+    EXPECT_EQ(adg.countKind(NodeKind::Dma), 1);
+    EXPECT_EQ(adg.countKind(NodeKind::Scratchpad), 1);
+    EXPECT_EQ(adg.countKind(NodeKind::Recurrence), 1);
+    EXPECT_EQ(adg.countKind(NodeKind::Generate), 1);
+    EXPECT_EQ(adg.countKind(NodeKind::Register), 1);
+}
+
+TEST(Builders, EnginesFeedEveryInPort)
+{
+    Adg adg = buildMeshTile(baseConfig());
+    for (NodeId port : adg.nodeIdsOfKind(NodeKind::InPort)) {
+        // DMA, spad, gen, rec = 4 feeding engines per in-port.
+        EXPECT_EQ(adg.inEdges(port).size(), 4u);
+    }
+}
+
+TEST(Builders, NoScratchpadOption)
+{
+    MeshConfig config = baseConfig();
+    config.numScratchpads = 0;
+    Adg adg = buildMeshTile(config);
+    EXPECT_EQ(adg.countKind(NodeKind::Scratchpad), 0);
+    EXPECT_EQ(adg.validate(), "");
+}
+
+TEST(Builders, MultiScratchpad)
+{
+    MeshConfig config = baseConfig();
+    config.numScratchpads = 2;
+    Adg adg = buildMeshTile(config);
+    EXPECT_EQ(adg.countKind(NodeKind::Scratchpad), 2);
+    EXPECT_EQ(adg.validate(), "");
+}
+
+TEST(Builders, GeneralOverlaySpecs)
+{
+    Adg adg = buildGeneralOverlayTile();
+    EXPECT_EQ(adg.validate(), "");
+    // Table III general column: 24 PEs, 35 switches.
+    EXPECT_EQ(adg.countKind(NodeKind::Pe), 24);
+    EXPECT_EQ(adg.countKind(NodeKind::Switch), 35);
+    // 512-bit datapath.
+    NodeId pe = adg.nodeIdsOfKind(NodeKind::Pe)[0];
+    EXPECT_EQ(adg.node(pe).pe().datapathBytes, 64);
+    // Full capability provisioning includes f64 sqrt and i8 add.
+    const auto &caps = adg.node(pe).pe().capabilities;
+    EXPECT_TRUE(caps.count({ Opcode::Sqrt, DataType::F64 }));
+    EXPECT_TRUE(caps.count({ Opcode::Add, DataType::I8 }));
+}
+
+TEST(Builders, IntCapabilitiesExcludeSqrt)
+{
+    auto caps = intCapabilities(DataType::I32);
+    EXPECT_FALSE(caps.count({ Opcode::Sqrt, DataType::I32 }));
+    EXPECT_TRUE(caps.count({ Opcode::Shl, DataType::I32 }));
+}
+
+TEST(Builders, FloatCapabilitiesExcludeBitwise)
+{
+    auto caps = floatCapabilities(DataType::F32);
+    EXPECT_FALSE(caps.count({ Opcode::And, DataType::F32 }));
+    EXPECT_TRUE(caps.count({ Opcode::Sqrt, DataType::F32 }));
+}
+
+TEST(BuildersDeathTest, EmptyCapabilitiesRejected)
+{
+    MeshConfig config = baseConfig();
+    config.peCapabilities.clear();
+    EXPECT_DEATH(buildMeshTile(config), "capabilities");
+}
+
+} // namespace
+} // namespace overgen::adg

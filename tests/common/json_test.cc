@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+
+namespace overgen {
+namespace {
+
+TEST(Json, ScalarRoundTrip)
+{
+    EXPECT_EQ(Json(true).dump(), "true");
+    EXPECT_EQ(Json(false).dump(), "false");
+    EXPECT_EQ(Json(nullptr).dump(), "null");
+    EXPECT_EQ(Json(42).dump(), "42");
+    EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, NumberFormatting)
+{
+    EXPECT_EQ(Json(3.5).dump(), "3.5");
+    EXPECT_EQ(Json(-7).dump(), "-7");
+    EXPECT_EQ(Json(int64_t{ 1 } << 40).dump(), "1099511627776");
+}
+
+TEST(Json, ObjectBuildAndAccess)
+{
+    Json obj = Json::makeObject();
+    obj.set("a", 1);
+    obj.set("b", "two");
+    EXPECT_TRUE(obj.contains("a"));
+    EXPECT_FALSE(obj.contains("c"));
+    EXPECT_EQ(obj.at("a").asInt(), 1);
+    EXPECT_EQ(obj.at("b").asString(), "two");
+    EXPECT_DOUBLE_EQ(obj.numberOr("missing", 9.5), 9.5);
+}
+
+TEST(Json, ArrayPush)
+{
+    Json arr = Json::makeArray();
+    arr.push(1);
+    arr.push(2);
+    arr.push(3);
+    ASSERT_EQ(arr.asArray().size(), 3u);
+    EXPECT_EQ(arr.asArray()[2].asInt(), 3);
+}
+
+TEST(Json, ParseScalars)
+{
+    EXPECT_TRUE(Json::parse("null").isNull());
+    EXPECT_EQ(Json::parse("true").asBool(), true);
+    EXPECT_EQ(Json::parse("-12").asInt(), -12);
+    EXPECT_DOUBLE_EQ(Json::parse("2.5e2").asNumber(), 250.0);
+    EXPECT_EQ(Json::parse("\"x\\ny\"").asString(), "x\ny");
+}
+
+TEST(Json, ParseNested)
+{
+    Json v = Json::parse(R"({"a": [1, 2, {"b": true}], "c": "s"})");
+    EXPECT_EQ(v.at("a").asArray()[1].asInt(), 2);
+    EXPECT_TRUE(v.at("a").asArray()[2].at("b").asBool());
+    EXPECT_EQ(v.at("c").asString(), "s");
+}
+
+TEST(Json, RoundTripComplex)
+{
+    Json obj = Json::makeObject();
+    Json inner = Json::makeArray();
+    inner.push(Json(1.25));
+    inner.push(Json("with \"quotes\" and \\slash"));
+    obj.set("list", std::move(inner));
+    obj.set("flag", false);
+    std::string text = obj.dump(2);
+    Json reparsed = Json::parse(text);
+    EXPECT_EQ(reparsed.dump(), obj.dump());
+}
+
+TEST(Json, PrettyPrintContainsNewlines)
+{
+    Json obj = Json::makeObject();
+    obj.set("k", 1);
+    EXPECT_NE(obj.dump(2).find('\n'), std::string::npos);
+    EXPECT_EQ(obj.dump(0).find('\n'), std::string::npos);
+}
+
+TEST(Json, EmptyContainers)
+{
+    EXPECT_EQ(Json::makeArray().dump(2), "[]");
+    EXPECT_EQ(Json::makeObject().dump(2), "{}");
+    EXPECT_TRUE(Json::parse("[]").asArray().empty());
+    EXPECT_TRUE(Json::parse("{}").asObject().empty());
+}
+
+TEST(Json, WhitespaceTolerant)
+{
+    Json v = Json::parse("  { \"a\" :\n[ 1 ,\t2 ] }  ");
+    EXPECT_EQ(v.at("a").asArray().size(), 2u);
+}
+
+} // namespace
+} // namespace overgen

@@ -1,0 +1,39 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace overgen {
+namespace {
+
+TEST(Logging, ConcatFormatsMixedTypes)
+{
+    EXPECT_EQ(detail::concat("a", 1, "b", 2.5), "a1b2.5");
+    EXPECT_EQ(detail::concat(), "");
+}
+
+TEST(Logging, VerboseToggle)
+{
+    detail::setVerbose(true);
+    EXPECT_TRUE(detail::verbose());
+    detail::setVerbose(false);
+    EXPECT_FALSE(detail::verbose());
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(OG_PANIC("boom ", 42), "boom 42");
+}
+
+TEST(LoggingDeathTest, AssertFailureAborts)
+{
+    EXPECT_DEATH(OG_ASSERT(1 == 2, "math broke"), "math broke");
+}
+
+TEST(Logging, AssertPassIsSilent)
+{
+    OG_ASSERT(true, "never printed");
+    SUCCEED();
+}
+
+} // namespace
+} // namespace overgen

@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "common/opcode.h"
+
+namespace overgen {
+namespace {
+
+TEST(Opcode, NameRoundTrip)
+{
+    for (Opcode op : allOpcodes())
+        EXPECT_EQ(opcodeFromName(opcodeName(op)), op);
+}
+
+TEST(Opcode, AllOpcodesCovered)
+{
+    EXPECT_EQ(static_cast<int>(allOpcodes().size()), numOpcodes());
+}
+
+TEST(Opcode, FloatOpsSlower)
+{
+    auto int_add = opProperties(Opcode::Add, DataType::I64);
+    auto flt_add = opProperties(Opcode::Add, DataType::F64);
+    EXPECT_LT(int_add.latency, flt_add.latency);
+}
+
+TEST(Opcode, DividerNotPipelined)
+{
+    EXPECT_FALSE(opProperties(Opcode::Div, DataType::F64).pipelined);
+    EXPECT_FALSE(opProperties(Opcode::Sqrt, DataType::F32).pipelined);
+    EXPECT_TRUE(opProperties(Opcode::Mul, DataType::I32).pipelined);
+}
+
+TEST(Opcode, MultiplierUsesDsp)
+{
+    EXPECT_TRUE(opProperties(Opcode::Mul, DataType::I16).usesDsp);
+    EXPECT_FALSE(opProperties(Opcode::And, DataType::I64).usesDsp);
+}
+
+TEST(Opcode, CapabilityNaming)
+{
+    FuCapability cap{ Opcode::Mul, DataType::F64 };
+    EXPECT_EQ(fuCapabilityName(cap), "mul.f64");
+}
+
+TEST(Opcode, CapabilityOrdering)
+{
+    FuCapability a{ Opcode::Add, DataType::I8 };
+    FuCapability b{ Opcode::Add, DataType::I16 };
+    FuCapability c{ Opcode::Mul, DataType::I8 };
+    EXPECT_LT(a, b);
+    EXPECT_LT(a, c);
+    EXPECT_EQ(a, (FuCapability{ Opcode::Add, DataType::I8 }));
+}
+
+TEST(OpcodeDeathTest, UnknownNameIsFatal)
+{
+    EXPECT_DEATH(opcodeFromName("frobnicate"), "unknown opcode");
+}
+
+} // namespace
+} // namespace overgen

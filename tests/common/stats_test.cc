@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/stats.h"
+
+namespace overgen {
+namespace {
+
+TEST(Stats, GeometricMeanBasics)
+{
+    std::vector<double> v{ 1.0, 4.0 };
+    EXPECT_DOUBLE_EQ(geometricMean(v), 2.0);
+    std::vector<double> single{ 7.0 };
+    EXPECT_DOUBLE_EQ(geometricMean(single), 7.0);
+}
+
+TEST(Stats, GeometricMeanScaleInvariance)
+{
+    std::vector<double> v{ 2.0, 8.0, 32.0 };
+    std::vector<double> scaled{ 4.0, 16.0, 64.0 };
+    EXPECT_NEAR(geometricMean(scaled), 2.0 * geometricMean(v), 1e-12);
+}
+
+TEST(Stats, WeightedGeometricMeanEqualWeightsMatches)
+{
+    std::vector<double> v{ 1.0, 2.0, 4.0 };
+    std::vector<double> w{ 1.0, 1.0, 1.0 };
+    EXPECT_NEAR(weightedGeometricMean(v, w), geometricMean(v), 1e-12);
+}
+
+TEST(Stats, WeightedGeometricMeanSkew)
+{
+    std::vector<double> v{ 1.0, 16.0 };
+    std::vector<double> w{ 3.0, 1.0 };
+    // exp((3*log1 + log16)/4) = 2
+    EXPECT_NEAR(weightedGeometricMean(v, w), 2.0, 1e-12);
+}
+
+TEST(Stats, ArithmeticMean)
+{
+    std::vector<double> v{ 1.0, 2.0, 3.0, 6.0 };
+    EXPECT_DOUBLE_EQ(arithmeticMean(v), 3.0);
+}
+
+TEST(StatsDeathTest, EmptyInputPanics)
+{
+    std::vector<double> empty;
+    EXPECT_DEATH(geometricMean(empty), "empty");
+}
+
+TEST(StatsDeathTest, NonPositiveValuePanics)
+{
+    std::vector<double> v{ 1.0, 0.0 };
+    EXPECT_DEATH(geometricMean(v), "non-positive");
+}
+
+} // namespace
+} // namespace overgen

@@ -1,0 +1,47 @@
+#include <gtest/gtest.h>
+
+#include "common/types.h"
+
+namespace overgen {
+namespace {
+
+TEST(DataType, Widths)
+{
+    EXPECT_EQ(dataTypeBytes(DataType::I8), 1);
+    EXPECT_EQ(dataTypeBytes(DataType::I16), 2);
+    EXPECT_EQ(dataTypeBytes(DataType::I32), 4);
+    EXPECT_EQ(dataTypeBytes(DataType::I64), 8);
+    EXPECT_EQ(dataTypeBytes(DataType::F32), 4);
+    EXPECT_EQ(dataTypeBytes(DataType::F64), 8);
+}
+
+TEST(DataType, FloatClassification)
+{
+    EXPECT_TRUE(dataTypeIsFloat(DataType::F32));
+    EXPECT_TRUE(dataTypeIsFloat(DataType::F64));
+    EXPECT_FALSE(dataTypeIsFloat(DataType::I16));
+}
+
+TEST(DataType, NameRoundTrip)
+{
+    for (DataType type : { DataType::I8, DataType::I16, DataType::I32,
+                           DataType::I64, DataType::F32, DataType::F64 }) {
+        EXPECT_EQ(dataTypeFromName(dataTypeName(type)), type);
+    }
+}
+
+TEST(DataType, SubwordLanes)
+{
+    EXPECT_EQ(subwordLanes(8, DataType::I16), 4);
+    EXPECT_EQ(subwordLanes(64, DataType::F32), 16);
+    EXPECT_EQ(subwordLanes(8, DataType::I64), 1);
+    EXPECT_EQ(subwordLanes(4, DataType::F64), 0);
+}
+
+TEST(DataTypeDeathTest, UnknownNameFatal)
+{
+    EXPECT_DEATH(dataTypeFromName("i128"), "unknown data type");
+}
+
+} // namespace
+} // namespace overgen

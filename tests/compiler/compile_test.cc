@@ -1,0 +1,323 @@
+#include <gtest/gtest.h>
+
+#include "compiler/compile.h"
+#include "workloads/interpreter.h"
+#include "workloads/suites.h"
+
+namespace overgen::compiler {
+namespace {
+
+using dfg::Mdfg;
+using dfg::NodeKind;
+using dfg::StreamSource;
+
+TEST(Compile, AllWorkloadsCompileAllVariants)
+{
+    for (const auto &k : wl::allWorkloads()) {
+        auto variants = compileVariants(k);
+        EXPECT_FALSE(variants.empty()) << k.name;
+        for (const auto &v : variants)
+            EXPECT_EQ(v.validate(), "") << v.name;
+    }
+}
+
+TEST(Compile, VariantsOrderedMostAggressiveFirst)
+{
+    auto variants = compileVariants(wl::makeMm(32));
+    ASSERT_GE(variants.size(), 2u);
+    for (size_t i = 1; i < variants.size(); ++i) {
+        EXPECT_GE(variants[i - 1].unrollFactor,
+                  variants[i].unrollFactor);
+    }
+    EXPECT_EQ(variants.back().unrollFactor, 1);
+}
+
+TEST(Compile, RecurrenceVariantsGeneratedForAccumulations)
+{
+    auto variants = compileVariants(wl::makeMm(32));
+    bool with_rec = false, without_rec = false;
+    for (const auto &v : variants) {
+        with_rec |= v.usesRecurrence;
+        without_rec |= !v.usesRecurrence;
+    }
+    EXPECT_TRUE(with_rec);
+    EXPECT_TRUE(without_rec);
+}
+
+TEST(Compile, NoRecurrenceVariantForPointwise)
+{
+    auto variants = compileVariants(wl::makeAccumulate(16));
+    for (const auto &v : variants)
+        EXPECT_FALSE(v.usesRecurrence) << v.name;
+}
+
+TEST(Compile, RecurrencePairLinked)
+{
+    Mdfg m = compileOne(wl::makeMm(16), 2, true, false);
+    int rec_in = 0, rec_out = 0;
+    for (auto id : m.nodeIdsOfKind(NodeKind::InputStream)) {
+        const auto &s = m.node(id).stream;
+        if (s.source == StreamSource::Recurrence) {
+            ++rec_in;
+            ASSERT_NE(s.recurrencePeer, dfg::invalidNode);
+            EXPECT_EQ(m.node(s.recurrencePeer).stream.recurrencePeer,
+                      id);
+        }
+    }
+    for (auto id : m.nodeIdsOfKind(NodeKind::OutputStream)) {
+        if (m.node(id).stream.source == StreamSource::Recurrence)
+            ++rec_out;
+    }
+    EXPECT_EQ(rec_in, 1);
+    EXPECT_EQ(rec_out, 1);
+}
+
+TEST(Compile, UnrollSetsLanes)
+{
+    Mdfg m = compileOne(wl::makeAccumulate(16), 4, false, false);
+    for (auto id : m.nodeIdsOfKind(NodeKind::Instruction))
+        EXPECT_EQ(m.node(id).inst.lanes, 4);
+    EXPECT_EQ(m.unrollFactor, 4);
+    EXPECT_EQ(m.vectorization(), 4);
+}
+
+TEST(Compile, StationaryStreamKeepsOneLane)
+{
+    // mm: a[i*n+k] is stationary over j; its stream stays scalar.
+    Mdfg m = compileOne(wl::makeMm(16), 4, false, false);
+    bool found = false;
+    for (auto id : m.nodeIdsOfKind(NodeKind::InputStream)) {
+        const auto &s = m.node(id).stream;
+        if (s.reuse.stationary > 1.0) {
+            EXPECT_EQ(s.lanes, 1);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Compile, Bgr2GreyCoalescesInterleavedChannels)
+{
+    // Three stride-3 reads (offsets 0,1,2) coalesce into one stream.
+    Mdfg m = compileOne(wl::makeBgr2Grey(16), 2, false, false);
+    auto inputs = m.nodeIdsOfKind(NodeKind::InputStream);
+    ASSERT_EQ(inputs.size(), 1u);
+    const auto &s = m.node(inputs[0]).stream;
+    EXPECT_EQ(s.specAccesses.size(), 3u);
+    EXPECT_EQ(s.lanes, 6);  // unroll 2 x stride group 3
+    EXPECT_DOUBLE_EQ(s.bandwidthEfficiency, 1.0);
+}
+
+TEST(Compile, FftStridedCoalescingRequiresTuning)
+{
+    // fft has variable trips: strided reads coalesce only when tuned.
+    Mdfg untuned = compileOne(wl::makeFft(6), 2, false, false);
+    int untuned_inputs = static_cast<int>(
+        untuned.nodeIdsOfKind(NodeKind::InputStream).size());
+    Mdfg tuned = compileOne(wl::makeFft(6), 2, false, true);
+    int tuned_inputs = static_cast<int>(
+        tuned.nodeIdsOfKind(NodeKind::InputStream).size());
+    EXPECT_GT(untuned_inputs, tuned_inputs);
+    // Untuned strided streams pay a bandwidth-efficiency penalty.
+    bool penalized = false;
+    for (auto id : untuned.nodeIdsOfKind(NodeKind::InputStream))
+        penalized |= untuned.node(id).stream.bandwidthEfficiency < 1.0;
+    EXPECT_TRUE(penalized);
+}
+
+TEST(Compile, BlurOverlapMergeWhenTuned)
+{
+    Mdfg untuned = compileOne(wl::makeBlur(16), 2, false, false);
+    Mdfg tuned = compileOne(wl::makeBlur(16), 2, false, true);
+    // Tuned: 3 row streams instead of 9 tap streams.
+    EXPECT_GT(untuned.nodeIdsOfKind(NodeKind::InputStream).size(),
+              tuned.nodeIdsOfKind(NodeKind::InputStream).size());
+    EXPECT_TRUE(tuned.tuned);
+    // Overlap merging cuts total memory-bandwidth demand
+    // (traffic / captured reuse) by roughly the window height.
+    auto demand = [](const Mdfg &m) {
+        double total = 0;
+        for (auto id : m.nodeIdsOfKind(NodeKind::InputStream)) {
+            const auto &reuse = m.node(id).stream.reuse;
+            total += reuse.trafficBytes / reuse.capturedFactor();
+        }
+        return total;
+    };
+    EXPECT_LT(demand(tuned) * 4, demand(untuned));
+}
+
+TEST(Compile, ConstantTapsReadOnce)
+{
+    // stencil-2d coefficient taps: all-zero coeffs -> one stream whose
+    // traffic is just the 9 taps.
+    Mdfg m = compileOne(wl::makeStencil2d(8, 1), 1, false, false);
+    bool found = false;
+    for (auto id : m.nodeIdsOfKind(NodeKind::InputStream)) {
+        const auto &s = m.node(id).stream;
+        if (s.specAccesses.size() == 9) {
+            found = true;
+            EXPECT_DOUBLE_EQ(s.reuse.trafficBytes, 9.0 * 8);
+            // Held stationary for the whole region: 1*8*8 iterations.
+            EXPECT_DOUBLE_EQ(s.reuse.stationary, 64.0);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Compile, IndirectStreamHasIndexFeed)
+{
+    Mdfg m = compileOne(wl::makeEllpack(32, 4), 1, false, false);
+    int indirect_count = 0;
+    for (auto id : m.nodeIdsOfKind(NodeKind::InputStream)) {
+        const auto &s = m.node(id).stream;
+        if (s.indirect) {
+            ++indirect_count;
+            ASSERT_NE(s.indexStream, dfg::invalidNode);
+            EXPECT_FALSE(m.node(s.indexStream).stream.indirect);
+        }
+    }
+    EXPECT_EQ(indirect_count, 1);
+}
+
+TEST(Compile, ArraysAttachedToStreams)
+{
+    Mdfg m = compileOne(wl::makeFir(64, 8), 2, false, false);
+    auto arrays = m.nodeIdsOfKind(NodeKind::Array);
+    EXPECT_EQ(arrays.size(), 3u);  // a, b, c
+    for (auto id : m.nodeIdsOfKind(NodeKind::InputStream)) {
+        const auto &s = m.node(id).stream;
+        if (s.source == StreamSource::Memory &&
+            !s.specAccesses.empty()) {
+            EXPECT_NE(s.array, dfg::invalidNode);
+        }
+    }
+}
+
+TEST(Compile, ScratchpadHintHonored)
+{
+    Mdfg m = compileOne(wl::makeFir(64, 8), 1, false, false);
+    bool a_spad = false;
+    for (auto id : m.nodeIdsOfKind(NodeKind::Array)) {
+        const auto &arr = m.node(id).array;
+        if (arr.name == "a") {
+            a_spad = arr.preferred == dfg::ArrayPlacement::Scratchpad;
+            // Double-buffered allocation.
+            EXPECT_EQ(arr.sizeBytes, 2 * (64 + 8) * 8);
+        }
+    }
+    EXPECT_TRUE(a_spad);
+}
+
+TEST(Compile, ImmediatesFoldIntoInstruction)
+{
+    Mdfg m = compileOne(wl::makeBgr2Grey(16), 1, false, false);
+    int with_imm = 0;
+    for (auto id : m.nodeIdsOfKind(NodeKind::Instruction)) {
+        if (m.node(id).inst.immediate.has_value())
+            ++with_imm;
+    }
+    EXPECT_EQ(with_imm, 4);  // 3 muls by weight + div by 256
+}
+
+TEST(Compile, VariableTripPropagatesToStreams)
+{
+    Mdfg m = compileOne(wl::makeCrs(32, 4), 1, false, false);
+    for (auto id : m.nodeIdsOfKind(NodeKind::InputStream)) {
+        const auto &s = m.node(id).stream;
+        if (s.source == StreamSource::Memory) {
+            EXPECT_TRUE(s.variableTripCount);
+        }
+    }
+}
+
+TEST(Compile, Gemm2dUnrollDoublesLanesWhenTuned)
+{
+    Mdfg plain = compileOne(wl::makeGemm(16), 4, false, false);
+    Mdfg tuned = compileOne(wl::makeGemm(16), 4, false, true);
+    EXPECT_EQ(plain.vectorization(), 4);
+    EXPECT_EQ(tuned.vectorization(), 8);
+}
+
+TEST(Compile, InstructionBandwidthGrowsWithUnroll)
+{
+    Mdfg u1 = compileOne(wl::makeAccumulate(16), 1, false, false);
+    Mdfg u4 = compileOne(wl::makeAccumulate(16), 4, false, false);
+    EXPECT_GT(u4.instructionBandwidth(), u1.instructionBandwidth());
+}
+
+TEST(Compile, SolverOnlyUnrollOne)
+{
+    // solver's innermost trip base is 1 (triangular): only u=1 works.
+    auto variants = compileVariants(wl::makeSolver(16));
+    for (const auto &v : variants)
+        EXPECT_EQ(v.unrollFactor, 1) << v.name;
+}
+
+} // namespace
+} // namespace overgen::compiler
+
+namespace overgen::compiler {
+namespace {
+
+/** c[i] = a[i] * i: the induction variable as an operand. */
+wl::KernelSpec
+rampKernel(int n = 64)
+{
+    wl::KernelSpec k;
+    k.name = "ramp";
+    k.suite = wl::Suite::Dsp;
+    k.loops = { { "i", n, {}, false } };
+    k.arrays = { { "a", DataType::I64, n, false, "" },
+                 { "c", DataType::I64, n, false, "" } };
+    k.accesses = { { "a", { 1 }, 0, false, "" },
+                   { "c", { 1 }, 0, true, "" } };
+    k.ops = { { Opcode::Mul, DataType::I64, wl::Operand::access(0),
+                wl::Operand::indexVar(0), 1 } };
+    k.maxUnroll = 4;
+    return k;
+}
+
+TEST(Compile, IndexOperandBecomesGeneratedStream)
+{
+    dfg::Mdfg m = compileOne(rampKernel(), 2, false, false);
+    EXPECT_EQ(m.validate(), "");
+    int generated = 0;
+    for (auto id : m.nodeIdsOfKind(dfg::NodeKind::InputStream)) {
+        if (m.node(id).stream.source ==
+            dfg::StreamSource::Generated) {
+            ++generated;
+            EXPECT_EQ(m.node(id).stream.lanes, 2);
+        }
+    }
+    EXPECT_EQ(generated, 1);
+}
+
+TEST(Compile, IndexStreamSharedAcrossConsumers)
+{
+    // Two ops consuming the same induction variable share one
+    // generated stream.
+    wl::KernelSpec k = rampKernel();
+    k.ops.push_back({ Opcode::Add, DataType::I64, wl::Operand::op(0),
+                      wl::Operand::indexVar(0), -1 });
+    dfg::Mdfg m = compileOne(k, 1, false, false);
+    int generated = 0;
+    for (auto id : m.nodeIdsOfKind(dfg::NodeKind::InputStream)) {
+        generated += m.node(id).stream.source ==
+                     dfg::StreamSource::Generated;
+    }
+    EXPECT_EQ(generated, 1);
+}
+
+TEST(Compile, InterpreterEvaluatesIndexOperand)
+{
+    wl::KernelSpec k = rampKernel(16);
+    wl::Memory mem;
+    mem.init(k);
+    std::vector<double> a = mem.array("a");
+    wl::interpret(k, mem);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_DOUBLE_EQ(mem.array("c")[i], a[i] * i);
+}
+
+} // namespace
+} // namespace overgen::compiler

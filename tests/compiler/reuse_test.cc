@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "compiler/reuse.h"
+#include "workloads/suites.h"
+
+namespace overgen::compiler {
+namespace {
+
+using wl::KernelSpec;
+
+TEST(Reuse, FirMatchesPaperExample)
+{
+    // Paper Fig. 5 analyzes a tiled FIR with io=4, j=128, ii=32.
+    // Our generator: makeFir(128, 128) gives io=4, j=128, ii=32.
+    KernelSpec k = wl::makeFir(128, 128);
+    ASSERT_EQ(k.loops[0].tripBase, 4);
+    ASSERT_EQ(k.loops[1].tripBase, 128);
+    ASSERT_EQ(k.loops[2].tripBase, 32);
+
+    // Access 0: a[io*32 + j + ii] — traffic = 4*128*32 = 16384,
+    // footprint = 32*3 + 127 + 31 + 1 = 255 (paper: 255).
+    AccessAnalysis a = analyzeAccess(k, 0);
+    EXPECT_EQ(a.trafficElements, 16384);
+    EXPECT_EQ(a.footprintElements, 255);
+    EXPECT_EQ(a.stationary, 1);
+
+    // Access 1: b[j] — stationary over ii with factor 32 (paper:
+    // "Port Reuse: 32"), footprint 128.
+    AccessAnalysis b = analyzeAccess(k, 1);
+    EXPECT_EQ(b.stationary, 32);
+    EXPECT_EQ(b.footprintElements, 128);
+
+    // Access 2/3: c[io*32+ii] read/write pair — recurrent across j
+    // with 128 recurrences and 32 concurrent instances (paper:
+    // "Recur: 128" over 32 concurrent instances).
+    AccessAnalysis c = analyzeAccess(k, 2);
+    ASSERT_TRUE(c.recurrentPeer.has_value());
+    EXPECT_EQ(*c.recurrentPeer, 3);
+    EXPECT_EQ(c.recurrentTrips, 128);
+    EXPECT_EQ(c.recurrentConcurrency, 32);
+}
+
+TEST(Reuse, IndirectFootprintIsWholeArray)
+{
+    KernelSpec k = wl::makeEllpack(100, 4);
+    // Access 1: x[ind[...]] — uniform-distribution assumption.
+    AccessAnalysis a = analyzeAccess(k, 1);
+    EXPECT_EQ(a.footprintElements, 100);
+    EXPECT_EQ(a.trafficElements, 400);
+}
+
+TEST(Reuse, StationaryRequiresZeroInnerCoeff)
+{
+    KernelSpec k = wl::makeMm(16);
+    // a[i*n+k]: inner coeff (j) is 0 -> stationary 16.
+    EXPECT_EQ(analyzeAccess(k, 0).stationary, 16);
+    // b[k*n+j]: inner coeff 1 -> no stationary reuse.
+    EXPECT_EQ(analyzeAccess(k, 1).stationary, 1);
+}
+
+TEST(Reuse, WriteStreamFindsRecurrentPeer)
+{
+    KernelSpec k = wl::makeMm(16);
+    AccessAnalysis w = analyzeAccess(k, 3);
+    ASSERT_TRUE(w.recurrentPeer.has_value());
+    EXPECT_EQ(*w.recurrentPeer, 2);
+    EXPECT_EQ(w.recurrentTrips, 16);  // across k
+}
+
+TEST(Reuse, NoRecurrenceForPureReads)
+{
+    KernelSpec k = wl::makeMm(16);
+    EXPECT_FALSE(analyzeAccess(k, 0).recurrentPeer.has_value());
+    EXPECT_FALSE(analyzeAccess(k, 1).recurrentPeer.has_value());
+}
+
+TEST(Reuse, ToReuseInfoScalesByElementBytes)
+{
+    KernelSpec k = wl::makeMm(16);
+    AccessAnalysis a = analyzeAccess(k, 0);
+    dfg::ReuseInfo info = toReuseInfo(k, 0, a, false);
+    EXPECT_DOUBLE_EQ(info.trafficBytes,
+                     static_cast<double>(a.trafficElements) * 8);
+    EXPECT_DOUBLE_EQ(info.footprintBytes,
+                     static_cast<double>(a.footprintElements) * 8);
+}
+
+TEST(Reuse, RecurrenceFactorOnlyWhenEnabled)
+{
+    KernelSpec k = wl::makeMm(16);
+    AccessAnalysis c = analyzeAccess(k, 2);
+    EXPECT_DOUBLE_EQ(toReuseInfo(k, 2, c, false).recurrent, 1.0);
+    EXPECT_DOUBLE_EQ(toReuseInfo(k, 2, c, true).recurrent, 16.0);
+}
+
+TEST(Reuse, ArrayGeneralReuseHighForSharedFilter)
+{
+    KernelSpec k = wl::makeFir(128, 128);
+    // b is touched 4*128*32 times with footprint 128, but 32x is
+    // captured stationary: general reuse ~ 4*128*32/32/128 = 4.
+    EXPECT_NEAR(arrayGeneralReuse(k, "b"), 4.0, 1e-9);
+    // a: 16384 uses / 255 elements ~ 64.
+    EXPECT_NEAR(arrayGeneralReuse(k, "a"), 16384.0 / 255.0, 1e-9);
+}
+
+TEST(Reuse, PointwiseKernelHasNoReuse)
+{
+    KernelSpec k = wl::makeAccumulate(16);
+    AccessAnalysis a = analyzeAccess(k, 0);
+    EXPECT_EQ(a.trafficElements, a.footprintElements);
+    EXPECT_EQ(a.stationary, 1);
+    EXPECT_FALSE(a.recurrentPeer.has_value());
+}
+
+} // namespace
+} // namespace overgen::compiler

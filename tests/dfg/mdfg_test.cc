@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "dfg/mdfg.h"
+
+namespace overgen::dfg {
+namespace {
+
+/** c[i] = a[i] + b[i] as an mDFG (paper Fig. 2b). */
+Mdfg
+vecAdd(int lanes = 2)
+{
+    Mdfg mdfg;
+    ArrayNode arr_a{ "a", 8 * 1024, ArrayPlacement::Dram, false };
+    ArrayNode arr_b{ "b", 8 * 1024, ArrayPlacement::Dram, false };
+    ArrayNode arr_c{ "c", 8 * 1024, ArrayPlacement::Dram, false };
+    NodeId na = mdfg.addArray(arr_a);
+    NodeId nb = mdfg.addArray(arr_b);
+    NodeId nc = mdfg.addArray(arr_c);
+
+    StreamNode in;
+    in.type = DataType::I64;
+    in.pattern.trips[0] = 1024 / lanes;
+    in.lanes = lanes;
+    in.reuse.trafficBytes = 8 * 1024;
+    in.reuse.footprintBytes = 8 * 1024;
+
+    StreamNode sa = in;
+    sa.array = na;
+    NodeId is_a = mdfg.addInputStream(sa);
+    StreamNode sb = in;
+    sb.array = nb;
+    NodeId is_b = mdfg.addInputStream(sb);
+
+    InstructionNode add;
+    add.op = Opcode::Add;
+    add.type = DataType::I64;
+    add.lanes = lanes;
+    NodeId inst = mdfg.addInstruction(add);
+
+    StreamNode sc = in;
+    sc.array = nc;
+    NodeId os_c = mdfg.addOutputStream(sc);
+
+    mdfg.addEdge(is_a, inst, 0);
+    mdfg.addEdge(is_b, inst, 1);
+    mdfg.addEdge(inst, os_c, 0);
+    mdfg.addEdge(na, is_a);
+    mdfg.addEdge(nb, is_b);
+    mdfg.addEdge(nc, os_c);
+    mdfg.name = "vecadd";
+    return mdfg;
+}
+
+TEST(Mdfg, VecAddWellFormed)
+{
+    EXPECT_EQ(vecAdd().validate(), "");
+}
+
+TEST(Mdfg, NodeKindQueries)
+{
+    Mdfg m = vecAdd();
+    EXPECT_EQ(m.nodeIdsOfKind(NodeKind::InputStream).size(), 2u);
+    EXPECT_EQ(m.nodeIdsOfKind(NodeKind::OutputStream).size(), 1u);
+    EXPECT_EQ(m.nodeIdsOfKind(NodeKind::Instruction).size(), 1u);
+    EXPECT_EQ(m.nodeIdsOfKind(NodeKind::Array).size(), 3u);
+}
+
+TEST(Mdfg, InEdgesSortedByOperand)
+{
+    Mdfg m = vecAdd();
+    NodeId inst = m.nodeIdsOfKind(NodeKind::Instruction)[0];
+    auto in = m.inEdgesOf(inst);
+    ASSERT_EQ(in.size(), 2u);
+    EXPECT_EQ(in[0].operandIndex, 0);
+    EXPECT_EQ(in[1].operandIndex, 1);
+}
+
+TEST(Mdfg, InstructionBandwidthCountsMemoryOps)
+{
+    Mdfg m = vecAdd(4);
+    // 1 add * 4 lanes + 3 memory streams * 4 lanes = 16.
+    EXPECT_DOUBLE_EQ(m.instructionBandwidth(), 16.0);
+}
+
+TEST(Mdfg, GeneratedStreamsExcludedFromInstBandwidth)
+{
+    Mdfg m = vecAdd(1);
+    StreamNode gen;
+    gen.source = StreamSource::Generated;
+    gen.lanes = 1;
+    m.addInputStream(gen);
+    // 1 add + 3 memory streams = 4; the generated stream adds nothing.
+    EXPECT_DOUBLE_EQ(m.instructionBandwidth(), 4.0);
+}
+
+TEST(Mdfg, Vectorization)
+{
+    EXPECT_EQ(vecAdd(8).vectorization(), 8);
+    EXPECT_EQ(vecAdd(1).vectorization(), 1);
+}
+
+TEST(Mdfg, ReuseGeneralFactor)
+{
+    ReuseInfo reuse;
+    reuse.trafficBytes = 1600;
+    reuse.footprintBytes = 100;
+    EXPECT_DOUBLE_EQ(reuse.generalReuse(), 16.0);
+    reuse.footprintBytes = 0;
+    EXPECT_DOUBLE_EQ(reuse.generalReuse(), 1.0);
+}
+
+TEST(Mdfg, ReuseCapturedFactor)
+{
+    ReuseInfo reuse;
+    reuse.stationary = 32.0;
+    reuse.recurrent = 4.0;
+    EXPECT_DOUBLE_EQ(reuse.capturedFactor(), 128.0);
+}
+
+TEST(Mdfg, ValidateRejectsMissingOperand)
+{
+    Mdfg m = vecAdd();
+    InstructionNode mul;
+    mul.op = Opcode::Mul;
+    NodeId inst = m.addInstruction(mul);
+    NodeId is = m.nodeIdsOfKind(NodeKind::InputStream)[0];
+    m.addEdge(is, inst, 0);  // only one operand
+    EXPECT_NE(m.validate().find("operands"), std::string::npos);
+}
+
+TEST(Mdfg, ValidateAcceptsImmediateOperand)
+{
+    Mdfg m = vecAdd();
+    InstructionNode mul;
+    mul.op = Opcode::Mul;
+    mul.immediate = 3.0;
+    NodeId inst = m.addInstruction(mul);
+    NodeId is = m.nodeIdsOfKind(NodeKind::InputStream)[0];
+    NodeId out = m.nodeIdsOfKind(NodeKind::OutputStream)[0];
+    m.addEdge(is, inst, 0);
+    // Rewire: not strictly a consumer, but instruction outputs are not
+    // validated, so the graph stays well-formed.
+    (void)out;
+    EXPECT_EQ(m.validate(), "");
+}
+
+TEST(Mdfg, ValidateRejectsUnfedOutputStream)
+{
+    Mdfg m = vecAdd();
+    StreamNode s;
+    s.array = m.nodeIdsOfKind(NodeKind::Array)[0];
+    m.addOutputStream(s);
+    EXPECT_NE(m.validate().find("exactly one producer"),
+              std::string::npos);
+}
+
+TEST(Mdfg, ValidateRejectsZeroSizeArray)
+{
+    Mdfg m;
+    ArrayNode a{ "z", 0, ArrayPlacement::Dram, false };
+    m.addArray(a);
+    EXPECT_NE(m.validate().find("non-positive size"), std::string::npos);
+}
+
+TEST(MdfgDeathTest, BadNodeIdPanics)
+{
+    Mdfg m = vecAdd();
+    EXPECT_DEATH(m.node(999), "bad mDFG node id");
+}
+
+} // namespace
+} // namespace overgen::dfg

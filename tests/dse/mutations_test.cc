@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "adg/builders.h"
+#include "compiler/compile.h"
+#include "dse/mutations.h"
+#include "sched/scheduler.h"
+#include "workloads/suites.h"
+
+namespace overgen::dse {
+namespace {
+
+adg::Adg
+smallTile()
+{
+    adg::MeshConfig config;
+    config.rows = 3;
+    config.cols = 3;
+    config.numPes = 6;
+    config.numInPorts = 6;
+    config.numOutPorts = 3;
+    config.datapathBytes = 64;
+    std::set<FuCapability> caps = adg::intCapabilities(DataType::I64);
+    auto f64 = adg::floatCapabilities(DataType::F64);
+    caps.insert(f64.begin(), f64.end());
+    config.peCapabilities = caps;
+    return adg::buildMeshTile(config);
+}
+
+TEST(Mutations, CollapsePreservesConnectivity)
+{
+    adg::Adg tile = smallTile();
+    dfg::Mdfg mdfg =
+        compiler::compileOne(wl::makeMm(16), 2, false, false);
+    sched::SpatialScheduler scheduler(tile);
+    auto schedule = scheduler.schedule(mdfg);
+    ASSERT_TRUE(schedule.has_value());
+
+    // Find a switch on some route and collapse it.
+    adg::NodeId victim = adg::invalidNode;
+    for (const auto &[edge_index, route] : schedule->routes) {
+        for (size_t h = 0; h + 1 < route.size(); ++h) {
+            adg::NodeId mid = tile.edge(route[h]).dst;
+            if (tile.node(mid).kind == adg::NodeKind::Switch) {
+                victim = mid;
+                break;
+            }
+        }
+        if (victim != adg::invalidNode)
+            break;
+    }
+    ASSERT_NE(victim, adg::invalidNode);
+
+    std::vector<sched::Schedule> schedules{ *schedule };
+    collapseNode(tile, victim, schedules);
+    EXPECT_FALSE(tile.hasNode(victim));
+
+    // Repair must succeed: the collapsed bridges keep a path alive.
+    sched::SpatialScheduler scheduler2(tile);
+    auto repaired = scheduler2.repair(mdfg, *schedule);
+    EXPECT_TRUE(repaired.has_value());
+}
+
+TEST(Mutations, CollapsePreservesPathDelay)
+{
+    adg::Adg tile;
+    adg::PeSpec pe_spec;
+    pe_spec.capabilities = { { Opcode::Add, DataType::I64 } };
+    adg::NodeId dma = tile.addDma();
+    adg::NodeId in = tile.addInPort();
+    adg::NodeId s1 = tile.addSwitch();
+    adg::NodeId s2 = tile.addSwitch();
+    adg::NodeId pe = tile.addPe(pe_spec);
+    adg::NodeId out = tile.addOutPort();
+    tile.addEdge(dma, in);
+    tile.addEdge(in, s1, 2);
+    adg::EdgeId e12 = tile.addEdge(s1, s2, 3);
+    adg::EdgeId e2p = tile.addEdge(s2, pe, 4);
+    tile.addEdge(pe, out);
+    tile.addEdge(out, dma);
+
+    // A fake schedule routing through s2.
+    sched::Schedule schedule;
+    schedule.valid = true;
+    schedule.routes[0] = { e12, e2p };
+    collapseNode(tile, s2, { schedule });
+
+    // A direct s1 -> pe edge with delay 3 + 4 must exist.
+    bool found = false;
+    for (adg::EdgeId e : tile.edgeIds()) {
+        const adg::Edge &edge = tile.edge(e);
+        if (edge.src == s1 && edge.dst == pe) {
+            EXPECT_EQ(edge.delay, 7);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Mutations, PruneCapabilitiesKeepsUsedOnes)
+{
+    adg::Adg tile = smallTile();
+    dfg::Mdfg mdfg =
+        compiler::compileOne(wl::makeMm(16), 1, false, false);
+    sched::SpatialScheduler scheduler(tile);
+    auto schedule = scheduler.schedule(mdfg);
+    ASSERT_TRUE(schedule.has_value());
+
+    std::vector<sched::Schedule> schedules{ *schedule };
+    std::vector<const dfg::Mdfg *> mdfgs{ &mdfg };
+    int pruned = pruneCapabilities(tile, schedules, mdfgs);
+    EXPECT_GT(pruned, 0);
+
+    // The schedule must remain intact after pruning.
+    EXPECT_EQ(sched::checkSchedule(*schedule, tile, mdfg), "");
+    // Every PE keeps at least one capability.
+    for (adg::NodeId pe : tile.nodeIdsOfKind(adg::NodeKind::Pe))
+        EXPECT_FALSE(tile.node(pe).pe().capabilities.empty());
+}
+
+TEST(Mutations, PrunePortFlagsWhenUnneeded)
+{
+    adg::Adg tile = smallTile();
+    // mm has no variable-trip streams: stated/padding can be dropped.
+    dfg::Mdfg mdfg =
+        compiler::compileOne(wl::makeMm(16), 1, false, false);
+    sched::SpatialScheduler scheduler(tile);
+    auto schedule = scheduler.schedule(mdfg);
+    ASSERT_TRUE(schedule.has_value());
+    std::vector<sched::Schedule> schedules{ *schedule };
+    std::vector<const dfg::Mdfg *> mdfgs{ &mdfg };
+    pruneCapabilities(tile, schedules, mdfgs);
+    for (adg::NodeId port : tile.nodeIdsOfKind(adg::NodeKind::InPort))
+        EXPECT_FALSE(tile.node(port).port().statedStream);
+}
+
+TEST(Mutations, MutateProducesValidOrNoneRepeatedly)
+{
+    adg::Adg tile = smallTile();
+    dfg::Mdfg mdfg =
+        compiler::compileOne(wl::makeMm(16), 1, false, false);
+    sched::SpatialScheduler scheduler(tile);
+    auto schedule = scheduler.schedule(mdfg);
+    ASSERT_TRUE(schedule.has_value());
+    std::vector<sched::Schedule> schedules{ *schedule };
+    std::vector<const dfg::Mdfg *> mdfgs{ &mdfg };
+    Rng rng(7);
+    int applied = 0;
+    for (int i = 0; i < 60; ++i) {
+        adg::Adg copy = tile;
+        MutationKind kind =
+            mutateAdg(copy, schedules, mdfgs, true, rng);
+        if (kind != MutationKind::None)
+            ++applied;
+    }
+    EXPECT_GT(applied, 40);
+}
+
+TEST(Mutations, NonPreservingMayBreakSchedules)
+{
+    // Statistically, blind mutation breaks more prior placements than
+    // schedule-preserving mutation (the Fig. 20 rationale).
+    dfg::Mdfg mdfg =
+        compiler::compileOne(wl::makeMm(16), 2, false, false);
+    auto count_broken = [&](bool preserving, uint64_t seed) {
+        Rng rng(seed);
+        int broken = 0;
+        for (int trial = 0; trial < 30; ++trial) {
+            adg::Adg tile = smallTile();
+            sched::SpatialScheduler scheduler(tile);
+            auto schedule = scheduler.schedule(mdfg);
+            if (!schedule)
+                continue;
+            std::vector<sched::Schedule> schedules{ *schedule };
+            std::vector<const dfg::Mdfg *> mdfgs{ &mdfg };
+            for (int e = 0; e < 3; ++e)
+                mutateAdg(tile, schedules, mdfgs, preserving, rng);
+            if (!sched::checkSchedule(*schedule, tile, mdfg).empty())
+                ++broken;
+        }
+        return broken;
+    };
+    EXPECT_LE(count_broken(true, 11), count_broken(false, 11));
+}
+
+TEST(Mutations, KindNamesArePrintable)
+{
+    EXPECT_EQ(mutationKindName(MutationKind::RemoveSwitch),
+              "remove_switch");
+    EXPECT_EQ(mutationKindName(MutationKind::PruneCapabilities),
+              "prune_capabilities");
+    EXPECT_EQ(mutationKindName(MutationKind::None), "none");
+}
+
+} // namespace
+} // namespace overgen::dse

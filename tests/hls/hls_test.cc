@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "hls/autodse.h"
+#include "workloads/suites.h"
+
+namespace overgen::hls {
+namespace {
+
+TEST(HlsModel, TableIvUntunedII)
+{
+    // Paper Table IV, "Untuned II" row.
+    EXPECT_EQ(initiationInterval(wl::makeCholesky(), false), 10);
+    EXPECT_EQ(initiationInterval(wl::makeCrs(), false), 4);
+    EXPECT_EQ(initiationInterval(wl::makeFft(), false), 2);
+    EXPECT_EQ(initiationInterval(wl::makeBgr2Grey(), false), 9);
+    EXPECT_EQ(initiationInterval(wl::makeBlur(), false), 6);
+    EXPECT_EQ(initiationInterval(wl::makeChannelExtract(), false), 8);
+    EXPECT_EQ(initiationInterval(wl::makeStencil3d(), false), 6);
+}
+
+TEST(HlsModel, TableIvTunedII)
+{
+    // Paper Table IV, "Tuned II" row.
+    EXPECT_EQ(initiationInterval(wl::makeCholesky(), true), 5);
+    EXPECT_EQ(initiationInterval(wl::makeCrs(), true), 2);
+    EXPECT_EQ(initiationInterval(wl::makeFft(), true), 1);
+    EXPECT_EQ(initiationInterval(wl::makeBgr2Grey(), true), 1);
+    EXPECT_EQ(initiationInterval(wl::makeBlur(), true), 1);
+    EXPECT_EQ(initiationInterval(wl::makeChannelExtract(), true), 1);
+    EXPECT_EQ(initiationInterval(wl::makeStencil3d(), true), 1);
+}
+
+TEST(HlsModel, RegularKernelsHaveUnitII)
+{
+    // "All other workloads achieve II=1" (paper Q2).
+    for (const auto &name :
+         { "fir", "solver", "mm", "gemm", "stencil-2d", "ellpack",
+           "accumulate", "acc-sqr", "vecmax", "acc-weight",
+           "convert-bit", "derivative" }) {
+        EXPECT_EQ(initiationInterval(wl::workloadByName(name), false),
+                  1)
+            << name;
+    }
+}
+
+TEST(HlsModel, UnrollSpeedsComputeBoundKernel)
+{
+    wl::KernelSpec k = wl::makeMm();
+    HlsConfig one;
+    HlsConfig eight;
+    eight.unroll = 8;
+    EXPECT_GT(estimatePerf(k, false, one).cycles,
+              estimatePerf(k, false, eight).cycles * 2);
+}
+
+TEST(HlsModel, MemoryBoundKernelSaturates)
+{
+    wl::KernelSpec k = wl::makeAccumulate();
+    HlsConfig wide;
+    wide.unroll = 64;
+    HlsPerf perf = estimatePerf(k, false, wide);
+    EXPECT_TRUE(perf.memoryBound);
+    HlsConfig wider = wide;
+    wider.dramChannels = 4;
+    EXPECT_LT(estimatePerf(k, false, wider).cycles, perf.cycles);
+}
+
+TEST(HlsModel, TuningHelpsStridedKernels)
+{
+    wl::KernelSpec k = wl::makeBgr2Grey();
+    HlsConfig config;
+    config.unroll = 16;
+    double untuned = estimatePerf(k, false, config).cycles;
+    double tuned = estimatePerf(k, true, config).cycles;
+    EXPECT_GT(untuned, tuned * 1.5);
+}
+
+TEST(HlsModel, ResourcesGrowWithUnroll)
+{
+    wl::KernelSpec k = wl::makeMm();
+    HlsConfig one;
+    HlsConfig sixteen;
+    sixteen.unroll = 16;
+    model::Resources small = estimateResources(k, one);
+    model::Resources large = estimateResources(k, sixteen);
+    EXPECT_GT(large.lut, small.lut);
+    EXPECT_GT(large.dsp, small.dsp);
+}
+
+TEST(HlsModel, SynthesisHoursSuperlinear)
+{
+    model::Resources small{ 50000, 60000, 100, 100 };
+    model::Resources big{ 800000, 900000, 1000, 3000 };
+    double small_h = synthesisHours(small);
+    double big_h = synthesisHours(big);
+    EXPECT_GT(big_h, small_h * 5.0);
+    EXPECT_GT(small_h, 0.3);
+}
+
+TEST(AutoDse, FindsFittingDesign)
+{
+    model::FpgaDevice device = model::FpgaDevice::xcvu9p();
+    for (const auto &k : wl::allWorkloads()) {
+        AutoDseResult r = runAutoDse(k, false);
+        EXPECT_LE(device.worstUtilization(r.resources), 0.8) << k.name;
+        EXPECT_GT(r.perf.cycles, 0.0) << k.name;
+        EXPECT_GE(r.config.unroll, 1) << k.name;
+    }
+}
+
+TEST(AutoDse, DatabaseSkipsExploration)
+{
+    AutoDseResult gemm = runAutoDse(wl::makeGemm(), false);
+    EXPECT_TRUE(gemm.fromDatabase);
+    EXPECT_EQ(gemm.candidatesEvaluated, 0);
+    EXPECT_DOUBLE_EQ(gemm.dseHours, 0.0);
+    AutoDseResult mm = runAutoDse(wl::makeMm(), false);
+    EXPECT_FALSE(mm.fromDatabase);
+    EXPECT_GT(mm.candidatesEvaluated, 1);
+    EXPECT_GT(mm.dseHours, 0.0);
+}
+
+TEST(AutoDse, TunedNeverSlower)
+{
+    for (const auto &k : wl::allWorkloads()) {
+        AutoDseResult untuned = runAutoDse(k, false);
+        AutoDseResult tuned = runAutoDse(k, true);
+        EXPECT_LE(tuned.perf.seconds, untuned.perf.seconds * 1.001)
+            << k.name;
+    }
+}
+
+TEST(AutoDse, TunedHelpsTableIvKernels)
+{
+    // Table IV kernels with headroom gain from manual tuning (crs is
+    // too small for its II to dominate the pipeline-fill overhead).
+    for (const auto &name : { "cholesky", "bgr2grey", "channel-ext",
+                              "stencil-3d" }) {
+        AutoDseResult untuned =
+            runAutoDse(wl::workloadByName(name), false);
+        AutoDseResult tuned =
+            runAutoDse(wl::workloadByName(name), true);
+        EXPECT_GT(untuned.perf.seconds, tuned.perf.seconds * 1.2)
+            << name;
+    }
+}
+
+TEST(AutoDse, DseTimeDominatedByCandidates)
+{
+    AutoDseResult r = runAutoDse(wl::makeCholesky(), false);
+    EXPECT_GT(r.candidatesEvaluated, 2);
+    EXPECT_GT(r.dseHours, r.synthHours * 0.5);
+}
+
+} // namespace
+} // namespace overgen::hls

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/mlp.h"
+
+namespace overgen::model {
+namespace {
+
+TEST(Mlp, LearnsLinearFunction)
+{
+    Rng rng(3);
+    std::vector<std::vector<double>> x, y;
+    for (int i = 0; i < 600; ++i) {
+        double a = rng.nextDouble() * 10.0;
+        double b = rng.nextDouble() * 10.0;
+        x.push_back({ a, b });
+        y.push_back({ 3.0 * a + 2.0 * b + 5.0 });
+    }
+    Mlp mlp(2, { 16, 8 }, 1, 7);
+    double err = mlp.train(x, y);
+    EXPECT_LT(err, 0.1);
+    auto pred = mlp.predict(std::vector<double>{ 4.0, 2.0 });
+    EXPECT_NEAR(pred[0], 21.0, 3.0);
+}
+
+TEST(Mlp, LearnsNonlinearFunction)
+{
+    Rng rng(5);
+    std::vector<std::vector<double>> x, y;
+    for (int i = 0; i < 1200; ++i) {
+        double a = rng.nextDouble() * 8.0;
+        double b = rng.nextDouble() * 8.0;
+        x.push_back({ a, b });
+        y.push_back({ a * b + a * a });
+    }
+    Mlp mlp(2, { 32, 16 }, 1, 11);
+    double err = mlp.train(x, y);
+    EXPECT_LT(err, 0.15);
+}
+
+TEST(Mlp, MultiOutput)
+{
+    Rng rng(9);
+    std::vector<std::vector<double>> x, y;
+    for (int i = 0; i < 600; ++i) {
+        double a = rng.nextDouble() * 5.0 + 1.0;
+        x.push_back({ a });
+        y.push_back({ 10.0 * a, 100.0 * a });
+    }
+    Mlp mlp(1, { 16, 8 }, 2, 3);
+    mlp.train(x, y);
+    auto pred = mlp.predict(std::vector<double>{ 3.0 });
+    ASSERT_EQ(pred.size(), 2u);
+    EXPECT_NEAR(pred[0], 30.0, 8.0);
+    EXPECT_NEAR(pred[1], 300.0, 60.0);
+}
+
+TEST(Mlp, DeterministicTraining)
+{
+    std::vector<std::vector<double>> x, y;
+    for (int i = 0; i < 100; ++i) {
+        x.push_back({ static_cast<double>(i) });
+        y.push_back({ 2.0 * i });
+    }
+    Mlp a(1, { 8 }, 1, 42);
+    Mlp b(1, { 8 }, 1, 42);
+    a.train(x, y);
+    b.train(x, y);
+    auto pa = a.predict(std::vector<double>{ 50.0 });
+    auto pb = b.predict(std::vector<double>{ 50.0 });
+    EXPECT_DOUBLE_EQ(pa[0], pb[0]);
+}
+
+TEST(Mlp, PredictionsNonNegative)
+{
+    // Resource counts cannot be negative: predictions are clamped by
+    // the log1p/expm1 transform.
+    std::vector<std::vector<double>> x, y;
+    for (int i = 0; i < 200; ++i) {
+        x.push_back({ static_cast<double>(i % 10) });
+        y.push_back({ 0.1 });
+    }
+    Mlp mlp(1, { 8 }, 1, 1);
+    mlp.train(x, y);
+    for (double v = -5.0; v < 20.0; v += 1.0) {
+        auto pred = mlp.predict(std::vector<double>{ v });
+        EXPECT_GE(pred[0], 0.0);
+    }
+}
+
+TEST(Mlp, ParameterCount)
+{
+    Mlp mlp(3, { 4, 2 }, 1, 1);
+    // (3*4+4) + (4*2+2) + (2*1+1) = 16 + 10 + 3 = 29.
+    EXPECT_EQ(mlp.parameterCount(), 29);
+}
+
+TEST(MlpDeathTest, PredictBeforeTrainPanics)
+{
+    Mlp mlp(2, { 4 }, 1, 1);
+    EXPECT_DEATH(mlp.predict(std::vector<double>{ 1.0, 2.0 }),
+                 "predict before train");
+}
+
+TEST(MlpDeathTest, DimensionMismatchPanics)
+{
+    Mlp mlp(2, { 4 }, 1, 1);
+    std::vector<std::vector<double>> x{ { 1.0 } };
+    std::vector<std::vector<double>> y{ { 1.0 } };
+    EXPECT_DEATH(mlp.train(x, y), "feature dim mismatch");
+}
+
+} // namespace
+} // namespace overgen::model

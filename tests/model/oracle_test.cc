@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "adg/builders.h"
+#include "model/oracle.h"
+
+namespace overgen::model {
+namespace {
+
+adg::Node
+makePeNode(adg::PeSpec spec)
+{
+    adg::Node node;
+    node.kind = adg::NodeKind::Pe;
+    node.spec = std::move(spec);
+    return node;
+}
+
+TEST(Oracle, Deterministic)
+{
+    adg::PeSpec pe;
+    pe.capabilities = adg::intCapabilities(DataType::I64);
+    Resources a = synthesizeNode(makePeNode(pe), 3);
+    Resources b = synthesizeNode(makePeNode(pe), 3);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Oracle, MoreCapabilitiesCostMore)
+{
+    adg::PeSpec small;
+    small.capabilities = { { Opcode::Add, DataType::I64 } };
+    adg::PeSpec big;
+    big.capabilities = adg::intCapabilities(DataType::I64);
+    EXPECT_LT(synthesizeNode(makePeNode(small), 3).lut,
+              synthesizeNode(makePeNode(big), 3).lut);
+}
+
+TEST(Oracle, WiderDatapathCostsMore)
+{
+    adg::PeSpec narrow;
+    narrow.capabilities = { { Opcode::Add, DataType::I64 } };
+    narrow.datapathBytes = 8;
+    adg::PeSpec wide = narrow;
+    wide.datapathBytes = 64;
+    EXPECT_LT(synthesizeNode(makePeNode(narrow), 3).lut,
+              synthesizeNode(makePeNode(wide), 3).lut);
+}
+
+TEST(Oracle, FloatMulUsesDsp)
+{
+    adg::PeSpec pe;
+    pe.capabilities = { { Opcode::Mul, DataType::F64 } };
+    pe.datapathBytes = 8;
+    EXPECT_GT(synthesizeNode(makePeNode(pe), 3).dsp, 0.0);
+}
+
+TEST(Oracle, SwitchCostGrowsWithRadix)
+{
+    adg::Node node;
+    node.kind = adg::NodeKind::Switch;
+    node.spec = adg::SwitchSpec{ 32 };
+    EXPECT_LT(synthesizeNode(node, 2).lut, synthesizeNode(node, 8).lut);
+}
+
+TEST(Oracle, ScratchpadBramScalesWithCapacity)
+{
+    adg::Node node;
+    node.kind = adg::NodeKind::Scratchpad;
+    node.spec = adg::ScratchpadSpec{ 16, 16, 16, false };
+    Resources small = synthesizeNode(node, 2);
+    node.spec = adg::ScratchpadSpec{ 128, 16, 16, false };
+    Resources large = synthesizeNode(node, 2);
+    EXPECT_LT(small.bram, large.bram);
+    EXPECT_NEAR(large.bram, 32.0, 32.0 * 0.05);
+}
+
+TEST(Oracle, NocQuadraticInEndpoints)
+{
+    Resources small = synthesizeNoc(2, 2, 32);
+    Resources large = synthesizeNoc(8, 8, 32);
+    // ~4x the endpoints, > 8x the LUTs (quadratic term dominates).
+    EXPECT_GT(large.lut, small.lut * 6.0);
+}
+
+TEST(Oracle, L2BramScalesWithCapacity)
+{
+    EXPECT_LT(synthesizeL2(256, 4).bram, synthesizeL2(1024, 4).bram);
+}
+
+TEST(Oracle, GeneralTileIsRoughlyAQuarterChip)
+{
+    // Calibration target (paper Q1/Q4): a fully-provisioned 512-bit
+    // general tile is ~1/4 of the XCVU9P LUT budget, so at most 4 fit.
+    adg::Adg tile = adg::buildGeneralOverlayTile();
+    Resources total = synthesizeControlCore();
+    for (adg::NodeId id : tile.nodeIds())
+        total += synthesizeNode(tile.node(id), tile.radix(id));
+    FpgaDevice device = FpgaDevice::xcvu9p();
+    double quarter = device.total.lut / 4.0;
+    EXPECT_GT(total.lut, 0.6 * quarter);
+    EXPECT_LT(total.lut, 1.1 * quarter);
+    // DSPs must not be the binding resource (Fig. 16: LUT-limited).
+    EXPECT_LT(total.dsp / device.total.dsp,
+              total.lut / device.total.lut);
+}
+
+TEST(Oracle, UncoreSumsComponents)
+{
+    adg::SystemParams sys;
+    sys.numTiles = 4;
+    sys.l2Banks = 4;
+    Resources uncore = synthesizeUncore(sys);
+    EXPECT_GT(uncore.lut,
+              synthesizeNoc(4, 4, sys.nocBytes).lut * 0.99);
+    EXPECT_GT(uncore.bram, 0.0);
+}
+
+TEST(Oracle, NoiseBounded)
+{
+    // Re-synthesizing similar specs never deviates more than +-5%
+    // from the midpoint of repeated calls (noise is deterministic and
+    // bounded by design).
+    adg::Node node;
+    node.kind = adg::NodeKind::Register;
+    node.spec = adg::RegisterSpec{ 8 };
+    Resources r = synthesizeNode(node, 2);
+    double nominal = 250.0 + 10.0 * 8.0;
+    EXPECT_NEAR(r.lut, nominal, nominal * 0.05);
+}
+
+} // namespace
+} // namespace overgen::model

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workloads/interpreter.h"
+#include "workloads/suites.h"
+
+namespace overgen::wl {
+namespace {
+
+TEST(Interpreter, MemoryInitDeterministic)
+{
+    KernelSpec k = makeFir(64, 7);
+    Memory m1, m2;
+    m1.init(k, 42);
+    m2.init(k, 42);
+    EXPECT_EQ(m1.array("a"), m2.array("a"));
+    Memory m3;
+    m3.init(k, 43);
+    EXPECT_NE(m1.array("a"), m3.array("a"));
+}
+
+TEST(Interpreter, IndexArrayValuesInRange)
+{
+    KernelSpec k = makeEllpack(16, 4);
+    Memory mem;
+    mem.init(k);
+    int64_t target = k.arrayByName("x").elements;
+    for (double v : mem.array("ind")) {
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, static_cast<double>(target));
+        EXPECT_EQ(v, std::floor(v));
+    }
+}
+
+TEST(Interpreter, FirMatchesDirectComputation)
+{
+    KernelSpec k = makeFir(64, 5);
+    Memory mem;
+    mem.init(k);
+    std::vector<double> a = mem.array("a");
+    std::vector<double> b = mem.array("b");
+    std::vector<double> c = mem.array("c");
+    interpret(k, mem);
+    // Direct: iterate in spec loop order (io, j, ii).
+    for (int io = 0; io < 2; ++io)
+        for (int j = 0; j < 5; ++j)
+            for (int ii = 0; ii < 32; ++ii)
+                c[io * 32 + ii] += a[io * 32 + ii + j] * b[j];
+    EXPECT_EQ(mem.array("c"), c);
+}
+
+TEST(Interpreter, MmMatchesNaiveMatmul)
+{
+    int n = 8;
+    KernelSpec k = makeMm(n);
+    Memory mem;
+    mem.init(k);
+    std::vector<double> a = mem.array("a");
+    std::vector<double> b = mem.array("b");
+    std::vector<double> c = mem.array("c");
+    interpret(k, mem);
+    for (int i = 0; i < n; ++i)
+        for (int kk = 0; kk < n; ++kk)
+            for (int j = 0; j < n; ++j)
+                c[i * n + j] += a[i * n + kk] * b[kk * n + j];
+    for (size_t i = 0; i < c.size(); ++i)
+        EXPECT_NEAR(mem.array("c")[i], c[i], 1e-9) << "at " << i;
+}
+
+TEST(Interpreter, TriangularTripCounts)
+{
+    KernelSpec k = makeCholesky(8);
+    // Loop i at depth 1 has trip 8 - k.
+    std::vector<int64_t> ivs{ 3, 0, 0 };
+    EXPECT_EQ(loopTrip(k, 1, ivs), 5);
+    ivs[0] = 7;
+    EXPECT_EQ(loopTrip(k, 1, ivs), 1);
+}
+
+TEST(Interpreter, SolverTriangularGrows)
+{
+    KernelSpec k = makeSolver(8);
+    std::vector<int64_t> ivs{ 0, 0 };
+    EXPECT_EQ(loopTrip(k, 1, ivs), 1);
+    ivs[0] = 5;
+    EXPECT_EQ(loopTrip(k, 1, ivs), 6);
+}
+
+TEST(Interpreter, ResolveDirectIndex)
+{
+    KernelSpec k = makeMm(8);
+    Memory mem;
+    mem.init(k);
+    // a[i*8 + k] at (i=2, k=3, j=whatever) = 19.
+    std::vector<int64_t> ivs{ 2, 3, 5 };
+    EXPECT_EQ(resolveIndex(k, k.accesses[0], ivs, mem), 19);
+}
+
+TEST(Interpreter, ResolveIndirectIndex)
+{
+    KernelSpec k = makeEllpack(16, 4);
+    Memory mem;
+    mem.init(k);
+    std::vector<int64_t> ivs{ 3, 1 };
+    // x access goes through ind[3*4+1].
+    int64_t expected =
+        static_cast<int64_t>(mem.array("ind")[13]);
+    EXPECT_EQ(resolveIndex(k, k.accesses[1], ivs, mem), expected);
+}
+
+TEST(Interpreter, EllpackMatchesDirect)
+{
+    KernelSpec k = makeEllpack(16, 4);
+    Memory mem;
+    mem.init(k);
+    std::vector<double> val = mem.array("val");
+    std::vector<double> ind = mem.array("ind");
+    std::vector<double> x = mem.array("x");
+    std::vector<double> y = mem.array("y");
+    interpret(k, mem);
+    for (int i = 0; i < 16; ++i)
+        for (int j = 0; j < 4; ++j)
+            y[i] += val[i * 4 + j] * x[static_cast<int>(ind[i * 4 + j])];
+    for (size_t i = 0; i < y.size(); ++i)
+        EXPECT_NEAR(mem.array("y")[i], y[i], 1e-9);
+}
+
+TEST(Interpreter, IntegerSemanticsTruncate)
+{
+    EXPECT_DOUBLE_EQ(evalScalarOp(Opcode::Div, DataType::I16, 7, 2), 3.0);
+    EXPECT_DOUBLE_EQ(evalScalarOp(Opcode::Div, DataType::F64, 7, 2), 3.5);
+    EXPECT_DOUBLE_EQ(evalScalarOp(Opcode::Div, DataType::I64, 7, 0), 0.0);
+}
+
+TEST(Interpreter, BitwiseOps)
+{
+    EXPECT_DOUBLE_EQ(evalScalarOp(Opcode::Shl, DataType::I16, 3, 4),
+                     48.0);
+    EXPECT_DOUBLE_EQ(evalScalarOp(Opcode::Shr, DataType::I16, 48, 4),
+                     3.0);
+    EXPECT_DOUBLE_EQ(evalScalarOp(Opcode::And, DataType::I64, 12, 10),
+                     8.0);
+    EXPECT_DOUBLE_EQ(evalScalarOp(Opcode::Xor, DataType::I64, 12, 10),
+                     6.0);
+}
+
+TEST(Interpreter, MinMaxAbsSqrt)
+{
+    EXPECT_DOUBLE_EQ(evalScalarOp(Opcode::Min, DataType::F64, 2, 5), 2.0);
+    EXPECT_DOUBLE_EQ(evalScalarOp(Opcode::Max, DataType::F64, 2, 5), 5.0);
+    EXPECT_DOUBLE_EQ(evalScalarOp(Opcode::Abs, DataType::F64, -4, 0),
+                     4.0);
+    EXPECT_DOUBLE_EQ(evalScalarOp(Opcode::Sqrt, DataType::F64, 16, 0),
+                     4.0);
+    // Negative operand saturates to zero rather than NaN.
+    EXPECT_DOUBLE_EQ(evalScalarOp(Opcode::Sqrt, DataType::F64, -1, 0),
+                     0.0);
+}
+
+TEST(Interpreter, CompareAndSelect)
+{
+    EXPECT_DOUBLE_EQ(evalScalarOp(Opcode::CmpLt, DataType::I64, 1, 2),
+                     1.0);
+    EXPECT_DOUBLE_EQ(evalScalarOp(Opcode::CmpEq, DataType::I64, 2, 2),
+                     1.0);
+    EXPECT_DOUBLE_EQ(evalScalarOp(Opcode::Select, DataType::I64, 1, 9),
+                     9.0);
+    EXPECT_DOUBLE_EQ(evalScalarOp(Opcode::Select, DataType::I64, 0, 9),
+                     0.0);
+}
+
+TEST(Interpreter, VisionPointwiseKernels)
+{
+    // accumulate: dst = a + b elementwise.
+    KernelSpec k = makeAccumulate(8);
+    Memory mem;
+    mem.init(k);
+    std::vector<double> a = mem.array("a");
+    std::vector<double> b = mem.array("b");
+    interpret(k, mem);
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_DOUBLE_EQ(mem.array("dst")[i], a[i] + b[i]);
+}
+
+TEST(Interpreter, VecMax)
+{
+    KernelSpec k = makeVecMax(8);
+    Memory mem;
+    mem.init(k);
+    std::vector<double> a = mem.array("a");
+    std::vector<double> b = mem.array("b");
+    interpret(k, mem);
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_DOUBLE_EQ(mem.array("dst")[i], std::max(a[i], b[i]));
+}
+
+TEST(Interpreter, Bgr2GreyFormula)
+{
+    KernelSpec k = makeBgr2Grey(4);
+    Memory mem;
+    mem.init(k);
+    std::vector<double> src = mem.array("src");
+    interpret(k, mem);
+    for (int p = 0; p < 4 * 4 * 4; ++p) {
+        double expect = std::trunc(
+            (std::trunc(src[3 * p] * 29) + std::trunc(src[3 * p + 1] * 150) +
+             std::trunc(src[3 * p + 2] * 77)));
+        expect = std::trunc(
+            static_cast<double>(static_cast<int64_t>(expect) / 256));
+        EXPECT_DOUBLE_EQ(mem.array("dst")[p], expect) << "pixel " << p;
+    }
+}
+
+TEST(Interpreter, StencilWritesInteriorOnly)
+{
+    KernelSpec k = makeStencil2d(4, 1);
+    Memory mem;
+    mem.init(k);
+    std::vector<double> before = mem.array("out");
+    interpret(k, mem);
+    const auto &after = mem.array("out");
+    int g = 6;
+    // Halo rows/cols untouched.
+    for (int j = 0; j < g; ++j) {
+        EXPECT_EQ(after[j], before[j]);
+        EXPECT_EQ(after[(g - 1) * g + j], before[(g - 1) * g + j]);
+    }
+}
+
+} // namespace
+} // namespace overgen::wl
