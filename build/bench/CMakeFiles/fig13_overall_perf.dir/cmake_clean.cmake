@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_overall_perf.dir/fig13_overall_perf.cc.o"
+  "CMakeFiles/fig13_overall_perf.dir/fig13_overall_perf.cc.o.d"
+  "fig13_overall_perf"
+  "fig13_overall_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_overall_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_kernel_tuning.dir/fig14_kernel_tuning.cc.o"
+  "CMakeFiles/fig14_kernel_tuning.dir/fig14_kernel_tuning.cc.o.d"
+  "fig14_kernel_tuning"
+  "fig14_kernel_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_kernel_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_resource_breakdown.dir/fig16_resource_breakdown.cc.o"
+  "CMakeFiles/fig16_resource_breakdown.dir/fig16_resource_breakdown.cc.o.d"
+  "fig16_resource_breakdown"
+  "fig16_resource_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_resource_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

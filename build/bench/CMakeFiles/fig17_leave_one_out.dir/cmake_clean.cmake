@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_leave_one_out.dir/fig17_leave_one_out.cc.o"
+  "CMakeFiles/fig17_leave_one_out.dir/fig17_leave_one_out.cc.o.d"
+  "fig17_leave_one_out"
+  "fig17_leave_one_out.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_leave_one_out.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

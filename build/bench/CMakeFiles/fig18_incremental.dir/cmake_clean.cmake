@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_incremental.dir/fig18_incremental.cc.o"
+  "CMakeFiles/fig18_incremental.dir/fig18_incremental.cc.o.d"
+  "fig18_incremental"
+  "fig18_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_dram_channels.dir/fig19_dram_channels.cc.o"
+  "CMakeFiles/fig19_dram_channels.dir/fig19_dram_channels.cc.o.d"
+  "fig19_dram_channels"
+  "fig19_dram_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_dram_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

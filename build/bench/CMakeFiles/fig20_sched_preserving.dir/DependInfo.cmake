@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig20_sched_preserving.cc" "bench/CMakeFiles/fig20_sched_preserving.dir/fig20_sched_preserving.cc.o" "gcc" "bench/CMakeFiles/fig20_sched_preserving.dir/fig20_sched_preserving.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/overgen_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/overgen_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/dse/CMakeFiles/overgen_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/overgen_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/overgen_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/overgen_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/overgen_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/adg/CMakeFiles/overgen_adg.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/overgen_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/overgen_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

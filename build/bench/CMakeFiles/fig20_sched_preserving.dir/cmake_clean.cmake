@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_sched_preserving.dir/fig20_sched_preserving.cc.o"
+  "CMakeFiles/fig20_sched_preserving.dir/fig20_sched_preserving.cc.o.d"
+  "fig20_sched_preserving"
+  "fig20_sched_preserving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_sched_preserving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_stream_engine.dir/micro_stream_engine.cc.o"
+  "CMakeFiles/micro_stream_engine.dir/micro_stream_engine.cc.o.d"
+  "micro_stream_engine"
+  "micro_stream_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_stream_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_suite_specs.dir/table3_suite_specs.cc.o"
+  "CMakeFiles/table3_suite_specs.dir/table3_suite_specs.cc.o.d"
+  "table3_suite_specs"
+  "table3_suite_specs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_suite_specs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_hls_ii.dir/table4_hls_ii.cc.o"
+  "CMakeFiles/table4_hls_ii.dir/table4_hls_ii.cc.o.d"
+  "table4_hls_ii"
+  "table4_hls_ii.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_hls_ii.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fir_overlay.dir/fir_overlay.cc.o"
+  "CMakeFiles/fir_overlay.dir/fir_overlay.cc.o.d"
+  "fir_overlay"
+  "fir_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fir_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suite_overlay.dir/suite_overlay.cc.o"
+  "CMakeFiles/suite_overlay.dir/suite_overlay.cc.o.d"
+  "suite_overlay"
+  "suite_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suite_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

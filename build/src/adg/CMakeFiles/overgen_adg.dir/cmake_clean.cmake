@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overgen_adg.dir/adg.cc.o"
+  "CMakeFiles/overgen_adg.dir/adg.cc.o.d"
+  "CMakeFiles/overgen_adg.dir/builders.cc.o"
+  "CMakeFiles/overgen_adg.dir/builders.cc.o.d"
+  "libovergen_adg.a"
+  "libovergen_adg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overgen_adg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overgen_common.dir/json.cc.o"
+  "CMakeFiles/overgen_common.dir/json.cc.o.d"
+  "CMakeFiles/overgen_common.dir/logging.cc.o"
+  "CMakeFiles/overgen_common.dir/logging.cc.o.d"
+  "CMakeFiles/overgen_common.dir/opcode.cc.o"
+  "CMakeFiles/overgen_common.dir/opcode.cc.o.d"
+  "CMakeFiles/overgen_common.dir/types.cc.o"
+  "CMakeFiles/overgen_common.dir/types.cc.o.d"
+  "libovergen_common.a"
+  "libovergen_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overgen_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libovergen_common.a"
+)

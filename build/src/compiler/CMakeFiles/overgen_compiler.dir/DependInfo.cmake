@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/compile.cc" "src/compiler/CMakeFiles/overgen_compiler.dir/compile.cc.o" "gcc" "src/compiler/CMakeFiles/overgen_compiler.dir/compile.cc.o.d"
+  "/root/repo/src/compiler/reuse.cc" "src/compiler/CMakeFiles/overgen_compiler.dir/reuse.cc.o" "gcc" "src/compiler/CMakeFiles/overgen_compiler.dir/reuse.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/overgen_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/overgen_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/overgen_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overgen_compiler.dir/compile.cc.o"
+  "CMakeFiles/overgen_compiler.dir/compile.cc.o.d"
+  "CMakeFiles/overgen_compiler.dir/reuse.cc.o"
+  "CMakeFiles/overgen_compiler.dir/reuse.cc.o.d"
+  "libovergen_compiler.a"
+  "libovergen_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overgen_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

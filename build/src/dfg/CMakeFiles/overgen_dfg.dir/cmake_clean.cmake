@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overgen_dfg.dir/mdfg.cc.o"
+  "CMakeFiles/overgen_dfg.dir/mdfg.cc.o.d"
+  "libovergen_dfg.a"
+  "libovergen_dfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overgen_dfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

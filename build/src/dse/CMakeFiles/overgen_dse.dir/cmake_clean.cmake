@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overgen_dse.dir/explorer.cc.o"
+  "CMakeFiles/overgen_dse.dir/explorer.cc.o.d"
+  "CMakeFiles/overgen_dse.dir/mutations.cc.o"
+  "CMakeFiles/overgen_dse.dir/mutations.cc.o.d"
+  "libovergen_dse.a"
+  "libovergen_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overgen_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overgen_hls.dir/autodse.cc.o"
+  "CMakeFiles/overgen_hls.dir/autodse.cc.o.d"
+  "CMakeFiles/overgen_hls.dir/hls_model.cc.o"
+  "CMakeFiles/overgen_hls.dir/hls_model.cc.o.d"
+  "libovergen_hls.a"
+  "libovergen_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overgen_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/mlp.cc" "src/model/CMakeFiles/overgen_model.dir/mlp.cc.o" "gcc" "src/model/CMakeFiles/overgen_model.dir/mlp.cc.o.d"
+  "/root/repo/src/model/oracle.cc" "src/model/CMakeFiles/overgen_model.dir/oracle.cc.o" "gcc" "src/model/CMakeFiles/overgen_model.dir/oracle.cc.o.d"
+  "/root/repo/src/model/perf.cc" "src/model/CMakeFiles/overgen_model.dir/perf.cc.o" "gcc" "src/model/CMakeFiles/overgen_model.dir/perf.cc.o.d"
+  "/root/repo/src/model/resource_model.cc" "src/model/CMakeFiles/overgen_model.dir/resource_model.cc.o" "gcc" "src/model/CMakeFiles/overgen_model.dir/resource_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/overgen_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/adg/CMakeFiles/overgen_adg.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/overgen_dfg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overgen_model.dir/mlp.cc.o"
+  "CMakeFiles/overgen_model.dir/mlp.cc.o.d"
+  "CMakeFiles/overgen_model.dir/oracle.cc.o"
+  "CMakeFiles/overgen_model.dir/oracle.cc.o.d"
+  "CMakeFiles/overgen_model.dir/perf.cc.o"
+  "CMakeFiles/overgen_model.dir/perf.cc.o.d"
+  "CMakeFiles/overgen_model.dir/resource_model.cc.o"
+  "CMakeFiles/overgen_model.dir/resource_model.cc.o.d"
+  "libovergen_model.a"
+  "libovergen_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overgen_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

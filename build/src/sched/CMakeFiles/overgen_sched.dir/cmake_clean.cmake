@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overgen_sched.dir/schedule.cc.o"
+  "CMakeFiles/overgen_sched.dir/schedule.cc.o.d"
+  "CMakeFiles/overgen_sched.dir/scheduler.cc.o"
+  "CMakeFiles/overgen_sched.dir/scheduler.cc.o.d"
+  "libovergen_sched.a"
+  "libovergen_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overgen_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

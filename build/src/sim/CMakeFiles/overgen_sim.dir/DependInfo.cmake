@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/exec.cc" "src/sim/CMakeFiles/overgen_sim.dir/exec.cc.o" "gcc" "src/sim/CMakeFiles/overgen_sim.dir/exec.cc.o.d"
+  "/root/repo/src/sim/memory_system.cc" "src/sim/CMakeFiles/overgen_sim.dir/memory_system.cc.o" "gcc" "src/sim/CMakeFiles/overgen_sim.dir/memory_system.cc.o.d"
+  "/root/repo/src/sim/simulate.cc" "src/sim/CMakeFiles/overgen_sim.dir/simulate.cc.o" "gcc" "src/sim/CMakeFiles/overgen_sim.dir/simulate.cc.o.d"
+  "/root/repo/src/sim/tile.cc" "src/sim/CMakeFiles/overgen_sim.dir/tile.cc.o" "gcc" "src/sim/CMakeFiles/overgen_sim.dir/tile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/overgen_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/adg/CMakeFiles/overgen_adg.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/overgen_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/overgen_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/overgen_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/overgen_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overgen_sim.dir/exec.cc.o"
+  "CMakeFiles/overgen_sim.dir/exec.cc.o.d"
+  "CMakeFiles/overgen_sim.dir/memory_system.cc.o"
+  "CMakeFiles/overgen_sim.dir/memory_system.cc.o.d"
+  "CMakeFiles/overgen_sim.dir/simulate.cc.o"
+  "CMakeFiles/overgen_sim.dir/simulate.cc.o.d"
+  "CMakeFiles/overgen_sim.dir/tile.cc.o"
+  "CMakeFiles/overgen_sim.dir/tile.cc.o.d"
+  "libovergen_sim.a"
+  "libovergen_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overgen_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/interpreter.cc" "src/workloads/CMakeFiles/overgen_workloads.dir/interpreter.cc.o" "gcc" "src/workloads/CMakeFiles/overgen_workloads.dir/interpreter.cc.o.d"
+  "/root/repo/src/workloads/kernelspec.cc" "src/workloads/CMakeFiles/overgen_workloads.dir/kernelspec.cc.o" "gcc" "src/workloads/CMakeFiles/overgen_workloads.dir/kernelspec.cc.o.d"
+  "/root/repo/src/workloads/suites.cc" "src/workloads/CMakeFiles/overgen_workloads.dir/suites.cc.o" "gcc" "src/workloads/CMakeFiles/overgen_workloads.dir/suites.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/overgen_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

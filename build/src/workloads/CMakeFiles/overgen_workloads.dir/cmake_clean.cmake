@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overgen_workloads.dir/interpreter.cc.o"
+  "CMakeFiles/overgen_workloads.dir/interpreter.cc.o.d"
+  "CMakeFiles/overgen_workloads.dir/kernelspec.cc.o"
+  "CMakeFiles/overgen_workloads.dir/kernelspec.cc.o.d"
+  "CMakeFiles/overgen_workloads.dir/suites.cc.o"
+  "CMakeFiles/overgen_workloads.dir/suites.cc.o.d"
+  "libovergen_workloads.a"
+  "libovergen_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overgen_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adg_test.dir/adg/adg_test.cc.o"
+  "CMakeFiles/adg_test.dir/adg/adg_test.cc.o.d"
+  "CMakeFiles/adg_test.dir/adg/builders_test.cc.o"
+  "CMakeFiles/adg_test.dir/adg/builders_test.cc.o.d"
+  "adg_test"
+  "adg_test.pdb"
+  "adg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dse_test.dir/dse/explorer_test.cc.o"
+  "CMakeFiles/dse_test.dir/dse/explorer_test.cc.o.d"
+  "CMakeFiles/dse_test.dir/dse/mutations_test.cc.o"
+  "CMakeFiles/dse_test.dir/dse/mutations_test.cc.o.d"
+  "dse_test"
+  "dse_test.pdb"
+  "dse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
