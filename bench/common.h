@@ -12,18 +12,106 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "adg/builders.h"
+#include "common/logging.h"
 #include "compiler/compile.h"
 #include "dse/explorer.h"
 #include "hls/autodse.h"
 #include "sched/scheduler.h"
 #include "sim/simulate.h"
+#include "telemetry/bridge.h"
+#include "telemetry/sink.h"
 #include "workloads/suites.h"
 
 namespace overgen::bench {
+
+/**
+ * Telemetry wiring shared by every harness. `--trace=<path>` records
+ * a Chrome trace_event file of every simulation the harness runs
+ * (open in chrome://tracing or https://ui.perfetto.dev);
+ * `--dse-log=<path>` appends one JSONL record per DSE iteration;
+ * `--trace-detail` adds per-issue instant events (bigger traces);
+ * `--telemetry-json=<path>` dumps the counter registry. Without any
+ * flag `sink()` returns null and the run is telemetry-free.
+ */
+class Telemetry
+{
+  public:
+    Telemetry(int argc, char **argv)
+    {
+        telemetry::SinkOptions opts;
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (!eat(arg, "--trace=", opts.tracePath) &&
+                !eat(arg, "--dse-log=", opts.dseLogPath) &&
+                !eat(arg, "--telemetry-json=", registryPath) &&
+                arg != "--trace-detail") {
+                OG_FATAL("unknown argument '", arg,
+                         "' (expected --trace=<path>, "
+                         "--dse-log=<path>, --trace-detail, or "
+                         "--telemetry-json=<path>)");
+            }
+            if (arg == "--trace-detail")
+                opts.traceDetail = true;
+        }
+        if (!opts.tracePath.empty() || !opts.dseLogPath.empty() ||
+            !registryPath.empty()) {
+            live = std::make_unique<telemetry::Sink>(opts);
+        }
+    }
+
+    /** Null when no telemetry flag was given. */
+    telemetry::Sink *sink() const { return live.get(); }
+
+    /** Write every configured output file (call once, at exit). */
+    void
+    finish()
+    {
+        if (live == nullptr)
+            return;
+        live->flush();
+        if (!live->options().tracePath.empty()) {
+            std::printf("\n[telemetry] Chrome trace written to %s "
+                        "(load in chrome://tracing or Perfetto)\n",
+                        live->options().tracePath.c_str());
+        }
+        if (!live->options().dseLogPath.empty()) {
+            std::printf("[telemetry] DSE iteration log (JSONL) "
+                        "written to %s\n",
+                        live->options().dseLogPath.c_str());
+        }
+        if (!registryPath.empty()) {
+            std::string text = live->registry().toJson().dump(2);
+            std::FILE *f = std::fopen(registryPath.c_str(), "w");
+            OG_ASSERT(f != nullptr, "cannot open '", registryPath,
+                      "'");
+            std::fwrite(text.data(), 1, text.size(), f);
+            std::fclose(f);
+            std::printf("[telemetry] counter registry written to "
+                        "%s\n",
+                        registryPath.c_str());
+        }
+    }
+
+  private:
+    static bool
+    eat(const std::string &arg, const char *prefix, std::string &out)
+    {
+        size_t len = std::string(prefix).size();
+        if (arg.compare(0, len, prefix) != 0)
+            return false;
+        out = arg.substr(len);
+        OG_ASSERT(!out.empty(), "empty path in '", arg, "'");
+        return true;
+    }
+
+    std::unique_ptr<telemetry::Sink> live;
+    std::string registryPath;
+};
 
 /** Overlay fabric clock (paper: quad-tile floorplan at 92.87 MHz). */
 constexpr double overlayClockMhz = 92.87;
@@ -51,6 +139,14 @@ generalOverlay()
     design.sys.l2CapacityKiB = 512;
     design.sys.nocBytes = 32;
     return design;
+}
+
+/** @return @p config with @p sink attached (harness convenience). */
+inline sim::SimConfig
+withSink(telemetry::Sink *sink, sim::SimConfig config = {})
+{
+    config.sink = sink;
+    return config;
 }
 
 /** Simulated seconds of one kernel on one overlay design. */

@@ -12,8 +12,9 @@
 using namespace overgen;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Telemetry tele(argc, argv);
     bench::banner("Figure 13",
                   "overall performance vs AutoDSE (speedup > 1 means "
                   "OverGen is faster)");
@@ -39,6 +40,8 @@ main()
         options.iterations = iters;
         options.seed = 7 + s;
         options.applyTuning = true;
+        options.sink = tele.sink();
+        options.telemetryLabel = suite_names[s] + "-suite";
         dse::DseResult suite_dse =
             dse::exploreOverlay(suites[s], options);
 
@@ -48,16 +51,18 @@ main()
             hls::AutoDseResult ad = hls::runAutoDse(spec, false);
             hls::AutoDseResult ad_tuned = hls::runAutoDse(spec, true);
 
-            bench::OverlayRun on_general =
-                bench::runOnOverlay(spec, general, true);
-            bench::OverlayRun on_suite =
-                bench::runMapped(spec, suite_dse, k);
+            bench::OverlayRun on_general = bench::runOnOverlay(
+                spec, general, true, bench::withSink(tele.sink()));
+            bench::OverlayRun on_suite = bench::runMapped(
+                spec, suite_dse, k, bench::withSink(tele.sink()));
 
             dse::DseOptions wl_options = options;
             wl_options.seed = 100 + k;
+            wl_options.telemetryLabel = spec.name + "-wl";
             dse::DseResult wl_dse =
                 dse::exploreOverlay({ spec }, wl_options);
-            bench::OverlayRun on_wl = bench::runMapped(spec, wl_dse, 0);
+            bench::OverlayRun on_wl = bench::runMapped(
+                spec, wl_dse, 0, bench::withSink(tele.sink()));
 
             double base = ad.perf.seconds;
             double sp_tuned = base / ad_tuned.perf.seconds;
@@ -97,5 +102,6 @@ main()
     std::printf("paper shape: suite-OG ~1.1-1.25x over untuned "
                 "AutoDSE; ~0.37-0.71x of tuned AutoDSE (i.e. "
                 "suite-OG/tuned-AD); general-OG trails suite-OG.\n");
+    tele.finish();
     return 0;
 }

@@ -13,8 +13,9 @@
 using namespace overgen;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Telemetry tele(argc, argv);
     bench::banner("Figure 14", "impact of kernel tuning");
     adg::SysAdg general = bench::generalOverlay();
 
@@ -28,10 +29,10 @@ main()
         wl::KernelSpec spec = wl::workloadByName(name);
         hls::AutoDseResult ad = hls::runAutoDse(spec, false);
         hls::AutoDseResult ad_tuned = hls::runAutoDse(spec, true);
-        bench::OverlayRun og = bench::runOnOverlay(spec, general,
-                                                   false);
-        bench::OverlayRun og_tuned =
-            bench::runOnOverlay(spec, general, true);
+        bench::OverlayRun og = bench::runOnOverlay(
+            spec, general, false, bench::withSink(tele.sink()));
+        bench::OverlayRun og_tuned = bench::runOnOverlay(
+            spec, general, true, bench::withSink(tele.sink()));
         double ad_gain = ad.perf.seconds / ad_tuned.perf.seconds;
         double og_gain =
             og.ok && og_tuned.ok ? og.seconds / og_tuned.seconds : 1.0;
@@ -47,5 +48,6 @@ main()
                 bench::geomean(ad_gains), bench::geomean(og_gains));
     std::printf("paper takeaway: HLS benefits far more from manual "
                 "tuning; OverGen handles the patterns natively.\n");
+    tele.finish();
     return 0;
 }

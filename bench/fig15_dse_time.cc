@@ -16,8 +16,9 @@
 using namespace overgen;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Telemetry tele(argc, argv);
     bench::banner("Figure 15", "DSE and synthesis time (hours)");
     constexpr int paper_iterations = 2000;
     int iters = bench::benchIterations();
@@ -43,6 +44,8 @@ main()
         dse::DseOptions options;
         options.iterations = iters;
         options.seed = 21 + s;
+        options.sink = tele.sink();
+        options.telemetryLabel = names[s];
         dse::DseResult og = dse::exploreOverlay(suites[s], options);
         double og_dse_hours = og.elapsedSeconds *
                               (static_cast<double>(paper_iterations) /
@@ -62,5 +65,6 @@ main()
     std::printf("\nacross all suites: OverGen %.1fh / AutoDSE %.1fh "
                 "= %.0f%% (paper: 47%%)\n",
                 grand_og, grand_ad, 100.0 * grand_og / grand_ad);
+    tele.finish();
     return 0;
 }

@@ -48,8 +48,9 @@ printOverlayRow(const char *name, const adg::SysAdg &design)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Telemetry tele(argc, argv);
     bench::banner("Figure 16", "FPGA resource breakdown");
     int iters = bench::benchIterations();
     model::FpgaDevice device = model::FpgaDevice::xcvu9p();
@@ -64,6 +65,8 @@ main()
         dse::DseOptions options;
         options.iterations = iters;
         options.seed = 31 + s;
+        options.sink = tele.sink();
+        options.telemetryLabel = names[s];
         dse::DseResult result = dse::exploreOverlay(suites[s], options);
         printOverlayRow(names[s].c_str(), result.design);
     }
@@ -84,5 +87,6 @@ main()
     std::printf("\npaper shape: overlays consume 81-97%% of LUTs "
                 "(the binding resource, NoC among the largest "
                 "pieces); AutoDSE designs mostly stay under ~25%%.\n");
+    tele.finish();
     return 0;
 }

@@ -14,8 +14,9 @@
 using namespace overgen;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Telemetry tele(argc, argv);
     bench::banner("Figure 17", "leave-one-out flexibility (MachSuite)");
     int iters = bench::benchIterations();
     std::vector<wl::KernelSpec> suite = wl::machSuite();
@@ -23,6 +24,8 @@ main()
     dse::DseOptions options;
     options.iterations = iters;
     options.seed = 77;
+    options.sink = tele.sink();
+    options.telemetryLabel = "full-suite";
     dse::DseResult full = dse::exploreOverlay(suite, options);
 
     std::printf("%-12s %10s %14s %14s\n", "held-out", "rel.perf",
@@ -36,6 +39,8 @@ main()
         }
         dse::DseOptions loo_options = options;
         loo_options.seed = 200 + held;
+        loo_options.telemetryLabel =
+            "without-" + suite[held].name;
         dse::DseResult loo = dse::exploreOverlay(rest, loo_options);
 
         // Compile + schedule the held-out workload; measure the real
@@ -55,11 +60,11 @@ main()
         }
         wl::Memory memory;
         memory.init(suite[held]);
-        sim::SimResult on_loo =
-            sim::simulate(suite[held], variants[fit->second],
-                          fit->first, loo.design, memory);
-        bench::OverlayRun on_full =
-            bench::runMapped(suite[held], full, held);
+        sim::SimResult on_loo = sim::simulate(
+            suite[held], variants[fit->second], fit->first,
+            loo.design, memory, bench::withSink(tele.sink()));
+        bench::OverlayRun on_full = bench::runMapped(
+            suite[held], full, held, bench::withSink(tele.sink()));
 
         double relative = on_full.ok && on_loo.completed
                               ? static_cast<double>(on_full.cycles) /
@@ -89,5 +94,6 @@ main()
                 bench::geomean(reconf));
     std::printf("paper shape: ~50%% mean relative performance, "
                 "~10^4x compile, ~5x10^4x reconfig.\n");
+    tele.finish();
     return 0;
 }

@@ -14,8 +14,9 @@
 using namespace overgen;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Telemetry tele(argc, argv);
     bench::banner("Figure 18", "incremental workload addition");
     int iters = bench::benchIterations();
     const auto &prices = model::FpgaResourceModel::defaultModel();
@@ -36,11 +37,15 @@ main()
         dse::DseOptions options;
         options.iterations = iters;
         options.seed = 50 + n;
+        options.sink = tele.sink();
+        options.telemetryLabel =
+            "upto-" + pool[n].name;
         dse::DseResult result = dse::exploreOverlay(target, options);
         double tile_lut =
             prices.tileResources(result.design.adg).lut /
             device.total.lut * 100.0;
-        bench::OverlayRun run = bench::runMapped(pool[0], result, 0);
+        bench::OverlayRun run = bench::runMapped(
+            pool[0], result, 0, bench::withSink(tele.sink()));
         if (n == 0)
             first_cycles = run.cycles;
         last_cycles = run.cycles;
@@ -59,5 +64,6 @@ main()
                 "%+.0f%% cycles (paper: mean 8%% performance cost; "
                 "tile count drops as the datapath generalizes)\n",
                 cost);
+    tele.finish();
     return 0;
 }

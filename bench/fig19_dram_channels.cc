@@ -12,8 +12,9 @@
 using namespace overgen;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Telemetry tele(argc, argv);
     bench::banner("Figure 19", "DRAM channel scaling (speedup vs 1ch)");
     // The paper's OverGen side uses per-workload overlays whose many
     // tiles demand more than one channel supplies; our stand-in widens
@@ -42,7 +43,8 @@ main()
         auto run = [&](int channels) {
             adg::SysAdg design = base;
             design.sys.dramChannels = channels;
-            bench::OverlayRun r = bench::runOnOverlay(k, design, true);
+            bench::OverlayRun r = bench::runOnOverlay(
+                k, design, true, bench::withSink(tele.sink()));
             return r.ok ? static_cast<double>(r.cycles) : 0.0;
         };
         double og1 = run(1);
@@ -65,5 +67,6 @@ main()
                 "(mm, gemm, vecmax, accumulate, acc_sqr, acc_wei, "
                 "deri.) gain ~19-25%%; compute-bound kernels are "
                 "flat.\n");
+    tele.finish();
     return 0;
 }

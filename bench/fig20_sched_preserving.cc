@@ -12,8 +12,9 @@
 using namespace overgen;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Telemetry tele(argc, argv);
     bench::banner("Figure 20",
                   "schedule-preserving transformations ablation");
     int iters = std::max(2 * bench::benchIterations(), 24);
@@ -28,7 +29,10 @@ main()
         with.iterations = iters;
         with.seed = 5 + s;
         with.schedulePreserving = true;
+        with.sink = tele.sink();
+        with.telemetryLabel = names[s] + "+sp";
         dse::DseOptions without = with;
+        without.telemetryLabel = names[s] + "-sp";
         without.schedulePreserving = false;
 
         dse::DseResult on = dse::exploreOverlay(suites[s], with);
@@ -76,5 +80,6 @@ main()
                 "iterations-to-quality ratio %.2f (paper DSE-time "
                 "~0.85)\n",
                 bench::geomean(ipc_ratio), bench::geomean(time_ratio));
+    tele.finish();
     return 0;
 }

@@ -78,8 +78,9 @@ printSpec(const Spec &spec)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Telemetry tele(argc, argv);
     bench::banner("Table III", "suite-specialized overlay specs");
     int iters = bench::benchIterations();
     std::vector<Spec> specs;
@@ -91,6 +92,8 @@ main()
         dse::DseOptions options;
         options.iterations = iters;
         options.seed = 11 + s;
+        options.sink = tele.sink();
+        options.telemetryLabel = names[s];
         dse::DseResult result = dse::exploreOverlay(suites[s], options);
         specs.push_back({ names[s], result.design });
     }
@@ -102,5 +105,6 @@ main()
                 "fully-provisioned ones. DSP keeps float FUs, "
                 "MachSuite/Vision are integer-only, suites prune "
                 "unused engines.\n");
+    tele.finish();
     return 0;
 }

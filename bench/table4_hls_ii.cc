@@ -11,8 +11,9 @@
 using namespace overgen;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Telemetry tele(argc, argv);
     bench::banner("Table IV", "HLS initiation-interval optimization");
     struct Row
     {
@@ -48,5 +49,6 @@ main()
     std::printf("\nall other workloads (and OverGen always): II = 1\n");
     std::printf("match with paper Table IV: %s\n",
                 all_match ? "EXACT" : "partial");
+    tele.finish();
     return 0;
 }

@@ -127,8 +127,22 @@ escapeString(std::string &out, const std::string &s)
           case '\r':
             out += "\\r";
             break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
           default:
-            out += c;
+            // RFC 8259: all other control characters must be escaped.
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned char>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
         }
     }
     out += '"';
@@ -315,6 +329,44 @@ class Parser
                   case 'r':
                     out += '\r';
                     break;
+                  case 'b':
+                    out += '\b';
+                    break;
+                  case 'f':
+                    out += '\f';
+                    break;
+                  case 'u': {
+                    OG_ASSERT(pos + 4 <= text.size(), "bad \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = text[pos++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= h - '0';
+                        else if (h >= 'a' && h <= 'f')
+                            code |= h - 'a' + 10;
+                        else if (h >= 'A' && h <= 'F')
+                            code |= h - 'A' + 10;
+                        else
+                            OG_FATAL("bad \\u escape digit");
+                    }
+                    // UTF-8 encode the code point (BMP only; this
+                    // writer never emits surrogate pairs).
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xC0 | (code >> 6));
+                        out +=
+                            static_cast<char>(0x80 | (code & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (code >> 12));
+                        out += static_cast<char>(
+                            0x80 | ((code >> 6) & 0x3F));
+                        out +=
+                            static_cast<char>(0x80 | (code & 0x3F));
+                    }
+                    break;
+                  }
                   default:
                     out += esc;
                 }

@@ -9,6 +9,7 @@
 #include "compiler/compile.h"
 #include "dse/mutations.h"
 #include "model/oracle.h"
+#include "telemetry/sink.h"
 
 namespace overgen::dse {
 
@@ -227,6 +228,45 @@ exploreOverlay(const std::vector<wl::KernelSpec> &kernels,
     result.convergence.push_back(
         { secondsSince(start), 0, current.objective });
 
+    // Per-iteration telemetry: one JSONL record each, plus registry
+    // counters (see DseOptions::sink).
+    telemetry::Sink *sink = options.sink;
+    auto log_iteration = [&](int iter, double temperature,
+                             const std::vector<MutationKind> &edits,
+                             bool accepted, bool abandoned,
+                             const Candidate &state) {
+        if (sink == nullptr)
+            return;
+        telemetry::Registry &reg = sink->registry();
+        reg.counter("dse/iterations").inc();
+        if (accepted)
+            reg.counter("dse/accepted").inc();
+        if (abandoned)
+            reg.counter("dse/abandoned").inc();
+        for (MutationKind kind : edits) {
+            reg.counter("dse/mutations/" + mutationKindName(kind))
+                .inc();
+        }
+        Json record = Json::makeObject();
+        if (!options.telemetryLabel.empty())
+            record.set("run", Json(options.telemetryLabel));
+        record.set("iteration", Json(iter));
+        record.set("seconds", Json(secondsSince(start)));
+        record.set("temperature", Json(temperature));
+        record.set("objective", Json(state.objective));
+        record.set("best_objective", Json(best.objective));
+        record.set("accepted", Json(accepted));
+        record.set("abandoned", Json(abandoned));
+        record.set("utilization", Json(state.utilization));
+        record.set("resource_slack",
+                   Json(options.budgetFraction - state.utilization));
+        Json kinds = Json::makeArray();
+        for (MutationKind kind : edits)
+            kinds.push(Json(mutationKindName(kind)));
+        record.set("mutations", std::move(kinds));
+        sink->logDse(record);
+    };
+
     double temperature = options.initialTemperature;
     for (int iter = 1; iter <= options.iterations; ++iter) {
         ++result.iterationsRun;
@@ -237,17 +277,24 @@ exploreOverlay(const std::vector<wl::KernelSpec> &kernels,
                 &variants[k][current.variantIndex[k]]);
         }
         int edits = 1 + static_cast<int>(rng.nextBelow(3));
+        std::vector<MutationKind> editKinds;
+        editKinds.reserve(edits);
         for (int e = 0; e < edits; ++e) {
-            mutateAdg(mutated, current.schedules, current_mdfgs,
-                      options.schedulePreserving, rng);
+            editKinds.push_back(
+                mutateAdg(mutated, current.schedules, current_mdfgs,
+                          options.schedulePreserving, rng));
         }
         if (!mutated.validate().empty()) {
             ++result.abandoned;
+            log_iteration(iter, temperature, editKinds, false, true,
+                          current);
             continue;
         }
         auto cand = schedule_all(mutated, &current);
         if (!cand || !system_dse(*cand)) {
             ++result.abandoned;
+            log_iteration(iter, temperature, editKinds, false, true,
+                          current);
             continue;
         }
         // Simulated-annealing acceptance on log-objective.
@@ -260,6 +307,11 @@ exploreOverlay(const std::vector<wl::KernelSpec> &kernels,
             ++result.accepted;
             if (current.objective > best.objective)
                 best = current;
+            log_iteration(iter, temperature, editKinds, true, false,
+                          current);
+        } else {
+            log_iteration(iter, temperature, editKinds, false, false,
+                          *cand);
         }
         temperature *= 0.97;
         result.convergence.push_back(

@@ -19,6 +19,10 @@
 #include "sched/scheduler.h"
 #include "workloads/kernelspec.h"
 
+namespace overgen::telemetry {
+class Sink;
+} // namespace overgen::telemetry
+
 namespace overgen::dse {
 
 /** Explorer options. */
@@ -41,6 +45,18 @@ struct DseOptions
     std::vector<int> l2CapacityGrid{ 256, 512, 1024 };
     std::vector<int> dramChannelGrid{ 1 };
     model::PerfConfig perf;
+
+    /**
+     * Telemetry sink: when live, the explorer appends one JSONL
+     * record per iteration (iteration, temperature, objective,
+     * accept/reject, mutation kinds, resource slack, seconds) and
+     * counts mutations/acceptances in the registry. Null disables
+     * all DSE telemetry.
+     */
+    telemetry::Sink *sink = nullptr;
+    /** Tag stamped into each JSONL record ("run"), distinguishing
+     * multiple explorations sharing one sink. */
+    std::string telemetryLabel;
 };
 
 /** One point of the DSE convergence trace (Fig. 20). */

@@ -11,6 +11,10 @@
 
 #include <cstdint>
 
+namespace overgen::telemetry {
+class Sink;
+} // namespace overgen::telemetry
+
 namespace overgen::sim {
 
 /** Simulator configuration. */
@@ -59,6 +63,13 @@ struct SimConfig
 
     /** Fabric pipeline drain allowance before declaring deadlock. */
     uint64_t maxCycles = 200'000'000ull;
+
+    /**
+     * Telemetry sink (counters + Chrome trace). Null disables all
+     * observation: instrumentation sites guard on this pointer and
+     * never affect simulated behavior either way.
+     */
+    telemetry::Sink *sink = nullptr;
 };
 
 } // namespace overgen::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "telemetry/sink.h"
 
 namespace overgen::sim {
 
@@ -22,6 +23,49 @@ MemorySystem::MemorySystem(const adg::SystemParams &sys,
     channelBudget.assign(std::max(1, sys.dramChannels), 0.0);
     tileLink.resize(std::max(1, sys.numTiles));
     tileLinkBudget.assign(tileLink.size(), 0.0);
+}
+
+void
+MemorySystem::attachTelemetry(int trace_pid, const std::string &prefix)
+{
+    telemetry::Sink *sink = config.sink;
+    if (sink == nullptr)
+        return;
+    tracePid = trace_pid;
+    mshrOccupancy =
+        &sink->registry().distribution(prefix + "/mshr_occupancy");
+    bankQueueDepth =
+        &sink->registry().distribution(prefix + "/bank_queue_depth");
+}
+
+void
+MemorySystem::sampleTelemetry()
+{
+    telemetry::Sink *sink = config.sink;
+    int mshrs = 0;
+    int64_t queued = 0;
+    for (const Bank &bank : banks) {
+        mshrs += bank.mshrsInUse;
+        queued += static_cast<int64_t>(bank.queue.size());
+    }
+    mshrOccupancy->record(static_cast<double>(mshrs));
+    bankQueueDepth->record(static_cast<double>(queued) /
+                           static_cast<double>(banks.size()));
+    if (sink->tracing() &&
+        cycle % sink->options().counterSampleInterval == 0) {
+        telemetry::TraceEmitter &trace = sink->trace();
+        trace.counter("l2.mshrs_in_use", tracePid, 0, cycle,
+                      static_cast<double>(mshrs));
+        uint64_t noc = memStats.nocBytes;
+        uint64_t dram =
+            memStats.dramBytesRead + memStats.dramBytesWritten;
+        trace.counter("noc.bytes_per_interval", tracePid, 0, cycle,
+                      static_cast<double>(noc - lastNocBytes));
+        trace.counter("dram.bytes_per_interval", tracePid, 0, cycle,
+                      static_cast<double>(dram - lastDramBytes));
+        lastNocBytes = noc;
+        lastDramBytes = dram;
+    }
 }
 
 int
@@ -111,6 +155,8 @@ void
 MemorySystem::tick()
 {
     ++cycle;
+    if (mshrOccupancy != nullptr)
+        sampleTelemetry();
 
     // Tile links: move requests to their bank queues within the NoC
     // byte budget of each tile's link.

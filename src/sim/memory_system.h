@@ -11,10 +11,15 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "adg/adg.h"
 #include "sim/config.h"
+
+namespace overgen::telemetry {
+class Distribution;
+} // namespace overgen::telemetry
 
 namespace overgen::sim {
 
@@ -66,6 +71,14 @@ class MemorySystem
 
     /** @return whether any transaction is still in flight. */
     bool busy() const;
+
+    /**
+     * Attach this run's trace identity (pid) and counter prefix.
+     * Telemetry itself comes from `config.sink`; nothing is recorded
+     * until this is called (simulate() attaches each run under
+     * "sim/<kernel>/memory").
+     */
+    void attachTelemetry(int trace_pid, const std::string &prefix);
 
   private:
     struct Txn
@@ -122,6 +135,16 @@ class MemorySystem
     TxnId nextId = 1;
     uint64_t cycle = 0;
     MemoryStats memStats;
+
+    /** @name Telemetry (null when config.sink is null) */
+    /// @{
+    void sampleTelemetry();
+    telemetry::Distribution *mshrOccupancy = nullptr;
+    telemetry::Distribution *bankQueueDepth = nullptr;
+    int tracePid = 0;
+    uint64_t lastNocBytes = 0;
+    uint64_t lastDramBytes = 0;
+    /// @}
 };
 
 } // namespace overgen::sim

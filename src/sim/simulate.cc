@@ -1,10 +1,53 @@
 #include "sim/simulate.h"
 
 #include <memory>
+#include <string>
 
 #include "common/logging.h"
+#include "telemetry/sink.h"
 
 namespace overgen::sim {
+
+namespace {
+
+/** Dump the run's aggregate statistics into the counter registry
+ * under "sim/<kernel>/..." (works even for deadlocked runs). */
+void
+dumpCounters(telemetry::Sink &sink, const std::string &kernel,
+             const SimResult &result)
+{
+    telemetry::Registry &reg = sink.registry();
+    const std::string base = "sim/" + kernel + "/";
+    reg.counter(base + "runs").inc();
+    reg.counter(base + "cycles").add(result.cycles);
+    reg.counter(base + "iterations").add(result.totalIterations);
+    const std::string mem = base + "memory/";
+    reg.counter(mem + "l2_hits").add(result.memory.l2Hits);
+    reg.counter(mem + "l2_misses").add(result.memory.l2Misses);
+    reg.counter(mem + "dram_bytes_read")
+        .add(result.memory.dramBytesRead);
+    reg.counter(mem + "dram_bytes_written")
+        .add(result.memory.dramBytesWritten);
+    reg.counter(mem + "noc_bytes").add(result.memory.nocBytes);
+    reg.counter(mem + "mshr_stall_cycles")
+        .add(result.memory.mshrStallCycles);
+    for (size_t t = 0; t < result.tiles.size(); ++t) {
+        const TileStats &ts = result.tiles[t];
+        const std::string tile =
+            base + "tile" + std::to_string(t) + "/";
+        reg.counter(tile + "firings").add(ts.firings);
+        reg.counter(tile + "iterations").add(ts.iterations);
+        reg.counter(tile + "fabric_stall_cycles")
+            .add(ts.fabricStallCycles);
+        reg.counter(tile + "startup_cycles").add(ts.startupCycles);
+        reg.counter(tile + "spad_bytes").add(ts.spadBytes);
+        reg.counter(tile + "dma_bytes").add(ts.dmaBytes);
+        reg.counter(tile + "recurrence_bytes")
+            .add(ts.recurrenceBytes);
+    }
+}
+
+} // namespace
 
 SimResult
 simulate(const wl::KernelSpec &spec, const dfg::Mdfg &mdfg,
@@ -16,10 +59,28 @@ simulate(const wl::KernelSpec &spec, const dfg::Mdfg &mdfg,
         AddressMap::build(spec, config.cacheLineBytes);
     MemorySystem memsys(design.sys, config);
 
+    // Telemetry identity for this run: one trace "process", counters
+    // under "sim/<kernel>".
+    telemetry::Sink *sink = config.sink;
+    bool tracing = sink != nullptr && sink->tracing();
+    int pid = 0;
+    const std::string run_name = "simulate:" + spec.name;
+    if (sink != nullptr) {
+        pid = sink->nextRunId();
+        memsys.attachTelemetry(pid, "sim/" + spec.name + "/memory");
+    }
+    if (tracing) {
+        telemetry::TraceEmitter &trace = sink->trace();
+        trace.processName(pid, run_name);
+        trace.threadName(pid, 0, "memory-system");
+        trace.begin(run_name, "sim", pid, 0, 0);
+    }
+
     // Partition the outermost loop across tiles.
     int tiles = std::max(1, design.sys.numTiles);
     int64_t outer = std::max<int64_t>(spec.loops[0].tripBase, 1);
     std::vector<std::unique_ptr<TileSim>> sims;
+    std::vector<int> tileIds;
     for (int t = 0; t < tiles; ++t) {
         int64_t lo = outer * t / tiles;
         int64_t hi = outer * (t + 1) / tiles;
@@ -27,18 +88,32 @@ simulate(const wl::KernelSpec &spec, const dfg::Mdfg &mdfg,
             continue;
         sims.push_back(std::make_unique<TileSim>(
             spec, mdfg, schedule, design.adg, addresses, memory,
-            memsys, t, lo, hi, config));
+            memsys, t, lo, hi, config, pid));
+        tileIds.push_back(t);
+        if (tracing) {
+            std::string name = "tile" + std::to_string(t);
+            sink->trace().threadName(pid, t + 1, name);
+            sink->trace().begin(name, "tile", pid, t + 1, 0);
+        }
     }
 
     SimResult result;
     uint64_t cycle = 0;
+    std::vector<bool> traceEnded(sims.size(), false);
     while (cycle < config.maxCycles) {
         ++cycle;
         memsys.tick();
         bool all_done = true;
-        for (auto &tile : sims) {
-            tile->tick(cycle);
-            all_done &= tile->done();
+        for (size_t s = 0; s < sims.size(); ++s) {
+            sims[s]->tick(cycle);
+            bool done = sims[s]->done();
+            if (tracing && done && !traceEnded[s]) {
+                traceEnded[s] = true;
+                sink->trace().end(
+                    "tile" + std::to_string(tileIds[s]), "tile", pid,
+                    tileIds[s] + 1, sims[s]->stats().finishCycle);
+            }
+            all_done &= done;
         }
         if (all_done)
             break;
@@ -57,6 +132,19 @@ simulate(const wl::KernelSpec &spec, const dfg::Mdfg &mdfg,
                  mdfg.unrollFactor;
     }
     result.ipc = cycle > 0 ? insts / static_cast<double>(cycle) : 0.0;
+
+    if (tracing) {
+        // Deadlocked tiles still need their end events matched.
+        for (size_t s = 0; s < sims.size(); ++s) {
+            if (!traceEnded[s]) {
+                sink->trace().end("tile" + std::to_string(tileIds[s]),
+                                  "tile", pid, tileIds[s] + 1, cycle);
+            }
+        }
+        sink->trace().end(run_name, "sim", pid, 0, cycle);
+    }
+    if (sink != nullptr)
+        dumpCounters(*sink, spec.name, result);
     return result;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "telemetry/sink.h"
 
 namespace overgen::sim {
 
@@ -107,7 +108,7 @@ struct TileSim::Impl
          const sched::Schedule &schedule, const adg::Adg &adg,
          const AddressMap &addresses, wl::Memory &memory,
          MemorySystem &memsys, int tile_index, int64_t outer_lo,
-         int64_t outer_hi, const SimConfig &config)
+         int64_t outer_hi, const SimConfig &config, int trace_pid)
         : spec(spec), mdfg(mdfg), schedule(schedule), adg(adg),
           addresses(addresses), memory(memory), memsys(memsys),
           tileIndex(tile_index), config(config),
@@ -115,7 +116,8 @@ struct TileSim::Impl
                                  (mdfg.tuned && spec.tuning.unroll2d
                                       ? 2
                                       : 1),
-                       outer_lo, outer_hi)
+                       outer_lo, outer_hi),
+          tracePid(trace_pid)
     {
         buildStreams(outer_lo, outer_hi);
         // Dispatcher startup: parameter configuration + dispatch.
@@ -126,6 +128,17 @@ struct TileSim::Impl
         int k = 0;
         for (auto &rt : streams)
             rt->activeAt = stats.startupCycles + k++;
+        telemetry::Sink *sink = config.sink;
+        if (sink != nullptr && sink->tracing()) {
+            // The dispatcher/startup phase is known up front; its
+            // begin/end pair brackets cycle 0..startupCycles.
+            std::string cat = "tile";
+            std::string label =
+                "startup:" + std::to_string(num_streams) + "streams";
+            sink->trace().begin(label, cat, tracePid, traceTid(), 0);
+            sink->trace().end(label, cat, tracePid, traceTid(),
+                              stats.startupCycles);
+        }
         // Fabric pipeline characteristics.
         iiInterval = 1.0 / schedule.throughputFactor();
         pipelineDepth = 4 + schedule.routeCost /
@@ -173,6 +186,15 @@ struct TileSim::Impl
     int pipelineDepth = 4;
     TileStats stats;
     bool finished = false;
+
+    /** @name Telemetry (trace tid 0 is the memory system) */
+    /// @{
+    int traceTid() const { return tileIndex + 1; }
+    void sampleTelemetry(uint64_t cycle);
+    int tracePid = 0;
+    uint64_t lastFirings = 0;
+    uint64_t lastStallCycles = 0;
+    /// @}
 };
 
 void
@@ -518,6 +540,11 @@ TileSim::Impl::memoryEngineIssue(EngineRt &engine, uint64_t cycle)
             rt.port.available -= elems;
         }
 
+        if (config.sink != nullptr && config.sink->traceDetail()) {
+            config.sink->trace().instant(
+                is_spad ? "spad.issue" : "dma.issue", "engine",
+                tracePid, traceTid(), cycle);
+        }
         if (is_spad) {
             engine.budget -= bytes;
             stats.spadBytes += static_cast<uint64_t>(bytes);
@@ -772,6 +799,25 @@ TileSim::Impl::fabricTick(uint64_t cycle)
 }
 
 void
+TileSim::Impl::sampleTelemetry(uint64_t cycle)
+{
+    telemetry::Sink *sink = config.sink;
+    if (cycle % sink->options().counterSampleInterval != 0)
+        return;
+    std::string tag = "tile" + std::to_string(tileIndex);
+    sink->trace().counter(
+        tag + ".firings_per_interval", tracePid, traceTid(), cycle,
+        static_cast<double>(stats.firings - lastFirings));
+    sink->trace().counter(
+        tag + ".stall_cycles_per_interval", tracePid, traceTid(),
+        cycle,
+        static_cast<double>(stats.fabricStallCycles -
+                            lastStallCycles));
+    lastFirings = stats.firings;
+    lastStallCycles = stats.fabricStallCycles;
+}
+
+void
 TileSim::Impl::tick(uint64_t cycle)
 {
     if (finished)
@@ -781,6 +827,8 @@ TileSim::Impl::tick(uint64_t cycle)
     for (auto &[engine_id, engine] : engines)
         engineTick(engine_id, engine, cycle);
     fabricTick(cycle);
+    if (config.sink != nullptr && config.sink->tracing())
+        sampleTelemetry(cycle);
 
     if (fabricWalker.done()) {
         bool drained = true;
@@ -808,10 +856,11 @@ TileSim::TileSim(const wl::KernelSpec &spec, const dfg::Mdfg &mdfg,
                  const sched::Schedule &schedule, const adg::Adg &adg,
                  const AddressMap &addresses, wl::Memory &memory,
                  MemorySystem &memsys, int tile_index, int64_t outer_lo,
-                 int64_t outer_hi, const SimConfig &config)
+                 int64_t outer_hi, const SimConfig &config,
+                 int trace_pid)
     : impl(std::make_unique<Impl>(spec, mdfg, schedule, adg, addresses,
                                   memory, memsys, tile_index, outer_lo,
-                                  outer_hi, config))
+                                  outer_hi, config, trace_pid))
 {
 }
 

@@ -36,11 +36,14 @@ struct TileStats
 class TileSim
 {
   public:
+    /** @p trace_pid identifies the enclosing simulate() run in the
+     * trace when `config.sink` is live (see telemetry/trace.h). */
     TileSim(const wl::KernelSpec &spec, const dfg::Mdfg &mdfg,
             const sched::Schedule &schedule, const adg::Adg &adg,
             const AddressMap &addresses, wl::Memory &memory,
             MemorySystem &memsys, int tile_index, int64_t outer_lo,
-            int64_t outer_hi, const SimConfig &config);
+            int64_t outer_hi, const SimConfig &config,
+            int trace_pid = 0);
     ~TileSim();
 
     /** Advance one cycle. @p cycle is the global cycle count. */

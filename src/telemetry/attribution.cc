@@ -1,0 +1,152 @@
+#include "telemetry/attribution.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace overgen::telemetry {
+
+std::string
+modelClassOf(const std::string &bottleneck)
+{
+    if (bottleneck == "dram" || bottleneck == "l2")
+        return "memory";
+    return "compute";
+}
+
+KernelAttribution
+attributeKernel(const KernelObservation &obs)
+{
+    KernelAttribution out;
+    out.kernel = obs.kernel;
+    out.cycles = obs.cycles;
+    out.simIpc = obs.simIpc;
+    out.modelIpc = obs.modelIpc;
+    out.modelBottleneck = obs.modelBottleneck;
+    out.modelClass = modelClassOf(obs.modelBottleneck);
+
+    double tile_cycles = static_cast<double>(obs.cycles) *
+                         std::max(1, obs.tiles);
+    if (tile_cycles > 0.0) {
+        out.stallFraction =
+            static_cast<double>(obs.fabricStallCycles) / tile_cycles;
+        out.mshrStallFraction =
+            static_cast<double>(obs.mshrStallCycles) /
+            static_cast<double>(obs.cycles);
+    }
+    if (obs.cycles > 0 && obs.dramBandwidthBytes > 0.0) {
+        out.dramUtilization =
+            static_cast<double>(obs.dramBytes) /
+            (static_cast<double>(obs.cycles) * obs.dramBandwidthBytes);
+    }
+    if (obs.cycles > 0 && obs.l2BandwidthBytes > 0.0) {
+        out.l2Utilization =
+            static_cast<double>(obs.l2Bytes) /
+            (static_cast<double>(obs.cycles) * obs.l2BandwidthBytes);
+    }
+
+    // Memory-bound when a shared-memory level is near saturation, or
+    // when the fabric spends most cycles stalled while memory traffic
+    // is clearly flowing (latency-bound rather than bandwidth-bound,
+    // but still limited by the memory system, not compute).
+    bool bandwidth_saturated =
+        out.dramUtilization > 0.5 || out.l2Utilization > 0.5;
+    bool latency_limited =
+        out.stallFraction > 0.4 &&
+        (out.dramUtilization > 0.05 || out.mshrStallFraction > 0.01);
+    out.simClass = (bandwidth_saturated || latency_limited)
+                       ? "memory"
+                       : "compute";
+    out.agree = out.simClass == out.modelClass;
+    return out;
+}
+
+AttributionReport
+buildReport(const std::vector<KernelObservation> &observations)
+{
+    AttributionReport report;
+    report.kernels.reserve(observations.size());
+    for (const KernelObservation &obs : observations)
+        report.kernels.push_back(attributeKernel(obs));
+    return report;
+}
+
+std::vector<std::string>
+AttributionReport::disagreements() const
+{
+    std::vector<std::string> out;
+    for (const KernelAttribution &k : kernels) {
+        if (!k.agree)
+            out.push_back(k.kernel);
+    }
+    return out;
+}
+
+Json
+AttributionReport::toJson() const
+{
+    Json list = Json::makeArray();
+    for (const KernelAttribution &k : kernels) {
+        Json obj = Json::makeObject();
+        obj.set("kernel", Json(k.kernel));
+        obj.set("cycles", Json(k.cycles));
+        obj.set("stall_fraction", Json(k.stallFraction));
+        obj.set("dram_utilization", Json(k.dramUtilization));
+        obj.set("l2_utilization", Json(k.l2Utilization));
+        obj.set("mshr_stall_fraction", Json(k.mshrStallFraction));
+        obj.set("sim_ipc", Json(k.simIpc));
+        obj.set("model_ipc", Json(k.modelIpc));
+        obj.set("sim_class", Json(k.simClass));
+        obj.set("model_class", Json(k.modelClass));
+        obj.set("model_bottleneck", Json(k.modelBottleneck));
+        obj.set("agree", Json(k.agree));
+        list.push(std::move(obj));
+    }
+    Json root = Json::makeObject();
+    root.set("kernels", std::move(list));
+    Json dis = Json::makeArray();
+    for (const std::string &name : disagreements())
+        dis.push(Json(name));
+    root.set("disagreements", std::move(dis));
+    return root;
+}
+
+std::string
+AttributionReport::format() const
+{
+    std::string out;
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "%-12s %10s %7s %7s %7s %9s %9s %-8s %-8s %s\n",
+                  "kernel", "cycles", "stall", "dram", "l2", "sim-ipc",
+                  "mdl-ipc", "sim", "model", "agree");
+    out += line;
+    for (const KernelAttribution &k : kernels) {
+        std::snprintf(line, sizeof(line),
+                      "%-12s %10llu %6.0f%% %6.0f%% %6.0f%% %9.2f "
+                      "%9.2f %-8s %-8s %s\n",
+                      k.kernel.c_str(),
+                      static_cast<unsigned long long>(k.cycles),
+                      100.0 * k.stallFraction,
+                      100.0 * k.dramUtilization,
+                      100.0 * k.l2Utilization, k.simIpc, k.modelIpc,
+                      k.simClass.c_str(),
+                      (k.modelClass + "(" + k.modelBottleneck + ")")
+                          .c_str(),
+                      k.agree ? "yes" : "NO");
+        out += line;
+    }
+    std::vector<std::string> dis = disagreements();
+    if (dis.empty()) {
+        out += "model and simulator agree on every kernel\n";
+    } else {
+        out += "model-vs-sim disagreements:";
+        for (const std::string &name : dis) {
+            out += ' ';
+            out += name;
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace overgen::telemetry

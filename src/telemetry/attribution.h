@@ -1,0 +1,96 @@
+#ifndef OVERGEN_TELEMETRY_ATTRIBUTION_H
+#define OVERGEN_TELEMETRY_ATTRIBUTION_H
+
+/**
+ * @file
+ * Model-vs-simulator bottleneck attribution. The DSE trusts the
+ * analytical bottleneck model (paper Eq. 1-2) to rank designs; the
+ * cycle-level simulator is ground truth. This report aggregates
+ * simulated stall/traffic counters per kernel into a compute- vs
+ * memory-bound classification and cross-checks it against the model's
+ * predicted limiting level, flagging kernels where the two disagree —
+ * a standing correctness check on the model.
+ *
+ * Inputs are plain numbers (no sim/model types) so this layer stays
+ * below both engines; telemetry/bridge.h converts their result
+ * structs.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace overgen::telemetry {
+
+/** Simulated + predicted quantities for one kernel run. */
+struct KernelObservation
+{
+    std::string kernel;
+    uint64_t cycles = 0;
+    int tiles = 1;
+    /** Fabric stall cycles summed over tiles (inputs not ready or
+     * outputs backed up — i.e. waiting on the memory system). */
+    uint64_t fabricStallCycles = 0;
+    /** Total DRAM traffic (read + written bytes). */
+    uint64_t dramBytes = 0;
+    /** Aggregate DRAM bandwidth, bytes/cycle over all channels. */
+    double dramBandwidthBytes = 0.0;
+    /** LLC-side traffic (NoC bytes into the banked L2). */
+    uint64_t l2Bytes = 0;
+    /** Aggregate L2 bandwidth, bytes/cycle over all banks. */
+    double l2BandwidthBytes = 0.0;
+    uint64_t mshrStallCycles = 0;
+    double simIpc = 0.0;
+    /** Analytical prediction (PerfBreakdown::bottleneck / ipc). */
+    std::string modelBottleneck;
+    double modelIpc = 0.0;
+};
+
+/** Attribution of one kernel. */
+struct KernelAttribution
+{
+    std::string kernel;
+    uint64_t cycles = 0;
+    double stallFraction = 0.0;      //!< stalls / (tiles * cycles)
+    double dramUtilization = 0.0;    //!< achieved / peak DRAM bytes
+    double l2Utilization = 0.0;      //!< achieved / peak L2 bytes
+    double mshrStallFraction = 0.0;
+    double simIpc = 0.0;
+    double modelIpc = 0.0;
+    std::string simClass;            //!< "compute" | "memory"
+    std::string modelClass;          //!< "compute" | "memory"
+    std::string modelBottleneck;     //!< raw model level name
+    bool agree = false;
+};
+
+/** The aggregated report. */
+struct AttributionReport
+{
+    std::vector<KernelAttribution> kernels;
+
+    /** @return the kernels where simulator and model disagree. */
+    std::vector<std::string> disagreements() const;
+    Json toJson() const;
+    /** @return a printable table plus the disagreement list. */
+    std::string format() const;
+};
+
+/**
+ * @return "compute" or "memory" for a model bottleneck level name:
+ * "dram" and "l2" are bandwidth-bound, everything else ("compute",
+ * "fabric", "spad" — on-tile limits) is compute-bound.
+ */
+std::string modelClassOf(const std::string &bottleneck);
+
+/** Classify one kernel from its simulated counters. */
+KernelAttribution attributeKernel(const KernelObservation &obs);
+
+/** Attribute every observation and assemble the report. */
+AttributionReport buildReport(
+    const std::vector<KernelObservation> &observations);
+
+} // namespace overgen::telemetry
+
+#endif // OVERGEN_TELEMETRY_ATTRIBUTION_H

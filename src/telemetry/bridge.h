@@ -1,0 +1,51 @@
+#ifndef OVERGEN_TELEMETRY_BRIDGE_H
+#define OVERGEN_TELEMETRY_BRIDGE_H
+
+/**
+ * @file
+ * Header-only adapters from simulator / model result structs to the
+ * plain-number telemetry::KernelObservation. Lives in telemetry/ but
+ * is only included by consumers that already link both sides (bench
+ * harnesses, tests), keeping the telemetry library itself independent
+ * of sim and model.
+ */
+
+#include "model/perf.h"
+#include "sim/simulate.h"
+#include "telemetry/attribution.h"
+
+namespace overgen::telemetry {
+
+/** Fold one simulated run + its analytical prediction into an
+ * observation for the attribution report. */
+inline KernelObservation
+observeKernel(const std::string &kernel, const sim::SimResult &sim,
+              const sim::SimConfig &config,
+              const adg::SystemParams &sys,
+              const model::PerfBreakdown &prediction)
+{
+    KernelObservation obs;
+    obs.kernel = kernel;
+    obs.cycles = sim.cycles;
+    obs.tiles = static_cast<int>(sim.tiles.size());
+    for (const sim::TileStats &t : sim.tiles)
+        obs.fabricStallCycles += t.fabricStallCycles;
+    obs.dramBytes =
+        sim.memory.dramBytesRead + sim.memory.dramBytesWritten;
+    obs.dramBandwidthBytes =
+        static_cast<double>(config.dramChannelBandwidthBytes) *
+        std::max(1, sys.dramChannels);
+    obs.l2Bytes = sim.memory.nocBytes;
+    obs.l2BandwidthBytes =
+        static_cast<double>(config.l2BankBandwidthBytes) *
+        std::max(1, sys.l2Banks);
+    obs.mshrStallCycles = sim.memory.mshrStallCycles;
+    obs.simIpc = sim.ipc;
+    obs.modelBottleneck = prediction.bottleneck;
+    obs.modelIpc = prediction.ipc;
+    return obs;
+}
+
+} // namespace overgen::telemetry
+
+#endif // OVERGEN_TELEMETRY_BRIDGE_H

@@ -1,0 +1,68 @@
+#include "telemetry/registry.h"
+
+namespace overgen::telemetry {
+
+Counter &
+Registry::counter(const std::string &path)
+{
+    return counterMap[path];
+}
+
+Distribution &
+Registry::distribution(const std::string &path)
+{
+    return distMap[path];
+}
+
+namespace {
+
+/** Insert @p leaf into @p root under the '/'-separated @p path. */
+void
+insertAtPath(Json &root, const std::string &path, Json leaf)
+{
+    Json *node = &root;
+    size_t begin = 0;
+    while (true) {
+        size_t slash = path.find('/', begin);
+        std::string segment = path.substr(
+            begin, slash == std::string::npos ? std::string::npos
+                                              : slash - begin);
+        if (slash == std::string::npos) {
+            node->set(segment, std::move(leaf));
+            return;
+        }
+        if (!node->contains(segment))
+            node->set(segment, Json::makeObject());
+        node = &node->asObject()[segment];
+        begin = slash + 1;
+    }
+}
+
+} // namespace
+
+Json
+Registry::toJson() const
+{
+    Json root = Json::makeObject();
+    for (const auto &[path, c] : counterMap)
+        insertAtPath(root, path, Json(c.value()));
+    for (const auto &[path, d] : distMap) {
+        Json leaf = Json::makeObject();
+        leaf.set("count", Json(d.count()));
+        leaf.set("sum", Json(d.total()));
+        leaf.set("min", Json(d.min()));
+        leaf.set("max", Json(d.max()));
+        leaf.set("mean", Json(d.mean()));
+        insertAtPath(root, path, std::move(leaf));
+    }
+    return root;
+}
+
+void
+Registry::clear()
+{
+    counterMap.clear();
+    distMap.clear();
+}
+
+} // namespace overgen::telemetry

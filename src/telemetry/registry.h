@@ -1,0 +1,98 @@
+#ifndef OVERGEN_TELEMETRY_REGISTRY_H
+#define OVERGEN_TELEMETRY_REGISTRY_H
+
+/**
+ * @file
+ * Hierarchical counter registry: named u64 counters and value
+ * distributions, addressed by '/'-separated paths (e.g.
+ * "sim/fir/tile0/firings"). Lookup interns the path once; callers
+ * cache the returned reference, so per-cycle increments are a single
+ * add on a stable address. The registry nests by path segment when
+ * serialized, giving a browsable JSON tree of everything the
+ * simulator and DSE observed.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/json.h"
+
+namespace overgen::telemetry {
+
+/** A monotonically increasing event count. */
+class Counter
+{
+  public:
+    void inc() { val += 1; }
+    void add(uint64_t n) { val += n; }
+    uint64_t value() const { return val; }
+
+  private:
+    uint64_t val = 0;
+};
+
+/** Summary statistics of a stream of samples (occupancies, depths). */
+class Distribution
+{
+  public:
+    void
+    record(double v)
+    {
+        if (n == 0 || v < lo)
+            lo = v;
+        if (n == 0 || v > hi)
+            hi = v;
+        sum += v;
+        ++n;
+    }
+
+    uint64_t count() const { return n; }
+    double total() const { return sum; }
+    double min() const { return n ? lo : 0.0; }
+    double max() const { return n ? hi : 0.0; }
+    double mean() const { return n ? sum / static_cast<double>(n) : 0.0; }
+
+  private:
+    uint64_t n = 0;
+    double sum = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/**
+ * The registry. std::map guarantees node stability, so references
+ * returned by counter()/distribution() stay valid for the registry's
+ * lifetime regardless of later insertions.
+ */
+class Registry
+{
+  public:
+    /** @return the counter at @p path, creating it at zero. */
+    Counter &counter(const std::string &path);
+    /** @return the distribution at @p path, creating it empty. */
+    Distribution &distribution(const std::string &path);
+
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counterMap;
+    }
+    const std::map<std::string, Distribution> &distributions() const
+    {
+        return distMap;
+    }
+
+    /** Serialize as a tree nested by '/'-separated path segments. */
+    Json toJson() const;
+
+    /** Drop every counter and distribution. */
+    void clear();
+
+  private:
+    std::map<std::string, Counter> counterMap;
+    std::map<std::string, Distribution> distMap;
+};
+
+} // namespace overgen::telemetry
+
+#endif // OVERGEN_TELEMETRY_REGISTRY_H

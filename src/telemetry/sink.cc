@@ -1,0 +1,32 @@
+#include "telemetry/sink.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace overgen::telemetry {
+
+void
+Sink::logDse(const Json &record)
+{
+    dseLog.push_back(record.dump());
+}
+
+void
+Sink::flush()
+{
+    if (!opts.tracePath.empty())
+        emitter.writeTo(opts.tracePath);
+    if (!opts.dseLogPath.empty()) {
+        std::FILE *f = std::fopen(opts.dseLogPath.c_str(), "w");
+        OG_ASSERT(f != nullptr, "cannot open DSE log '",
+                  opts.dseLogPath, "'");
+        for (const std::string &line : dseLog) {
+            std::fwrite(line.data(), 1, line.size(), f);
+            std::fputc('\n', f);
+        }
+        std::fclose(f);
+    }
+}
+
+} // namespace overgen::telemetry

@@ -1,0 +1,97 @@
+#ifndef OVERGEN_TELEMETRY_SINK_H
+#define OVERGEN_TELEMETRY_SINK_H
+
+/**
+ * @file
+ * The telemetry sink: the one object instrumented code talks to. A
+ * `Sink *` is threaded through `sim::SimConfig` and `dse::DseOptions`
+ * with a null default — instrumentation sites guard on the pointer,
+ * so a disabled sink costs one predictable branch and changes no
+ * simulated behavior (observation only, never actuation).
+ *
+ * A live sink bundles:
+ *  - a counter Registry (always on),
+ *  - a Chrome trace_event emitter (on when a trace path is configured
+ *    or explicitly enabled; see trace.h for the pid/tid convention),
+ *  - a JSONL log for per-iteration DSE records.
+ *
+ * flush() writes the configured output files; in-memory accessors
+ * exist so tests can inspect everything without touching disk.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "telemetry/registry.h"
+#include "telemetry/trace.h"
+
+namespace overgen::telemetry {
+
+/** Sink configuration. */
+struct SinkOptions
+{
+    /** Chrome trace output; tracing is enabled when non-empty. */
+    std::string tracePath;
+    /** DSE per-iteration JSONL output. */
+    std::string dseLogPath;
+    /** Record the trace in memory even without a tracePath (tests). */
+    bool enableTrace = false;
+    /** Also emit per-issue instant events (large traces). */
+    bool traceDetail = false;
+    /** Cycles between periodic counter samples in the trace. */
+    uint64_t counterSampleInterval = 64;
+};
+
+/** See file comment. */
+class Sink
+{
+  public:
+    Sink() = default;
+    explicit Sink(SinkOptions options) : opts(std::move(options)) {}
+
+    const SinkOptions &options() const { return opts; }
+
+    Registry &registry() { return reg; }
+    const Registry &registry() const { return reg; }
+
+    /** @return whether trace events should be recorded. */
+    bool
+    tracing() const
+    {
+        return opts.enableTrace || !opts.tracePath.empty();
+    }
+
+    /** @return whether fine-grained per-issue events are wanted. */
+    bool traceDetail() const { return tracing() && opts.traceDetail; }
+
+    TraceEmitter &trace() { return emitter; }
+    const TraceEmitter &trace() const { return emitter; }
+
+    /**
+     * @return a fresh id for one traced activity (one simulate() call
+     * maps to one trace "process").
+     */
+    int nextRunId() { return ++lastRunId; }
+
+    /** Append one DSE iteration record (serialized as a JSONL line). */
+    void logDse(const Json &record);
+
+    /** @return the buffered JSONL lines (tests, in-memory use). */
+    const std::vector<std::string> &dseLines() const { return dseLog; }
+
+    /** Write the configured trace / DSE-log files. Idempotent. */
+    void flush();
+
+  private:
+    SinkOptions opts;
+    Registry reg;
+    TraceEmitter emitter;
+    std::vector<std::string> dseLog;
+    int lastRunId = 0;
+};
+
+} // namespace overgen::telemetry
+
+#endif // OVERGEN_TELEMETRY_SINK_H

@@ -1,0 +1,141 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace overgen::telemetry {
+
+uint32_t
+TraceEmitter::intern(const std::string &s)
+{
+    auto it = internIndex.find(s);
+    if (it != internIndex.end())
+        return it->second;
+    uint32_t index = static_cast<uint32_t>(strings.size());
+    strings.push_back(s);
+    internIndex.emplace(s, index);
+    return index;
+}
+
+void
+TraceEmitter::push(char phase, const std::string &name,
+                   const std::string &cat, int pid, int tid,
+                   uint64_t ts, double value)
+{
+    TraceEvent ev;
+    ev.phase = phase;
+    ev.name = intern(name);
+    ev.cat = intern(cat);
+    ev.pid = pid;
+    ev.tid = tid;
+    ev.ts = ts;
+    ev.value = value;
+    events.push_back(ev);
+}
+
+void
+TraceEmitter::begin(const std::string &name, const std::string &cat,
+                    int pid, int tid, uint64_t ts)
+{
+    push('B', name, cat, pid, tid, ts, 0.0);
+}
+
+void
+TraceEmitter::end(const std::string &name, const std::string &cat,
+                  int pid, int tid, uint64_t ts)
+{
+    push('E', name, cat, pid, tid, ts, 0.0);
+}
+
+void
+TraceEmitter::instant(const std::string &name, const std::string &cat,
+                      int pid, int tid, uint64_t ts)
+{
+    push('i', name, cat, pid, tid, ts, 0.0);
+}
+
+void
+TraceEmitter::counter(const std::string &name, int pid, int tid,
+                      uint64_t ts, double value)
+{
+    push('C', name, "counter", pid, tid, ts, value);
+}
+
+void
+TraceEmitter::processName(int pid, const std::string &name)
+{
+    // Metadata payload string rides in `value` as an intern index.
+    push('M', "process_name", "__metadata", pid, 0, 0,
+         static_cast<double>(intern(name)));
+}
+
+void
+TraceEmitter::threadName(int pid, int tid, const std::string &name)
+{
+    push('M', "thread_name", "__metadata", pid, tid, 0,
+         static_cast<double>(intern(name)));
+}
+
+Json
+TraceEmitter::toJson() const
+{
+    // The viewer tolerates unsorted events but Perfetto's importer is
+    // faster (and begin/end pairing unambiguous) with sorted ts.
+    // Metadata sorts first at ts 0; stable sort keeps same-ts
+    // begin-before-end emission order intact.
+    std::vector<const TraceEvent *> order;
+    order.reserve(events.size());
+    for (const TraceEvent &ev : events)
+        order.push_back(&ev);
+    std::stable_sort(order.begin(), order.end(),
+                     [](const TraceEvent *a, const TraceEvent *b) {
+                         if ((a->phase == 'M') != (b->phase == 'M'))
+                             return a->phase == 'M';
+                         return a->ts < b->ts;
+                     });
+
+    Json list = Json::makeArray();
+    for (const TraceEvent *ev : order) {
+        Json obj = Json::makeObject();
+        obj.set("name", Json(strings[ev->name]));
+        obj.set("ph", Json(std::string(1, ev->phase)));
+        obj.set("pid", Json(ev->pid));
+        obj.set("tid", Json(ev->tid));
+        obj.set("ts", Json(ev->ts));
+        if (ev->phase == 'M') {
+            Json args = Json::makeObject();
+            args.set("name",
+                     Json(strings[static_cast<uint32_t>(ev->value)]));
+            obj.set("args", std::move(args));
+        } else {
+            obj.set("cat", Json(strings[ev->cat]));
+            if (ev->phase == 'C') {
+                Json args = Json::makeObject();
+                args.set("value", Json(ev->value));
+                obj.set("args", std::move(args));
+            }
+            if (ev->phase == 'i')
+                obj.set("s", Json("t"));
+        }
+        list.push(std::move(obj));
+    }
+    Json root = Json::makeObject();
+    root.set("traceEvents", std::move(list));
+    root.set("displayTimeUnit", Json("ms"));
+    return root;
+}
+
+void
+TraceEmitter::writeTo(const std::string &path) const
+{
+    std::string text = toJson().dump();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    OG_ASSERT(f != nullptr, "cannot open trace file '", path, "'");
+    size_t written = std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    OG_ASSERT(written == text.size(), "short write to '", path, "'");
+}
+
+} // namespace overgen::telemetry

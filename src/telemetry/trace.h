@@ -1,0 +1,83 @@
+#ifndef OVERGEN_TELEMETRY_TRACE_H
+#define OVERGEN_TELEMETRY_TRACE_H
+
+/**
+ * @file
+ * Cycle-level trace emitter serializing to the Chrome trace_event JSON
+ * format, loadable in chrome://tracing and Perfetto. Timestamps are
+ * overlay cycles (presented as microseconds — only relative spacing
+ * matters for viewing). Events are recorded into a compact in-memory
+ * log with interned name/category strings and serialized on demand
+ * through the common/json writer, so a trace file round-trips through
+ * Json::parse.
+ *
+ * The pid/tid convention used by the simulator: each simulate() call
+ * is one "process" (pid = run id, named via process metadata), tid 0
+ * is the shared memory system, tid 1+N is tile N.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace overgen::telemetry {
+
+/** One recorded event (phase follows trace_event: B/E/i/C/M). */
+struct TraceEvent
+{
+    char phase = 'i';
+    uint32_t name = 0;  //!< index into the intern table
+    uint32_t cat = 0;   //!< index into the intern table
+    int pid = 0;
+    int tid = 0;
+    uint64_t ts = 0;    //!< cycles
+    /** Counter value ('C') or metadata string index ('M'). */
+    double value = 0.0;
+};
+
+/** Recorder + serializer for Chrome trace_event JSON. */
+class TraceEmitter
+{
+  public:
+    /** Record a duration-begin event. */
+    void begin(const std::string &name, const std::string &cat, int pid,
+               int tid, uint64_t ts);
+    /** Record the matching duration-end event. */
+    void end(const std::string &name, const std::string &cat, int pid,
+             int tid, uint64_t ts);
+    /** Record a thread-scoped instant event. */
+    void instant(const std::string &name, const std::string &cat,
+                 int pid, int tid, uint64_t ts);
+    /** Record a counter sample (plots @p value over time). */
+    void counter(const std::string &name, int pid, int tid, uint64_t ts,
+                 double value);
+    /** Name a process in the viewer (metadata event). */
+    void processName(int pid, const std::string &name);
+    /** Name a thread in the viewer (metadata event). */
+    void threadName(int pid, int tid, const std::string &name);
+
+    size_t eventCount() const { return events.size(); }
+    bool empty() const { return events.empty(); }
+
+    /** Serialize as {"traceEvents": [...]} sorted by timestamp. */
+    Json toJson() const;
+    /** Write the serialized trace to @p path; fatal on I/O error. */
+    void writeTo(const std::string &path) const;
+
+  private:
+    uint32_t intern(const std::string &s);
+    void push(char phase, const std::string &name,
+              const std::string &cat, int pid, int tid, uint64_t ts,
+              double value);
+
+    std::vector<std::string> strings;
+    std::map<std::string, uint32_t> internIndex;
+    std::vector<TraceEvent> events;
+};
+
+} // namespace overgen::telemetry
+
+#endif // OVERGEN_TELEMETRY_TRACE_H

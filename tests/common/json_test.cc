@@ -95,5 +95,31 @@ TEST(Json, WhitespaceTolerant)
     EXPECT_EQ(v.at("a").asArray().size(), 2u);
 }
 
+TEST(Json, ControlCharacterEscapes)
+{
+    // Every control character must dump as a valid JSON escape
+    // (RFC 8259) and survive a round trip.
+    std::string raw;
+    for (int c = 1; c < 0x20; ++c)
+        raw += static_cast<char>(c);
+    std::string dumped = Json(raw).dump();
+    for (char c : dumped)
+        EXPECT_GE(static_cast<unsigned char>(c), 0x20) << dumped;
+    EXPECT_EQ(Json::parse(dumped).asString(), raw);
+
+    EXPECT_EQ(Json(std::string("a\bb\fc")).dump(),
+              "\"a\\bb\\fc\"");
+    EXPECT_EQ(Json(std::string(1, '\x1f')).dump(), "\"\\u001f\"");
+}
+
+TEST(Json, ParseUnicodeEscape)
+{
+    EXPECT_EQ(Json::parse("\"\\u0041\"").asString(), "A");
+    // Two- and three-byte UTF-8 expansions.
+    EXPECT_EQ(Json::parse("\"\\u00e9\"").asString(), "\xc3\xa9");
+    EXPECT_EQ(Json::parse("\"\\u20ac\"").asString(),
+              "\xe2\x82\xac");
+}
+
 } // namespace
 } // namespace overgen

@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "adg/builders.h"
+#include "compiler/compile.h"
+#include "dse/explorer.h"
+#include "model/perf.h"
+#include "sched/scheduler.h"
+#include "sim/simulate.h"
+#include "telemetry/attribution.h"
+#include "telemetry/bridge.h"
+#include "telemetry/registry.h"
+#include "telemetry/sink.h"
+#include "telemetry/trace.h"
+#include "workloads/suites.h"
+
+namespace overgen::telemetry {
+namespace {
+
+TEST(Registry, CountersAndDistributions)
+{
+    Registry reg;
+    Counter &c = reg.counter("sim/k/cycles");
+    c.inc();
+    c.add(9);
+    EXPECT_EQ(c.value(), 10u);
+    // Same path returns the same counter.
+    EXPECT_EQ(&reg.counter("sim/k/cycles"), &c);
+
+    Distribution &d = reg.distribution("sim/k/queue");
+    d.record(2.0);
+    d.record(4.0);
+    EXPECT_EQ(d.count(), 2u);
+    EXPECT_DOUBLE_EQ(d.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 4.0);
+}
+
+TEST(Registry, ToJsonNestsByPath)
+{
+    Registry reg;
+    reg.counter("a/b/c").add(7);
+    reg.counter("a/d").add(1);
+    Json j = reg.toJson();
+    EXPECT_EQ(j.at("a").at("b").at("c").asNumber(), 7.0);
+    EXPECT_EQ(j.at("a").at("d").asNumber(), 1.0);
+}
+
+TEST(Trace, RoundTripsThroughJsonParser)
+{
+    TraceEmitter trace;
+    trace.processName(1, "proc");
+    trace.threadName(1, 0, "thread");
+    trace.begin("work", "cat", 1, 0, 5);
+    trace.counter("level", 1, 0, 6, 3.5);
+    trace.instant("ping", "cat", 1, 0, 7);
+    trace.end("work", "cat", 1, 0, 9);
+
+    std::string text = trace.toJson().dump();
+    Json parsed = Json::parse(text);
+    const Json::Array &events = parsed.at("traceEvents").asArray();
+    EXPECT_EQ(events.size(), 6u);
+    for (const Json &e : events) {
+        EXPECT_TRUE(e.at("ph").isString());
+        EXPECT_TRUE(e.at("pid").isNumber());
+    }
+}
+
+/** Run one kernel on the general overlay with @p config. */
+sim::SimResult
+runGeneral(const wl::KernelSpec &spec, const sim::SimConfig &config,
+           model::PerfBreakdown *prediction = nullptr)
+{
+    adg::SysAdg design;
+    design.adg = adg::buildGeneralOverlayTile();
+    design.sys.numTiles = 4;
+    design.sys.l2Banks = 4;
+    design.sys.l2CapacityKiB = 512;
+    design.sys.nocBytes = 32;
+    compiler::CompileOptions copts;
+    copts.applyTuning = true;
+    auto variants = compiler::compileVariants(spec, copts);
+    sched::SpatialScheduler scheduler(design.adg);
+    auto fit = scheduler.scheduleFirstFit(variants);
+    EXPECT_TRUE(fit.has_value()) << spec.name;
+    if (!fit)
+        return {};
+    if (prediction != nullptr) {
+        model::PerfInput input;
+        input.mdfg = &variants[fit->second];
+        input.backing = sched::backingFromSchedule(
+            fit->first, design.adg, variants[fit->second]);
+        *prediction = model::estimateIpc(input, design.adg,
+                                         design.sys);
+    }
+    wl::Memory memory;
+    memory.init(spec);
+    return sim::simulate(spec, variants[fit->second], fit->first,
+                         design, memory, config);
+}
+
+TEST(Sink, NullSinkChangesNoSimulatedBehavior)
+{
+    wl::KernelSpec spec = wl::makeFir(256, 16);
+    sim::SimResult bare = runGeneral(spec, {});
+
+    SinkOptions opts;
+    opts.enableTrace = true;
+    Sink sink(opts);
+    sim::SimConfig config;
+    config.sink = &sink;
+    sim::SimResult observed = runGeneral(spec, config);
+
+    // Observation only: the sink must not perturb the simulation.
+    EXPECT_EQ(bare.cycles, observed.cycles);
+    EXPECT_EQ(bare.ipc, observed.ipc);
+    EXPECT_EQ(bare.memory.nocBytes, observed.memory.nocBytes);
+    EXPECT_FALSE(sink.trace().empty());
+}
+
+TEST(Sink, RegistryDeterministicAcrossIdenticalRuns)
+{
+    wl::KernelSpec spec = wl::makeAccumulate();
+    Sink first, second;
+    sim::SimConfig config;
+    config.sink = &first;
+    runGeneral(spec, config);
+    config.sink = &second;
+    runGeneral(spec, config);
+    EXPECT_EQ(first.registry().toJson().dump(2),
+              second.registry().toJson().dump(2));
+}
+
+TEST(Sink, SimulationTraceHasMatchedBeginEndPairs)
+{
+    SinkOptions opts;
+    opts.enableTrace = true;
+    Sink sink(opts);
+    sim::SimConfig config;
+    config.sink = &sink;
+    runGeneral(wl::makeMm(), config);
+
+    std::string text = sink.trace().toJson().dump();
+    Json parsed = Json::parse(text);
+    const Json::Array &events = parsed.at("traceEvents").asArray();
+    ASSERT_FALSE(events.empty());
+
+    // Depth per (pid, tid, name) must never go negative and must
+    // return to zero: every B has its E.
+    std::map<std::tuple<int, int, std::string>, int> depth;
+    for (const Json &e : events) {
+        const std::string &ph = e.at("ph").asString();
+        if (ph != "B" && ph != "E")
+            continue;
+        auto key = std::make_tuple(
+            static_cast<int>(e.at("pid").asNumber()),
+            static_cast<int>(e.at("tid").asNumber()),
+            e.at("name").asString());
+        depth[key] += ph == "B" ? 1 : -1;
+        EXPECT_GE(depth[key], 0) << std::get<2>(key);
+    }
+    for (const auto &[key, d] : depth)
+        EXPECT_EQ(d, 0) << std::get<2>(key);
+}
+
+TEST(Dse, OneJsonlRecordPerIteration)
+{
+    Sink sink;
+    dse::DseOptions options;
+    options.iterations = 6;
+    options.seed = 3;
+    options.sink = &sink;
+    options.telemetryLabel = "test-run";
+    dse::DseResult result =
+        dse::exploreOverlay({ wl::makeAccumulate() }, options);
+
+    ASSERT_EQ(sink.dseLines().size(),
+              static_cast<size_t>(result.iterationsRun));
+    int accepted = 0;
+    for (size_t i = 0; i < sink.dseLines().size(); ++i) {
+        Json record = Json::parse(sink.dseLines()[i]);
+        EXPECT_EQ(record.at("run").asString(), "test-run");
+        EXPECT_EQ(record.at("iteration").asNumber(),
+                  static_cast<double>(i + 1));
+        EXPECT_TRUE(record.at("objective").asNumber() > 0.0);
+        EXPECT_TRUE(record.at("accepted").isBool());
+        EXPECT_TRUE(record.at("mutations").isArray());
+        accepted += record.at("accepted").asBool() ? 1 : 0;
+    }
+    EXPECT_EQ(accepted, result.accepted);
+    EXPECT_EQ(sink.registry().counter("dse/iterations").value(),
+              static_cast<uint64_t>(result.iterationsRun));
+}
+
+TEST(Attribution, ModelClassOf)
+{
+    EXPECT_EQ(modelClassOf("dram"), "memory");
+    EXPECT_EQ(modelClassOf("l2"), "memory");
+    EXPECT_EQ(modelClassOf("compute"), "compute");
+    EXPECT_EQ(modelClassOf("fabric"), "compute");
+    EXPECT_EQ(modelClassOf("spad"), "compute");
+}
+
+/** Simulate + predict one kernel and return its attribution. */
+KernelAttribution
+attributeOnGeneral(const wl::KernelSpec &spec)
+{
+    model::PerfBreakdown prediction;
+    sim::SimConfig config;
+    sim::SimResult result = runGeneral(spec, config, &prediction);
+    EXPECT_TRUE(result.completed) << spec.name;
+    adg::SystemParams sys;
+    sys.numTiles = 4;
+    sys.l2Banks = 4;
+    sys.l2CapacityKiB = 512;
+    sys.nocBytes = 32;
+    return attributeKernel(
+        observeKernel(spec.name, result, config, sys, prediction));
+}
+
+TEST(Attribution, AgreesOnClearlyComputeBoundKernel)
+{
+    // Dense mm on the general overlay is fabric-limited: low memory
+    // utilization, model predicts a compute-level bottleneck.
+    KernelAttribution a = attributeOnGeneral(wl::makeMm());
+    EXPECT_EQ(a.simClass, "compute");
+    EXPECT_EQ(a.modelClass, "compute");
+    EXPECT_TRUE(a.agree);
+}
+
+TEST(Attribution, AgreesOnClearlyMemoryBoundKernel)
+{
+    // gemm streams whole matrices through the L2: bandwidth-bound in
+    // both the simulator and the analytical model.
+    KernelAttribution a = attributeOnGeneral(wl::makeGemm());
+    EXPECT_EQ(a.simClass, "memory");
+    EXPECT_EQ(a.modelClass, "memory");
+    EXPECT_TRUE(a.agree);
+}
+
+TEST(Attribution, ReportFlagsDisagreements)
+{
+    KernelObservation agree_obs;
+    agree_obs.kernel = "calm";
+    agree_obs.cycles = 1000;
+    agree_obs.tiles = 1;
+    agree_obs.fabricStallCycles = 10;
+    agree_obs.dramBandwidthBytes = 16.0;
+    agree_obs.l2Bytes = 100;
+    agree_obs.l2BandwidthBytes = 64.0;
+    agree_obs.modelBottleneck = "compute";
+
+    KernelObservation conflict_obs = agree_obs;
+    conflict_obs.kernel = "torn";
+    conflict_obs.modelBottleneck = "dram";
+
+    AttributionReport report =
+        buildReport({ agree_obs, conflict_obs });
+    ASSERT_EQ(report.kernels.size(), 2u);
+    EXPECT_TRUE(report.kernels[0].agree);
+    EXPECT_FALSE(report.kernels[1].agree);
+    std::vector<std::string> bad = report.disagreements();
+    ASSERT_EQ(bad.size(), 1u);
+    EXPECT_EQ(bad[0], "torn");
+    // The printable report names the offender.
+    EXPECT_NE(report.format().find("torn"), std::string::npos);
+}
+
+} // namespace
+} // namespace overgen::telemetry
