@@ -18,6 +18,7 @@
 
 #include "adg/builders.h"
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "compiler/compile.h"
 #include "dse/explorer.h"
 #include "hls/autodse.h"
@@ -30,33 +31,57 @@
 namespace overgen::bench {
 
 /**
- * Telemetry wiring shared by every harness. `--trace=<path>` records
- * a Chrome trace_event file of every simulation the harness runs
- * (open in chrome://tracing or https://ui.perfetto.dev);
- * `--dse-log=<path>` appends one JSONL record per DSE iteration;
- * `--trace-detail` adds per-issue instant events (bigger traces);
- * `--telemetry-json=<path>` dumps the counter registry. Without any
- * flag `sink()` returns null and the run is telemetry-free.
+ * Flag parsing + shared services for every harness.
+ *
+ * Parallelism: `--threads N` (or `--threads=N`) sizes the work pool
+ * used for both the DSE's speculative candidate evaluation
+ * (`dseOptions().threads`) and the harness-level fan-out of
+ * independent explorations/simulations (`pool()`). The default is
+ * the hardware concurrency; `--threads 1` is the legacy serial path.
+ * Results are identical for every thread count — only wall-clock
+ * changes (see DESIGN.md "Determinism under parallelism").
+ *
+ * Telemetry: `--trace=<path>` records a Chrome trace_event file of
+ * every simulation the harness runs (open in chrome://tracing or
+ * https://ui.perfetto.dev); `--dse-log=<path>` appends one JSONL
+ * record per DSE iteration; `--trace-detail` adds per-issue instant
+ * events (bigger traces); `--telemetry-json=<path>` dumps the
+ * counter registry. Without any flag `sink()` returns null and the
+ * run is telemetry-free.
  */
-class Telemetry
+class Harness
 {
   public:
-    Telemetry(int argc, char **argv)
+    Harness(int argc, char **argv)
     {
         telemetry::SinkOptions opts;
+        std::string threadsArg;
         for (int i = 1; i < argc; ++i) {
             std::string arg = argv[i];
+            if (arg == "--threads" && i + 1 < argc) {
+                threadsArg = argv[++i];
+                continue;
+            }
             if (!eat(arg, "--trace=", opts.tracePath) &&
                 !eat(arg, "--dse-log=", opts.dseLogPath) &&
                 !eat(arg, "--telemetry-json=", registryPath) &&
+                !eat(arg, "--threads=", threadsArg) &&
                 arg != "--trace-detail") {
                 OG_FATAL("unknown argument '", arg,
-                         "' (expected --trace=<path>, "
-                         "--dse-log=<path>, --trace-detail, or "
+                         "' (expected --threads[=]<n>, "
+                         "--trace=<path>, --dse-log=<path>, "
+                         "--trace-detail, or "
                          "--telemetry-json=<path>)");
             }
             if (arg == "--trace-detail")
                 opts.traceDetail = true;
+        }
+        if (!threadsArg.empty()) {
+            numThreads = std::atoi(threadsArg.c_str());
+            OG_ASSERT(numThreads >= 1, "bad --threads value '",
+                      threadsArg, "'");
+        } else {
+            numThreads = ThreadPool::hardwareThreads();
         }
         if (!opts.tracePath.empty() || !opts.dseLogPath.empty() ||
             !registryPath.empty()) {
@@ -66,6 +91,37 @@ class Telemetry
 
     /** Null when no telemetry flag was given. */
     telemetry::Sink *sink() const { return live.get(); }
+
+    /** Resolved worker count (>= 1). */
+    int threads() const { return numThreads; }
+
+    /**
+     * The harness-level work pool for fanning out independent
+     * explorations and simulations; lazily built at threads() wide.
+     * Explorations launched from pool tasks get their own inner
+     * pools (nesting distinct pools is fine; nesting one is not).
+     */
+    ThreadPool &
+    pool()
+    {
+        if (workPool == nullptr)
+            workPool = std::make_unique<ThreadPool>(numThreads);
+        return *workPool;
+    }
+
+    /** DseOptions pre-wired with this harness's sink and threads. */
+    dse::DseOptions
+    dseOptions(int iterations, uint64_t seed,
+               const std::string &label) const
+    {
+        dse::DseOptions options;
+        options.iterations = iterations;
+        options.seed = seed;
+        options.threads = numThreads;
+        options.sink = sink();
+        options.telemetryLabel = label;
+        return options;
+    }
 
     /** Write every configured output file (call once, at exit). */
     void
@@ -105,12 +161,14 @@ class Telemetry
         if (arg.compare(0, len, prefix) != 0)
             return false;
         out = arg.substr(len);
-        OG_ASSERT(!out.empty(), "empty path in '", arg, "'");
+        OG_ASSERT(!out.empty(), "empty value in '", arg, "'");
         return true;
     }
 
     std::unique_ptr<telemetry::Sink> live;
+    std::unique_ptr<ThreadPool> workPool;
     std::string registryPath;
+    int numThreads = 1;
 };
 
 /** Overlay fabric clock (paper: quad-tile floorplan at 92.87 MHz). */

@@ -5,16 +5,35 @@
  * suite-specialized overlay, and the per-workload overlay — as
  * speedups over the AutoDSE baseline (untuned), with tuned AutoDSE as
  * the strongest baseline. Per-workload bars and per-suite geomeans.
+ *
+ * Each suite's exploration parallelizes its candidate evaluation
+ * (`--threads`); the per-kernel column work (AutoDSE baselines,
+ * per-workload DSE, and the three simulations) then fans out across
+ * the harness pool, with each fanned task exploring serially so the
+ * machine is not oversubscribed twice.
  */
 
 #include "common.h"
 
 using namespace overgen;
 
+namespace {
+
+struct KernelRow
+{
+    double base = 0.0;
+    double spTuned = 0.0;
+    double spGeneral = 0.0;
+    double spSuite = 0.0;
+    double spWl = 0.0;
+};
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    bench::Telemetry tele(argc, argv);
+    bench::Harness harness(argc, argv);
     bench::banner("Figure 13",
                   "overall performance vs AutoDSE (speedup > 1 means "
                   "OverGen is faster)");
@@ -36,51 +55,65 @@ main(int argc, char **argv)
         // Paper convention (Q2 hatching): kernels are implemented with
         // OverGen's source tuning where it exists (fft peel, gemm 2D
         // unroll, stencil/blur overlap unroll).
-        dse::DseOptions options;
-        options.iterations = iters;
-        options.seed = 7 + s;
+        dse::DseOptions options = harness.dseOptions(
+            iters, 7 + s, suite_names[s] + "-suite");
         options.applyTuning = true;
-        options.sink = tele.sink();
-        options.telemetryLabel = suite_names[s] + "-suite";
         dse::DseResult suite_dse =
             dse::exploreOverlay(suites[s], options);
 
+        std::vector<KernelRow> rows = harness.pool().parallelMap(
+            suites[s].size(), [&](size_t k) {
+                const wl::KernelSpec &spec = suites[s][k];
+                KernelRow row;
+                hls::AutoDseResult ad = hls::runAutoDse(spec, false);
+                hls::AutoDseResult ad_tuned =
+                    hls::runAutoDse(spec, true);
+
+                bench::OverlayRun on_general = bench::runOnOverlay(
+                    spec, general, true,
+                    bench::withSink(harness.sink()));
+                bench::OverlayRun on_suite = bench::runMapped(
+                    spec, suite_dse, k,
+                    bench::withSink(harness.sink()));
+
+                dse::DseOptions wl_options = harness.dseOptions(
+                    iters, 100 + k, spec.name + "-wl");
+                wl_options.applyTuning = true;
+                wl_options.threads = 1;  // the fan-out is the
+                                         // parallelism here
+                dse::DseResult wl_dse =
+                    dse::exploreOverlay({ spec }, wl_options);
+                bench::OverlayRun on_wl = bench::runMapped(
+                    spec, wl_dse, 0,
+                    bench::withSink(harness.sink()));
+
+                row.base = ad.perf.seconds;
+                row.spTuned = row.base / ad_tuned.perf.seconds;
+                row.spGeneral = on_general.ok
+                                    ? row.base / on_general.seconds
+                                    : 0.0;
+                row.spSuite = on_suite.ok
+                                  ? row.base / on_suite.seconds
+                                  : 0.0;
+                row.spWl =
+                    on_wl.ok ? row.base / on_wl.seconds : 0.0;
+                return row;
+            });
+
         std::vector<double> g_general, g_suite, g_wl, g_tuned;
         for (size_t k = 0; k < suites[s].size(); ++k) {
-            const wl::KernelSpec &spec = suites[s][k];
-            hls::AutoDseResult ad = hls::runAutoDse(spec, false);
-            hls::AutoDseResult ad_tuned = hls::runAutoDse(spec, true);
-
-            bench::OverlayRun on_general = bench::runOnOverlay(
-                spec, general, true, bench::withSink(tele.sink()));
-            bench::OverlayRun on_suite = bench::runMapped(
-                spec, suite_dse, k, bench::withSink(tele.sink()));
-
-            dse::DseOptions wl_options = options;
-            wl_options.seed = 100 + k;
-            wl_options.telemetryLabel = spec.name + "-wl";
-            dse::DseResult wl_dse =
-                dse::exploreOverlay({ spec }, wl_options);
-            bench::OverlayRun on_wl = bench::runMapped(
-                spec, wl_dse, 0, bench::withSink(tele.sink()));
-
-            double base = ad.perf.seconds;
-            double sp_tuned = base / ad_tuned.perf.seconds;
-            double sp_general =
-                on_general.ok ? base / on_general.seconds : 0.0;
-            double sp_suite =
-                on_suite.ok ? base / on_suite.seconds : 0.0;
-            double sp_wl = on_wl.ok ? base / on_wl.seconds : 0.0;
+            const KernelRow &row = rows[k];
             std::printf("%-12s %9.2e %8.2fx %9.2fx %8.2fx %8.2fx\n",
-                        spec.name.c_str(), base, sp_tuned, sp_general,
-                        sp_suite, sp_wl);
-            if (sp_general > 0)
-                g_general.push_back(sp_general);
-            if (sp_suite > 0)
-                g_suite.push_back(sp_suite);
-            if (sp_wl > 0)
-                g_wl.push_back(sp_wl);
-            g_tuned.push_back(sp_tuned);
+                        suites[s][k].name.c_str(), row.base,
+                        row.spTuned, row.spGeneral, row.spSuite,
+                        row.spWl);
+            if (row.spGeneral > 0)
+                g_general.push_back(row.spGeneral);
+            if (row.spSuite > 0)
+                g_suite.push_back(row.spSuite);
+            if (row.spWl > 0)
+                g_wl.push_back(row.spWl);
+            g_tuned.push_back(row.spTuned);
         }
         std::printf("%-12s %9s %8.2fx %9.2fx %8.2fx %8.2fx   <- %s "
                     "geomean\n",
@@ -102,6 +135,6 @@ main(int argc, char **argv)
     std::printf("paper shape: suite-OG ~1.1-1.25x over untuned "
                 "AutoDSE; ~0.37-0.71x of tuned AutoDSE (i.e. "
                 "suite-OG/tuned-AD); general-OG trails suite-OG.\n");
-    tele.finish();
+    harness.finish();
     return 0;
 }

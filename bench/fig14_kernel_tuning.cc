@@ -15,7 +15,7 @@ using namespace overgen;
 int
 main(int argc, char **argv)
 {
-    bench::Telemetry tele(argc, argv);
+    bench::Harness harness(argc, argv);
     bench::banner("Figure 14", "impact of kernel tuning");
     adg::SysAdg general = bench::generalOverlay();
 
@@ -30,9 +30,9 @@ main(int argc, char **argv)
         hls::AutoDseResult ad = hls::runAutoDse(spec, false);
         hls::AutoDseResult ad_tuned = hls::runAutoDse(spec, true);
         bench::OverlayRun og = bench::runOnOverlay(
-            spec, general, false, bench::withSink(tele.sink()));
+            spec, general, false, bench::withSink(harness.sink()));
         bench::OverlayRun og_tuned = bench::runOnOverlay(
-            spec, general, true, bench::withSink(tele.sink()));
+            spec, general, true, bench::withSink(harness.sink()));
         double ad_gain = ad.perf.seconds / ad_tuned.perf.seconds;
         double og_gain =
             og.ok && og_tuned.ok ? og.seconds / og_tuned.seconds : 1.0;
@@ -48,6 +48,6 @@ main(int argc, char **argv)
                 bench::geomean(ad_gains), bench::geomean(og_gains));
     std::printf("paper takeaway: HLS benefits far more from manual "
                 "tuning; OverGen handles the patterns natively.\n");
-    tele.finish();
+    harness.finish();
     return 0;
 }

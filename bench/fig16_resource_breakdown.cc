@@ -50,7 +50,7 @@ printOverlayRow(const char *name, const adg::SysAdg &design)
 int
 main(int argc, char **argv)
 {
-    bench::Telemetry tele(argc, argv);
+    bench::Harness harness(argc, argv);
     bench::banner("Figure 16", "FPGA resource breakdown");
     int iters = bench::benchIterations();
     model::FpgaDevice device = model::FpgaDevice::xcvu9p();
@@ -65,7 +65,8 @@ main(int argc, char **argv)
         dse::DseOptions options;
         options.iterations = iters;
         options.seed = 31 + s;
-        options.sink = tele.sink();
+        options.threads = harness.threads();
+        options.sink = harness.sink();
         options.telemetryLabel = names[s];
         dse::DseResult result = dse::exploreOverlay(suites[s], options);
         printOverlayRow(names[s].c_str(), result.design);
@@ -87,6 +88,6 @@ main(int argc, char **argv)
     std::printf("\npaper shape: overlays consume 81-97%% of LUTs "
                 "(the binding resource, NoC among the largest "
                 "pieces); AutoDSE designs mostly stay under ~25%%.\n");
-    tele.finish();
+    harness.finish();
     return 0;
 }

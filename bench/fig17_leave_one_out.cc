@@ -4,7 +4,10 @@
  * MachSuite. For each workload, generate an overlay for the *other
  * four*, then map the held-out workload: report performance relative
  * to the full-suite overlay, compile-time speedup over HLS synthesis,
- * and reconfiguration-time speedup over a full FPGA reflash.
+ * and reconfiguration-time speedup over a full FPGA reflash. The five
+ * leave-one-out explorations (and their held-out compile + simulate
+ * steps) run concurrently on the harness pool; rows print in suite
+ * order once all complete.
  */
 
 #include <chrono>
@@ -13,80 +16,102 @@
 
 using namespace overgen;
 
+namespace {
+
+struct LooRow
+{
+    bool maps = false;
+    double relative = 0.0;
+    double compileSpeedup = 0.0;
+    double reconfSpeedup = 0.0;
+};
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    bench::Telemetry tele(argc, argv);
+    bench::Harness harness(argc, argv);
     bench::banner("Figure 17", "leave-one-out flexibility (MachSuite)");
     int iters = bench::benchIterations();
     std::vector<wl::KernelSpec> suite = wl::machSuite();
 
-    dse::DseOptions options;
-    options.iterations = iters;
-    options.seed = 77;
-    options.sink = tele.sink();
-    options.telemetryLabel = "full-suite";
+    dse::DseOptions options =
+        harness.dseOptions(iters, 77, "full-suite");
     dse::DseResult full = dse::exploreOverlay(suite, options);
+
+    std::vector<LooRow> rows = harness.pool().parallelMap(
+        suite.size(), [&](size_t held) {
+            LooRow row;
+            std::vector<wl::KernelSpec> rest;
+            for (size_t k = 0; k < suite.size(); ++k) {
+                if (k != held)
+                    rest.push_back(suite[k]);
+            }
+            dse::DseOptions loo_options = harness.dseOptions(
+                iters, 200 + held, "without-" + suite[held].name);
+            dse::DseResult loo = dse::exploreOverlay(rest, loo_options);
+
+            // Compile + schedule the held-out workload; measure the
+            // real wall-clock of that compile.
+            auto t0 = std::chrono::steady_clock::now();
+            auto variants = compiler::compileVariants(suite[held]);
+            sched::SpatialScheduler scheduler(loo.design.adg);
+            auto fit = scheduler.scheduleFirstFit(variants);
+            double compile_seconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            if (!fit)
+                return row;
+            row.maps = true;
+            wl::Memory memory;
+            memory.init(suite[held]);
+            sim::SimResult on_loo = sim::simulate(
+                suite[held], variants[fit->second], fit->first,
+                loo.design, memory,
+                bench::withSink(harness.sink()));
+            bench::OverlayRun on_full = bench::runMapped(
+                suite[held], full, held,
+                bench::withSink(harness.sink()));
+
+            row.relative = on_full.ok && on_loo.completed
+                               ? static_cast<double>(on_full.cycles) /
+                                     on_loo.cycles
+                               : 0.0;
+            // HLS path: synthesis hours for this kernel vs our
+            // compile.
+            hls::AutoDseResult ad =
+                hls::runAutoDse(suite[held], false);
+            row.compileSpeedup = ad.synthHours * 3600.0 /
+                                 std::max(compile_seconds, 1e-4);
+            // Reconfiguration: full-FPGA reflash ~1.2 s vs spatial
+            // config.
+            double flash_cycles = 1.2 * bench::overlayClockMhz * 1e6;
+            row.reconfSpeedup =
+                flash_cycles /
+                static_cast<double>(sim::reconfigurationCycles(
+                    fit->first, loo.design.adg));
+            return row;
+        });
 
     std::printf("%-12s %10s %14s %14s\n", "held-out", "rel.perf",
                 "compile-spdup", "reconf-spdup");
     std::vector<double> rel, comp, reconf;
     for (size_t held = 0; held < suite.size(); ++held) {
-        std::vector<wl::KernelSpec> rest;
-        for (size_t k = 0; k < suite.size(); ++k) {
-            if (k != held)
-                rest.push_back(suite[k]);
-        }
-        dse::DseOptions loo_options = options;
-        loo_options.seed = 200 + held;
-        loo_options.telemetryLabel =
-            "without-" + suite[held].name;
-        dse::DseResult loo = dse::exploreOverlay(rest, loo_options);
-
-        // Compile + schedule the held-out workload; measure the real
-        // wall-clock of that compile.
-        auto t0 = std::chrono::steady_clock::now();
-        auto variants = compiler::compileVariants(suite[held]);
-        sched::SpatialScheduler scheduler(loo.design.adg);
-        auto fit = scheduler.scheduleFirstFit(variants);
-        double compile_seconds =
-            std::chrono::duration<double>(
-                std::chrono::steady_clock::now() - t0)
-                .count();
-        if (!fit) {
+        const LooRow &row = rows[held];
+        if (!row.maps) {
             std::printf("%-12s  does not map\n",
                         suite[held].name.c_str());
             continue;
         }
-        wl::Memory memory;
-        memory.init(suite[held]);
-        sim::SimResult on_loo = sim::simulate(
-            suite[held], variants[fit->second], fit->first,
-            loo.design, memory, bench::withSink(tele.sink()));
-        bench::OverlayRun on_full = bench::runMapped(
-            suite[held], full, held, bench::withSink(tele.sink()));
-
-        double relative = on_full.ok && on_loo.completed
-                              ? static_cast<double>(on_full.cycles) /
-                                    on_loo.cycles
-                              : 0.0;
-        // HLS path: synthesis hours for this kernel vs our compile.
-        hls::AutoDseResult ad = hls::runAutoDse(suite[held], false);
-        double compile_speedup =
-            ad.synthHours * 3600.0 / std::max(compile_seconds, 1e-4);
-        // Reconfiguration: full-FPGA reflash ~1.2 s vs spatial config.
-        double flash_cycles = 1.2 * bench::overlayClockMhz * 1e6;
-        double reconf_speedup =
-            flash_cycles /
-            static_cast<double>(sim::reconfigurationCycles(
-                fit->first, loo.design.adg));
         std::printf("%-12s %9.0f%% %13.0fx %13.0fx\n",
-                    suite[held].name.c_str(), relative * 100.0,
-                    compile_speedup, reconf_speedup);
-        if (relative > 0)
-            rel.push_back(relative);
-        comp.push_back(compile_speedup);
-        reconf.push_back(reconf_speedup);
+                    suite[held].name.c_str(), row.relative * 100.0,
+                    row.compileSpeedup, row.reconfSpeedup);
+        if (row.relative > 0)
+            rel.push_back(row.relative);
+        comp.push_back(row.compileSpeedup);
+        reconf.push_back(row.reconfSpeedup);
     }
     std::printf("\ngeomeans: relative perf %.0f%%, compile speedup "
                 "%.0fx, reconfig speedup %.0fx\n",
@@ -94,6 +119,6 @@ main(int argc, char **argv)
                 bench::geomean(reconf));
     std::printf("paper shape: ~50%% mean relative performance, "
                 "~10^4x compile, ~5x10^4x reconfig.\n");
-    tele.finish();
+    harness.finish();
     return 0;
 }

@@ -4,7 +4,9 @@
  * Workloads are added to the target set one at a time and the DSE is
  * re-run: the per-tile datapath grows more general (more LUTs per
  * tile), the tile count drops, and supporting the whole suite costs
- * only a modest slowdown on the original workload.
+ * only a modest slowdown on the original workload. The five
+ * explorations (one per prefix of the pool) are independent, so they
+ * run concurrently on the harness pool; rows print in paper order.
  */
 
 #include "common.h"
@@ -16,7 +18,7 @@ using namespace overgen;
 int
 main(int argc, char **argv)
 {
-    bench::Telemetry tele(argc, argv);
+    bench::Harness harness(argc, argv);
     bench::banner("Figure 18", "incremental workload addition");
     int iters = bench::benchIterations();
     const auto &prices = model::FpgaResourceModel::defaultModel();
@@ -27,34 +29,43 @@ main(int argc, char **argv)
         wl::makeStencil2d(), wl::makeGemm(), wl::makeStencil3d(),
         wl::makeEllpack(), wl::makeCrs()
     };
+    struct Step
+    {
+        int tiles = 0;
+        double tileLut = 0.0;
+        uint64_t cycles = 0;
+        double objective = 0.0;
+    };
+    std::vector<Step> steps = harness.pool().parallelMap(
+        pool.size(), [&](size_t n) {
+            std::vector<wl::KernelSpec> target(
+                pool.begin(), pool.begin() + n + 1);
+            dse::DseOptions options = harness.dseOptions(
+                iters, 50 + n, "upto-" + pool[n].name);
+            dse::DseResult result =
+                dse::exploreOverlay(target, options);
+            Step step;
+            step.tiles = result.design.sys.numTiles;
+            step.tileLut = prices.tileResources(result.design.adg).lut /
+                           device.total.lut * 100.0;
+            bench::OverlayRun run = bench::runMapped(
+                pool[0], result, 0, bench::withSink(harness.sink()));
+            step.cycles = run.cycles;
+            step.objective = result.objective;
+            return step;
+        });
+
     std::printf("%-14s %6s %12s %14s %12s\n", "target set", "tiles",
                 "LUT/tile(%)", "stencil-2d cyc", "est.IPC");
-    uint64_t first_cycles = 0;
-    uint64_t last_cycles = 0;
-    std::vector<wl::KernelSpec> target;
     for (size_t n = 0; n < pool.size(); ++n) {
-        target.push_back(pool[n]);
-        dse::DseOptions options;
-        options.iterations = iters;
-        options.seed = 50 + n;
-        options.sink = tele.sink();
-        options.telemetryLabel =
-            "upto-" + pool[n].name;
-        dse::DseResult result = dse::exploreOverlay(target, options);
-        double tile_lut =
-            prices.tileResources(result.design.adg).lut /
-            device.total.lut * 100.0;
-        bench::OverlayRun run = bench::runMapped(
-            pool[0], result, 0, bench::withSink(tele.sink()));
-        if (n == 0)
-            first_cycles = run.cycles;
-        last_cycles = run.cycles;
         std::printf("+%-13s %6d %11.2f%% %14llu %12.1f\n",
-                    pool[n].name.c_str(), result.design.sys.numTiles,
-                    tile_lut,
-                    static_cast<unsigned long long>(run.cycles),
-                    result.objective);
+                    pool[n].name.c_str(), steps[n].tiles,
+                    steps[n].tileLut,
+                    static_cast<unsigned long long>(steps[n].cycles),
+                    steps[n].objective);
     }
+    uint64_t first_cycles = steps.front().cycles;
+    uint64_t last_cycles = steps.back().cycles;
     double cost = first_cycles > 0
                       ? 100.0 * (static_cast<double>(last_cycles) /
                                      first_cycles -
@@ -64,6 +75,6 @@ main(int argc, char **argv)
                 "%+.0f%% cycles (paper: mean 8%% performance cost; "
                 "tile count drops as the datapath generalizes)\n",
                 cost);
-    tele.finish();
+    harness.finish();
     return 0;
 }

@@ -4,17 +4,31 @@
  * (1/2/4) on both frameworks, normalized to single-channel. Memory-
  * intensive, element-wise workloads benefit; compute-bound kernels do
  * not. OverGen runs on the general overlay via the cycle-level
- * simulator; AutoDSE uses the HLS model's bandwidth term.
+ * simulator; AutoDSE uses the HLS model's bandwidth term. The
+ * per-workload channel sweeps are independent, so they fan out across
+ * the harness pool (`--threads`).
  */
 
 #include "common.h"
 
 using namespace overgen;
 
+namespace {
+
+struct ChannelRow
+{
+    double ad2 = 0.0;
+    double ad4 = 0.0;
+    double og2 = 0.0;
+    double og4 = 0.0;
+};
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    bench::Telemetry tele(argc, argv);
+    bench::Harness harness(argc, argv);
     bench::banner("Figure 19", "DRAM channel scaling (speedup vs 1ch)");
     // The paper's OverGen side uses per-workload overlays whose many
     // tiles demand more than one channel supplies; our stand-in widens
@@ -27,37 +41,48 @@ main(int argc, char **argv)
 
     std::printf("%-12s | %7s %7s | %7s %7s\n", "workload", "ad-2",
                 "ad-4", "og-2", "og-4");
-    std::vector<double> og2_all, og4_all, ad2_all, ad4_all;
-    for (const wl::KernelSpec &k : wl::allWorkloads()) {
-        // AutoDSE side (model).
-        hls::AutoDseOptions one;
-        hls::AutoDseOptions two = one;
-        two.dramChannels = 2;
-        hls::AutoDseOptions four = one;
-        four.dramChannels = 4;
-        double ad1 = hls::runAutoDse(k, true, one).perf.seconds;
-        double ad2 = ad1 / hls::runAutoDse(k, true, two).perf.seconds;
-        double ad4 = ad1 / hls::runAutoDse(k, true, four).perf.seconds;
+    std::vector<wl::KernelSpec> workloads = wl::allWorkloads();
+    std::vector<ChannelRow> rows = harness.pool().parallelMap(
+        workloads.size(), [&](size_t i) {
+            const wl::KernelSpec &k = workloads[i];
+            ChannelRow row;
+            // AutoDSE side (model).
+            hls::AutoDseOptions one;
+            hls::AutoDseOptions two = one;
+            two.dramChannels = 2;
+            hls::AutoDseOptions four = one;
+            four.dramChannels = 4;
+            double ad1 = hls::runAutoDse(k, true, one).perf.seconds;
+            row.ad2 =
+                ad1 / hls::runAutoDse(k, true, two).perf.seconds;
+            row.ad4 =
+                ad1 / hls::runAutoDse(k, true, four).perf.seconds;
 
-        // OverGen side (simulator).
-        auto run = [&](int channels) {
-            adg::SysAdg design = base;
-            design.sys.dramChannels = channels;
-            bench::OverlayRun r = bench::runOnOverlay(
-                k, design, true, bench::withSink(tele.sink()));
-            return r.ok ? static_cast<double>(r.cycles) : 0.0;
-        };
-        double og1 = run(1);
-        double og2 = og1 > 0 ? og1 / run(2) : 0.0;
-        double og4 = og1 > 0 ? og1 / run(4) : 0.0;
+            // OverGen side (simulator).
+            auto run = [&](int channels) {
+                adg::SysAdg design = base;
+                design.sys.dramChannels = channels;
+                bench::OverlayRun r = bench::runOnOverlay(
+                    k, design, true, bench::withSink(harness.sink()));
+                return r.ok ? static_cast<double>(r.cycles) : 0.0;
+            };
+            double og1 = run(1);
+            row.og2 = og1 > 0 ? og1 / run(2) : 0.0;
+            row.og4 = og1 > 0 ? og1 / run(4) : 0.0;
+            return row;
+        });
+    std::vector<double> og2_all, og4_all, ad2_all, ad4_all;
+    for (size_t i = 0; i < workloads.size(); ++i) {
+        const ChannelRow &row = rows[i];
         std::printf("%-12s | %6.2fx %6.2fx | %6.2fx %6.2fx\n",
-                    k.name.c_str(), ad2, ad4, og2, og4);
-        ad2_all.push_back(ad2);
-        ad4_all.push_back(ad4);
-        if (og2 > 0)
-            og2_all.push_back(og2);
-        if (og4 > 0)
-            og4_all.push_back(og4);
+                    workloads[i].name.c_str(), row.ad2, row.ad4,
+                    row.og2, row.og4);
+        ad2_all.push_back(row.ad2);
+        ad4_all.push_back(row.ad4);
+        if (row.og2 > 0)
+            og2_all.push_back(row.og2);
+        if (row.og4 > 0)
+            og4_all.push_back(row.og4);
     }
     std::printf("\nmeans: ad-2 %.2fx ad-4 %.2fx | og-2 %.2fx og-4 "
                 "%.2fx\n",
@@ -67,6 +92,6 @@ main(int argc, char **argv)
                 "(mm, gemm, vecmax, accumulate, acc_sqr, acc_wei, "
                 "deri.) gain ~19-25%%; compute-bound kernels are "
                 "flat.\n");
-    tele.finish();
+    harness.finish();
     return 0;
 }

@@ -4,7 +4,8 @@
  * schedule-preserving transformations (node collapsing, edge-delay
  * preservation, module-capability pruning). With them the DSE
  * converges faster and to better estimated IPC (paper: ~15% less DSE
- * time, 1.09x estimated IPC).
+ * time, 1.09x estimated IPC). The six explorations (3 suites x
+ * with/without) run concurrently on the harness pool.
  */
 
 #include "common.h"
@@ -14,7 +15,7 @@ using namespace overgen;
 int
 main(int argc, char **argv)
 {
-    bench::Telemetry tele(argc, argv);
+    bench::Harness harness(argc, argv);
     bench::banner("Figure 20",
                   "schedule-preserving transformations ablation");
     int iters = std::max(2 * bench::benchIterations(), 24);
@@ -23,20 +24,22 @@ main(int argc, char **argv)
     std::vector<std::vector<wl::KernelSpec>> suites = {
         wl::dspSuite(), wl::machSuite(), wl::visionSuite()
     };
+    // Flat task list: suite s with (task % 2 == 0) and without
+    // (task % 2 == 1) schedule preservation.
+    std::vector<dse::DseResult> runs = harness.pool().parallelMap(
+        2 * suites.size(), [&](size_t task) {
+            size_t s = task / 2;
+            bool preserved = task % 2 == 0;
+            dse::DseOptions options = harness.dseOptions(
+                iters, 5 + s, names[s] + (preserved ? "+sp" : "-sp"));
+            options.schedulePreserving = preserved;
+            return dse::exploreOverlay(suites[s], options);
+        });
+
     std::vector<double> ipc_ratio, time_ratio;
     for (size_t s = 0; s < suites.size(); ++s) {
-        dse::DseOptions with;
-        with.iterations = iters;
-        with.seed = 5 + s;
-        with.schedulePreserving = true;
-        with.sink = tele.sink();
-        with.telemetryLabel = names[s] + "+sp";
-        dse::DseOptions without = with;
-        without.telemetryLabel = names[s] + "-sp";
-        without.schedulePreserving = false;
-
-        dse::DseResult on = dse::exploreOverlay(suites[s], with);
-        dse::DseResult off = dse::exploreOverlay(suites[s], without);
+        const dse::DseResult &on = runs[2 * s];
+        const dse::DseResult &off = runs[2 * s + 1];
 
         // Iterations-to-quality: when does each run first reach the
         // worse run's final estimated IPC? (The paper reports DSE
@@ -80,6 +83,6 @@ main(int argc, char **argv)
                 "iterations-to-quality ratio %.2f (paper DSE-time "
                 "~0.85)\n",
                 bench::geomean(ipc_ratio), bench::geomean(time_ratio));
-    tele.finish();
+    harness.finish();
     return 0;
 }

@@ -19,14 +19,14 @@ using namespace overgen;
 int
 main(int argc, char **argv)
 {
-    bench::Telemetry tele(argc, argv);
+    bench::Harness harness(argc, argv);
     bench::banner("Bottleneck attribution",
                   "model vs simulator, general overlay");
 
     adg::SysAdg design = bench::generalOverlay();
     std::vector<wl::KernelSpec> suite = wl::allWorkloads();
     std::vector<telemetry::KernelObservation> observations;
-    sim::SimConfig config = bench::withSink(tele.sink());
+    sim::SimConfig config = bench::withSink(harness.sink());
 
     for (const wl::KernelSpec &spec : suite) {
         compiler::CompileOptions copts;
@@ -74,6 +74,6 @@ main(int argc, char **argv)
         telemetry::buildReport(observations);
     std::printf("%s", report.format().c_str());
 
-    tele.finish();
+    harness.finish();
     return 0;
 }

@@ -13,7 +13,7 @@ using namespace overgen;
 int
 main(int argc, char **argv)
 {
-    bench::Telemetry tele(argc, argv);
+    bench::Harness harness(argc, argv);
     bench::banner("Table II", "workload specification");
     std::printf("%-12s %-6s %-5s %5s %5s %5s   %-10s\n", "workload",
                 "suite", "type", "#ivp", "#ovp", "#arr", "#m,a,d");
@@ -66,6 +66,6 @@ main(int argc, char **argv)
     std::printf("\npaper row shapes: vision i16, DSP f64/f32, "
                 "MachSuite i64/f64; op counts grow with the unroll "
                 "of the best DFG.\n");
-    tele.finish();
+    harness.finish();
     return 0;
 }

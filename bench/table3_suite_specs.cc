@@ -80,7 +80,7 @@ printSpec(const Spec &spec)
 int
 main(int argc, char **argv)
 {
-    bench::Telemetry tele(argc, argv);
+    bench::Harness harness(argc, argv);
     bench::banner("Table III", "suite-specialized overlay specs");
     int iters = bench::benchIterations();
     std::vector<Spec> specs;
@@ -92,7 +92,8 @@ main(int argc, char **argv)
         dse::DseOptions options;
         options.iterations = iters;
         options.seed = 11 + s;
-        options.sink = tele.sink();
+        options.threads = harness.threads();
+        options.sink = harness.sink();
         options.telemetryLabel = names[s];
         dse::DseResult result = dse::exploreOverlay(suites[s], options);
         specs.push_back({ names[s], result.design });
@@ -105,6 +106,6 @@ main(int argc, char **argv)
                 "fully-provisioned ones. DSP keeps float FUs, "
                 "MachSuite/Vision are integer-only, suites prune "
                 "unused engines.\n");
-    tele.finish();
+    harness.finish();
     return 0;
 }

@@ -13,7 +13,7 @@ using namespace overgen;
 int
 main(int argc, char **argv)
 {
-    bench::Telemetry tele(argc, argv);
+    bench::Harness harness(argc, argv);
     bench::banner("Table IV", "HLS initiation-interval optimization");
     struct Row
     {
@@ -49,6 +49,6 @@ main(int argc, char **argv)
     std::printf("\nall other workloads (and OverGen always): II = 1\n");
     std::printf("match with paper Table IV: %s\n",
                 all_match ? "EXACT" : "partial");
-    tele.finish();
+    harness.finish();
     return 0;
 }

@@ -43,12 +43,27 @@ class Rng
         return result;
     }
 
-    /** @return a uniform integer in [0, bound). @p bound must be > 0. */
+    /**
+     * @return a uniform integer in [0, bound). @p bound must be > 0.
+     * Lemire's multiply-shift with rejection of the biased low
+     * slice, so every value is exactly equiprobable (a plain modulo
+     * overweights small values whenever 2^64 % bound != 0).
+     */
     uint64_t
     nextBelow(uint64_t bound)
     {
         OG_ASSERT(bound > 0, "nextBelow(0)");
-        return next() % bound;
+        using u128 = unsigned __int128;
+        u128 m = static_cast<u128>(next()) * bound;
+        auto low = static_cast<uint64_t>(m);
+        if (low < bound) {
+            uint64_t threshold = -bound % bound;  // 2^64 mod bound
+            while (low < threshold) {
+                m = static_cast<u128>(next()) * bound;
+                low = static_cast<uint64_t>(m);
+            }
+        }
+        return static_cast<uint64_t>(m >> 64);
     }
 
     /** @return a uniform integer in [lo, hi] inclusive. */

@@ -5,6 +5,7 @@
 
 #include "adg/builders.h"
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/stats.h"
 #include "compiler/compile.h"
 #include "dse/mutations.h"
@@ -267,55 +268,105 @@ exploreOverlay(const std::vector<wl::KernelSpec> &kernels,
         sink->logDse(record);
     };
 
+    // Batched speculative annealing (see DESIGN.md "Determinism
+    // under parallelism"): each round draws `speculation` candidate
+    // mutations from per-candidate Rng streams split off the master
+    // seed, evaluates them concurrently (schedule repair + nested
+    // system DSE + objective), then applies accept decisions in fixed
+    // candidate order. The trajectory depends on the seed and the
+    // speculation width, never on the thread count. An acceptance
+    // invalidates the rest of its round — those candidates were
+    // mutated from the superseded base design — so they are
+    // discarded unexamined without consuming iteration budget.
+    const int speculation = std::max(1, options.speculation);
+    ThreadPool pool(options.threads);
+
+    /** One speculated candidate: its private rng stream (mutation
+     * draws, then the accept draw), the edits applied, and the
+     * evaluated design (nullopt when unschedulable or over budget). */
+    struct Eval
+    {
+        Rng rng;
+        std::vector<MutationKind> edits;
+        std::optional<Candidate> cand;
+    };
+
     double temperature = options.initialTemperature;
-    for (int iter = 1; iter <= options.iterations; ++iter) {
-        ++result.iterationsRun;
-        adg::Adg mutated = current.adg;
-        std::vector<const dfg::Mdfg *> current_mdfgs;
+    int examined = 0;
+    while (examined < options.iterations) {
+        int width = std::min(speculation,
+                             options.iterations - examined);
+        // Split per-candidate seeds off the master stream in slot
+        // order, before any (unordered) parallel work.
+        std::vector<uint64_t> seeds(width);
+        for (uint64_t &seed : seeds)
+            seed = rng.next();
+        // The round's shared base: mDFG choices of `current`.
+        std::vector<const dfg::Mdfg *> base_mdfgs;
         for (size_t k = 0; k < kernels.size(); ++k) {
-            current_mdfgs.push_back(
+            base_mdfgs.push_back(
                 &variants[k][current.variantIndex[k]]);
         }
-        int edits = 1 + static_cast<int>(rng.nextBelow(3));
-        std::vector<MutationKind> editKinds;
-        editKinds.reserve(edits);
-        for (int e = 0; e < edits; ++e) {
-            editKinds.push_back(
-                mutateAdg(mutated, current.schedules, current_mdfgs,
-                          options.schedulePreserving, rng));
+        result.evaluated += width;
+        std::vector<Eval> evals = pool.parallelMap(
+            static_cast<size_t>(width), [&](size_t slot) {
+                Eval ev;
+                ev.rng = Rng(seeds[slot]);
+                adg::Adg mutated = current.adg;
+                int edits =
+                    1 + static_cast<int>(ev.rng.nextBelow(3));
+                ev.edits.reserve(edits);
+                for (int e = 0; e < edits; ++e) {
+                    ev.edits.push_back(mutateAdg(
+                        mutated, current.schedules, base_mdfgs,
+                        options.schedulePreserving, ev.rng));
+                }
+                if (!mutated.validate().empty())
+                    return ev;  // abandoned
+                auto cand = schedule_all(mutated, &current);
+                if (cand && system_dse(*cand))
+                    ev.cand = std::move(cand);
+                return ev;
+            });
+
+        // Sequential accept scan in slot order (single-threaded: all
+        // telemetry and trajectory state is touched only here).
+        for (int slot = 0; slot < width; ++slot) {
+            Eval &ev = evals[slot];
+            ++examined;
+            ++result.iterationsRun;
+            if (!ev.cand) {
+                ++result.abandoned;
+                log_iteration(examined, temperature, ev.edits, false,
+                              true, current);
+                continue;
+            }
+            // Simulated-annealing acceptance on log-objective.
+            double delta = std::log(ev.cand->objective) -
+                           std::log(current.objective);
+            bool accept =
+                delta >= 0.0 ||
+                ev.rng.nextDouble() < std::exp(delta / temperature);
+            if (accept) {
+                current = std::move(*ev.cand);
+                ++result.accepted;
+                if (current.objective > best.objective)
+                    best = current;
+                log_iteration(examined, temperature, ev.edits, true,
+                              false, current);
+            } else {
+                log_iteration(examined, temperature, ev.edits, false,
+                              false, *ev.cand);
+            }
+            temperature *= 0.97;
+            result.convergence.push_back(
+                { secondsSince(start), examined, best.objective });
+            if (accept) {
+                result.discarded += width - slot - 1;
+                break;  // the rest of the round speculated on a
+                        // stale base
+            }
         }
-        if (!mutated.validate().empty()) {
-            ++result.abandoned;
-            log_iteration(iter, temperature, editKinds, false, true,
-                          current);
-            continue;
-        }
-        auto cand = schedule_all(mutated, &current);
-        if (!cand || !system_dse(*cand)) {
-            ++result.abandoned;
-            log_iteration(iter, temperature, editKinds, false, true,
-                          current);
-            continue;
-        }
-        // Simulated-annealing acceptance on log-objective.
-        double delta = std::log(cand->objective) -
-                       std::log(current.objective);
-        bool accept = delta >= 0.0 ||
-                      rng.nextDouble() < std::exp(delta / temperature);
-        if (accept) {
-            current = std::move(*cand);
-            ++result.accepted;
-            if (current.objective > best.objective)
-                best = current;
-            log_iteration(iter, temperature, editKinds, true, false,
-                          current);
-        } else {
-            log_iteration(iter, temperature, editKinds, false, false,
-                          *cand);
-        }
-        temperature *= 0.97;
-        result.convergence.push_back(
-            { secondsSince(start), iter, best.objective });
     }
 
     // Package the best design.

@@ -32,6 +32,26 @@ struct DseOptions
     /** Spatial DSE iterations (the paper runs hours; benches minutes). */
     int iterations = 60;
     double initialTemperature = 0.6;
+    /**
+     * Worker threads for speculative candidate evaluation: 0 selects
+     * the hardware concurrency, 1 is the legacy serial path (no
+     * threads spawned). The explored trajectory is bit-identical for
+     * every value — per-candidate Rng streams are split off the
+     * master seed before evaluation and accept decisions are applied
+     * in fixed candidate order, so threads only change wall-clock
+     * (see DESIGN.md "Determinism under parallelism").
+     */
+    int threads = 1;
+    /**
+     * Speculation width: candidates mutated from the current design
+     * and evaluated per annealing round. Part of the seeded
+     * algorithm (changing it changes the trajectory; changing
+     * `threads` does not). Candidates after an accepted one in a
+     * round are discarded unexamined — their mutations were drawn
+     * against a stale base — so wider speculation trades redundant
+     * evaluations for parallelism.
+     */
+    int speculation = 8;
     /** Resource budget fraction of the device. */
     double budgetFraction = 0.97;
     /** Enable schedule-preserving transformations (Fig. 20 ablation). */
@@ -92,6 +112,11 @@ struct DseResult
     int iterationsRun = 0;
     int accepted = 0;
     int abandoned = 0;  //!< candidates with an unschedulable kernel
+    /** Candidate evaluations run, including speculative ones
+     * discarded after an in-round acceptance (>= iterationsRun). */
+    int evaluated = 0;
+    /** Speculative evaluations discarded unexamined. */
+    int discarded = 0;
     double elapsedSeconds = 0.0;
 };
 

@@ -5,12 +5,14 @@ namespace overgen::telemetry {
 Counter &
 Registry::counter(const std::string &path)
 {
+    std::lock_guard<std::mutex> lock(mutex);
     return counterMap[path];
 }
 
 Distribution &
 Registry::distribution(const std::string &path)
 {
+    std::lock_guard<std::mutex> lock(mutex);
     return distMap[path];
 }
 
@@ -43,6 +45,7 @@ insertAtPath(Json &root, const std::string &path, Json leaf)
 Json
 Registry::toJson() const
 {
+    std::lock_guard<std::mutex> lock(mutex);
     Json root = Json::makeObject();
     for (const auto &[path, c] : counterMap)
         insertAtPath(root, path, Json(c.value()));
@@ -61,6 +64,7 @@ Registry::toJson() const
 void
 Registry::clear()
 {
+    std::lock_guard<std::mutex> lock(mutex);
     counterMap.clear();
     distMap.clear();
 }

@@ -12,33 +12,47 @@
  * simulator and DSE observed.
  */
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "common/json.h"
 
 namespace overgen::telemetry {
 
-/** A monotonically increasing event count. */
+/**
+ * A monotonically increasing event count. Increments are relaxed
+ * atomics: concurrent instrumented code (parallel DSE candidate
+ * evaluation, bench harness fan-out) may bump the same counter from
+ * several threads without external locking; relaxed ordering is
+ * enough because counters carry no inter-thread control flow.
+ */
 class Counter
 {
   public:
-    void inc() { val += 1; }
-    void add(uint64_t n) { val += n; }
-    uint64_t value() const { return val; }
+    void inc() { val.fetch_add(1, std::memory_order_relaxed); }
+    void add(uint64_t n) { val.fetch_add(n, std::memory_order_relaxed); }
+    uint64_t value() const { return val.load(std::memory_order_relaxed); }
 
   private:
-    uint64_t val = 0;
+    std::atomic<uint64_t> val{ 0 };
 };
 
-/** Summary statistics of a stream of samples (occupancies, depths). */
+/**
+ * Summary statistics of a stream of samples (occupancies, depths).
+ * record() updates several fields together, so it takes a per-
+ * distribution mutex; these are sampled-interval paths, not per-cycle
+ * hot paths.
+ */
 class Distribution
 {
   public:
     void
     record(double v)
     {
+        std::lock_guard<std::mutex> lock(mutex);
         if (n == 0 || v < lo)
             lo = v;
         if (n == 0 || v > hi)
@@ -47,13 +61,39 @@ class Distribution
         ++n;
     }
 
-    uint64_t count() const { return n; }
-    double total() const { return sum; }
-    double min() const { return n ? lo : 0.0; }
-    double max() const { return n ? hi : 0.0; }
-    double mean() const { return n ? sum / static_cast<double>(n) : 0.0; }
+    uint64_t
+    count() const
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        return n;
+    }
+    double
+    total() const
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        return sum;
+    }
+    double
+    min() const
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        return n ? lo : 0.0;
+    }
+    double
+    max() const
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        return n ? hi : 0.0;
+    }
+    double
+    mean() const
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        return n ? sum / static_cast<double>(n) : 0.0;
+    }
 
   private:
+    mutable std::mutex mutex;
     uint64_t n = 0;
     double sum = 0.0;
     double lo = 0.0;
@@ -63,7 +103,9 @@ class Distribution
 /**
  * The registry. std::map guarantees node stability, so references
  * returned by counter()/distribution() stay valid for the registry's
- * lifetime regardless of later insertions.
+ * lifetime regardless of later insertions; interning itself is
+ * mutex-guarded, so threads may look up paths concurrently. Callers
+ * cache the returned reference and pay no lock on the increment.
  */
 class Registry
 {
@@ -73,6 +115,8 @@ class Registry
     /** @return the distribution at @p path, creating it empty. */
     Distribution &distribution(const std::string &path);
 
+    /** Direct map access; callers must be quiescent (no concurrent
+     * interning) — serialization and tests, not instrumentation. */
     const std::map<std::string, Counter> &counters() const
     {
         return counterMap;
@@ -89,6 +133,7 @@ class Registry
     void clear();
 
   private:
+    mutable std::mutex mutex;  //!< guards map interning, not updates
     std::map<std::string, Counter> counterMap;
     std::map<std::string, Distribution> distMap;
 };

@@ -9,7 +9,9 @@ namespace overgen::telemetry {
 void
 Sink::logDse(const Json &record)
 {
-    dseLog.push_back(record.dump());
+    std::string line = record.dump();  // serialize outside the lock
+    std::lock_guard<std::mutex> lock(dseMutex);
+    dseLog.push_back(std::move(line));
 }
 
 void
@@ -18,6 +20,7 @@ Sink::flush()
     if (!opts.tracePath.empty())
         emitter.writeTo(opts.tracePath);
     if (!opts.dseLogPath.empty()) {
+        std::lock_guard<std::mutex> lock(dseMutex);
         std::FILE *f = std::fopen(opts.dseLogPath.c_str(), "w");
         OG_ASSERT(f != nullptr, "cannot open DSE log '",
                   opts.dseLogPath, "'");

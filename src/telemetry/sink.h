@@ -19,8 +19,10 @@
  * exist so tests can inspect everything without touching disk.
  */
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -71,14 +73,26 @@ class Sink
 
     /**
      * @return a fresh id for one traced activity (one simulate() call
-     * maps to one trace "process").
+     * maps to one trace "process"). Safe to call concurrently — ids
+     * stay unique across threads.
      */
-    int nextRunId() { return ++lastRunId; }
+    int
+    nextRunId()
+    {
+        return lastRunId.fetch_add(1, std::memory_order_relaxed) + 1;
+    }
 
-    /** Append one DSE iteration record (serialized as a JSONL line). */
+    /**
+     * Append one DSE iteration record (serialized as a JSONL line).
+     * Mutex-guarded: concurrent explorations may share one sink, and
+     * each exploration emits its records in iteration order (the
+     * explorer logs from its sequential accept scan, never from
+     * worker threads).
+     */
     void logDse(const Json &record);
 
-    /** @return the buffered JSONL lines (tests, in-memory use). */
+    /** @return the buffered JSONL lines (tests, in-memory use);
+     * requires no concurrent logDse. */
     const std::vector<std::string> &dseLines() const { return dseLog; }
 
     /** Write the configured trace / DSE-log files. Idempotent. */
@@ -88,8 +102,9 @@ class Sink
     SinkOptions opts;
     Registry reg;
     TraceEmitter emitter;
+    std::mutex dseMutex;
     std::vector<std::string> dseLog;
-    int lastRunId = 0;
+    std::atomic<int> lastRunId{ 0 };
 };
 
 } // namespace overgen::telemetry

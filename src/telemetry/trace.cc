@@ -10,6 +10,7 @@ namespace overgen::telemetry {
 uint32_t
 TraceEmitter::intern(const std::string &s)
 {
+    // Caller holds `mutex` (all public recorders lock on entry).
     auto it = internIndex.find(s);
     if (it != internIndex.end())
         return it->second;
@@ -39,6 +40,7 @@ void
 TraceEmitter::begin(const std::string &name, const std::string &cat,
                     int pid, int tid, uint64_t ts)
 {
+    std::lock_guard<std::mutex> lock(mutex);
     push('B', name, cat, pid, tid, ts, 0.0);
 }
 
@@ -46,6 +48,7 @@ void
 TraceEmitter::end(const std::string &name, const std::string &cat,
                   int pid, int tid, uint64_t ts)
 {
+    std::lock_guard<std::mutex> lock(mutex);
     push('E', name, cat, pid, tid, ts, 0.0);
 }
 
@@ -53,6 +56,7 @@ void
 TraceEmitter::instant(const std::string &name, const std::string &cat,
                       int pid, int tid, uint64_t ts)
 {
+    std::lock_guard<std::mutex> lock(mutex);
     push('i', name, cat, pid, tid, ts, 0.0);
 }
 
@@ -60,6 +64,7 @@ void
 TraceEmitter::counter(const std::string &name, int pid, int tid,
                       uint64_t ts, double value)
 {
+    std::lock_guard<std::mutex> lock(mutex);
     push('C', name, "counter", pid, tid, ts, value);
 }
 
@@ -67,6 +72,7 @@ void
 TraceEmitter::processName(int pid, const std::string &name)
 {
     // Metadata payload string rides in `value` as an intern index.
+    std::lock_guard<std::mutex> lock(mutex);
     push('M', "process_name", "__metadata", pid, 0, 0,
          static_cast<double>(intern(name)));
 }
@@ -74,6 +80,7 @@ TraceEmitter::processName(int pid, const std::string &name)
 void
 TraceEmitter::threadName(int pid, int tid, const std::string &name)
 {
+    std::lock_guard<std::mutex> lock(mutex);
     push('M', "thread_name", "__metadata", pid, tid, 0,
          static_cast<double>(intern(name)));
 }
@@ -81,6 +88,7 @@ TraceEmitter::threadName(int pid, int tid, const std::string &name)
 Json
 TraceEmitter::toJson() const
 {
+    std::lock_guard<std::mutex> lock(mutex);
     // The viewer tolerates unsorted events but Perfetto's importer is
     // faster (and begin/end pairing unambiguous) with sorted ts.
     // Metadata sorts first at ts 0; stable sort keeps same-ts

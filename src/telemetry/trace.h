@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -38,7 +39,13 @@ struct TraceEvent
     double value = 0.0;
 };
 
-/** Recorder + serializer for Chrome trace_event JSON. */
+/**
+ * Recorder + serializer for Chrome trace_event JSON. Recording is
+ * mutex-guarded so concurrent simulations (bench harness fan-out,
+ * parallel DSE) may share one emitter; each simulate() call keeps its
+ * own pid, so interleaved recording still renders as separate
+ * process rows.
+ */
 class TraceEmitter
 {
   public:
@@ -59,8 +66,18 @@ class TraceEmitter
     /** Name a thread in the viewer (metadata event). */
     void threadName(int pid, int tid, const std::string &name);
 
-    size_t eventCount() const { return events.size(); }
-    bool empty() const { return events.empty(); }
+    size_t
+    eventCount() const
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        return events.size();
+    }
+    bool
+    empty() const
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        return events.empty();
+    }
 
     /** Serialize as {"traceEvents": [...]} sorted by timestamp. */
     Json toJson() const;
@@ -73,6 +90,7 @@ class TraceEmitter
               const std::string &cat, int pid, int tid, uint64_t ts,
               double value);
 
+    mutable std::mutex mutex;
     std::vector<std::string> strings;
     std::map<std::string, uint32_t> internIndex;
     std::vector<TraceEvent> events;

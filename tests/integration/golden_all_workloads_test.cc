@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "compiler/compile.h"
+#include "dse/explorer.h"
+#include "sched/scheduler.h"
+#include "sim/simulate.h"
+#include "workloads/interpreter.h"
+#include "workloads/suites.h"
+
+namespace overgen {
+namespace {
+
+/**
+ * Differential/golden layer over every evaluation workload (paper
+ * Table II): compile the kernel's mDFG variants, schedule one onto
+ * the capability-complete seed tile, run the cycle-level simulator,
+ * and demand bit-exact agreement with the sequential scalar
+ * interpreter on every array. This is the ground truth the parallel
+ * DSE's evaluations rest on — if the simulator drifts from the
+ * golden reference for any kernel, speedup numbers are meaningless.
+ *
+ * Shrunken instances keep each case fast; sizes mirror the
+ * small-workload table in sim/simulate_test.cc.
+ */
+
+std::vector<wl::KernelSpec>
+goldenWorkloads()
+{
+    return {
+        // DSP
+        wl::makeFir(128, 16),
+        wl::makeMm(8),
+        wl::makeCholesky(16),
+        wl::makeSolver(16),
+        wl::makeFft(7),
+        // MachSuite
+        wl::makeStencil3d(8, 2),
+        wl::makeCrs(32, 4),
+        wl::makeGemm(8),
+        wl::makeStencil2d(8, 2),
+        wl::makeEllpack(32, 4),
+        // Vitis Vision
+        wl::makeChannelExtract(16),
+        wl::makeBgr2Grey(16),
+        wl::makeBlur(16),
+        wl::makeAccumulate(16),
+        wl::makeAccSqr(16),
+        wl::makeVecMax(16),
+        wl::makeAccWeight(16),
+        wl::makeConvertBit(16),
+        wl::makeDerivative(18),
+    };
+}
+
+class GoldenAllWorkloads
+    : public testing::TestWithParam<wl::KernelSpec>
+{
+};
+
+TEST_P(GoldenAllWorkloads, SimulatorMatchesScalarReference)
+{
+    const wl::KernelSpec &spec = GetParam();
+    auto variants = compiler::compileVariants(spec);
+    ASSERT_FALSE(variants.empty()) << spec.name;
+
+    adg::SysAdg design;
+    design.adg = dse::seedTile({ spec });
+    sched::SpatialScheduler scheduler(design.adg);
+    auto fit = scheduler.scheduleFirstFit(variants);
+    ASSERT_TRUE(fit.has_value())
+        << spec.name << " does not map onto its own seed tile";
+
+    wl::Memory sim_mem, ref_mem;
+    sim_mem.init(spec);
+    ref_mem.init(spec);
+    sim::SimResult run =
+        sim::simulate(spec, variants[fit->second], fit->first, design,
+                      sim_mem);
+    ASSERT_TRUE(run.completed) << spec.name;
+    EXPECT_GT(run.cycles, 0u) << spec.name;
+
+    wl::interpret(spec, ref_mem);
+    for (const auto &array : spec.arrays) {
+        EXPECT_EQ(sim_mem.array(array.name), ref_mem.array(array.name))
+            << spec.name << "/" << array.name;
+    }
+}
+
+/** ctest-friendly case names: "stencil-3d" -> "stencil_3d". */
+std::string
+caseName(const testing::TestParamInfo<wl::KernelSpec> &info)
+{
+    std::string name = info.param.name;
+    for (char &c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    }
+    return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, GoldenAllWorkloads,
+                         testing::ValuesIn(goldenWorkloads()),
+                         caseName);
+
+TEST(GoldenAllWorkloads, CoversEveryEvaluationWorkload)
+{
+    // Guard against the golden list silently falling behind the
+    // suites: one golden case per evaluation workload, same names.
+    auto names = [](const std::vector<wl::KernelSpec> &specs) {
+        std::vector<std::string> out;
+        for (const auto &spec : specs)
+            out.push_back(spec.name);
+        std::sort(out.begin(), out.end());
+        return out;
+    };
+    EXPECT_EQ(names(goldenWorkloads()), names(wl::allWorkloads()));
+}
+
+} // namespace
+} // namespace overgen
