@@ -66,15 +66,18 @@ class Harness
                 !eat(arg, "--dse-log=", opts.dseLogPath) &&
                 !eat(arg, "--telemetry-json=", registryPath) &&
                 !eat(arg, "--threads=", threadsArg) &&
-                arg != "--trace-detail") {
+                arg != "--trace-detail" &&
+                arg != "--no-eval-cache") {
                 OG_FATAL("unknown argument '", arg,
                          "' (expected --threads[=]<n>, "
                          "--trace=<path>, --dse-log=<path>, "
-                         "--trace-detail, or "
+                         "--trace-detail, --no-eval-cache, or "
                          "--telemetry-json=<path>)");
             }
             if (arg == "--trace-detail")
                 opts.traceDetail = true;
+            if (arg == "--no-eval-cache")
+                useEvalCache = false;
         }
         if (!threadsArg.empty()) {
             numThreads = std::atoi(threadsArg.c_str());
@@ -94,6 +97,15 @@ class Harness
 
     /** Resolved worker count (>= 1). */
     int threads() const { return numThreads; }
+
+    /**
+     * Whether the DSE evaluation cache is enabled (`--no-eval-cache`
+     * disables it). The cache changes wall-clock only — results are
+     * bit-identical either way (see DESIGN.md "Evaluation cache and
+     * model split") — so the flag exists for A/B timing, not for
+     * correctness workarounds.
+     */
+    bool evalCache() const { return useEvalCache; }
 
     /**
      * The harness-level work pool for fanning out independent
@@ -118,6 +130,7 @@ class Harness
         options.iterations = iterations;
         options.seed = seed;
         options.threads = numThreads;
+        options.evalCache = useEvalCache;
         options.sink = sink();
         options.telemetryLabel = label;
         return options;
@@ -169,6 +182,7 @@ class Harness
     std::unique_ptr<ThreadPool> workPool;
     std::string registryPath;
     int numThreads = 1;
+    bool useEvalCache = true;
 };
 
 /** Overlay fabric clock (paper: quad-tile floorplan at 92.87 MHz). */

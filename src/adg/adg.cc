@@ -382,6 +382,149 @@ Adg::validate() const
 
 namespace {
 
+/** splitmix64 finalizer: full-avalanche mixing of one 64-bit word. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Incremental item hasher: absorb words, then finalize. */
+class ItemHash
+{
+  public:
+    explicit ItemHash(uint64_t seed) : h(mix64(seed)) {}
+
+    void
+    absorb(uint64_t v)
+    {
+        h = mix64(h ^ mix64(v));
+    }
+
+    void absorbBool(bool v) { absorb(v ? 1 : 2); }
+
+    uint64_t value() const { return mix64(h); }
+
+  private:
+    uint64_t h;
+};
+
+void
+absorbSpec(ItemHash &item, const Node &n)
+{
+    switch (n.kind) {
+      case NodeKind::Pe: {
+        const PeSpec &pe = n.pe();
+        // std::set iterates in sorted order: deterministic.
+        for (const FuCapability &cap : pe.capabilities) {
+            item.absorb(static_cast<uint64_t>(cap.op));
+            item.absorb(static_cast<uint64_t>(cap.type));
+        }
+        item.absorb(pe.capabilities.size());
+        item.absorb(static_cast<uint64_t>(pe.datapathBytes));
+        item.absorb(static_cast<uint64_t>(pe.maxDelayFifoDepth));
+        item.absorbBool(pe.controlLut);
+        break;
+      }
+      case NodeKind::Switch:
+        item.absorb(static_cast<uint64_t>(n.sw().datapathBytes));
+        break;
+      case NodeKind::InPort:
+      case NodeKind::OutPort: {
+        const PortSpec &port = n.port();
+        item.absorb(static_cast<uint64_t>(port.widthBytes));
+        item.absorbBool(port.padding);
+        item.absorbBool(port.statedStream);
+        item.absorb(static_cast<uint64_t>(port.fifoDepth));
+        break;
+      }
+      case NodeKind::Dma: {
+        const DmaSpec &dma = n.dma();
+        item.absorb(static_cast<uint64_t>(dma.bandwidthBytes));
+        item.absorbBool(dma.indirect);
+        item.absorb(static_cast<uint64_t>(dma.robEntries));
+        break;
+      }
+      case NodeKind::Scratchpad: {
+        const ScratchpadSpec &spad = n.spad();
+        item.absorb(static_cast<uint64_t>(spad.capacityKiB));
+        item.absorb(static_cast<uint64_t>(spad.readBandwidthBytes));
+        item.absorb(static_cast<uint64_t>(spad.writeBandwidthBytes));
+        item.absorbBool(spad.indirect);
+        break;
+      }
+      case NodeKind::Recurrence:
+        item.absorb(static_cast<uint64_t>(n.rec().bandwidthBytes));
+        break;
+      case NodeKind::Generate:
+        item.absorb(static_cast<uint64_t>(n.gen().bandwidthBytes));
+        break;
+      case NodeKind::Register:
+        item.absorb(static_cast<uint64_t>(n.reg().bandwidthBytes));
+        break;
+    }
+}
+
+} // namespace
+
+uint64_t
+Adg::fingerprint(uint64_t salt) const
+{
+    return fingerprintPair(salt, salt).first;
+}
+
+std::pair<uint64_t, uint64_t>
+Adg::fingerprintPair(uint64_t saltA, uint64_t saltB) const
+{
+    // Commutative combination (wrapping sum) of strongly mixed
+    // per-item hashes: the live set, not the traversal order,
+    // determines the value. Each item hash covers the item's stable
+    // id, so renumbered-but-isomorphic graphs — which schedule
+    // differently — fingerprint differently on purpose.
+    //
+    // The expensive part — absorbing every spec parameter — is
+    // salt-independent; each salt then re-mixes the per-item core
+    // through its own tweak word, so both halves of the pair stay
+    // full-avalanche functions of (structure, salt) while the graph
+    // is walked exactly once.
+    uint64_t node_tweak_a = mix64(saltA ^ 0xA0A0A0A0A0A0A0A0ull);
+    uint64_t node_tweak_b = mix64(saltB ^ 0xA0A0A0A0A0A0A0A0ull);
+    uint64_t edge_tweak_a = mix64(saltA ^ 0x5B5B5B5B5B5B5B5Bull);
+    uint64_t edge_tweak_b = mix64(saltB ^ 0x5B5B5B5B5B5B5B5Bull);
+    uint64_t fp_a = mix64(saltA ^ 0x4f76657247656e21ull);  // "OverGen!"
+    uint64_t fp_b = mix64(saltB ^ 0x4f76657247656e21ull);
+    for (NodeId id = 0; id < static_cast<NodeId>(nodes.size()); ++id) {
+        if (!nodeAlive[id])
+            continue;
+        ItemHash item(0xA0A0A0A0A0A0A0A0ull);
+        item.absorb(static_cast<uint64_t>(id));
+        item.absorb(static_cast<uint64_t>(nodes[id].kind));
+        absorbSpec(item, nodes[id]);
+        uint64_t core = item.value();
+        fp_a += mix64(core ^ node_tweak_a);
+        fp_b += mix64(core ^ node_tweak_b);
+    }
+    for (EdgeId id = 0; id < static_cast<EdgeId>(edges.size()); ++id) {
+        if (!edgeAlive[id])
+            continue;
+        const Edge &e = edges[id];
+        ItemHash item(0x5B5B5B5B5B5B5B5Bull);
+        item.absorb(static_cast<uint64_t>(id));
+        item.absorb(static_cast<uint64_t>(e.src));
+        item.absorb(static_cast<uint64_t>(e.dst));
+        item.absorb(static_cast<uint64_t>(e.delay));
+        uint64_t core = item.value();
+        fp_a += mix64(core ^ edge_tweak_a);
+        fp_b += mix64(core ^ edge_tweak_b);
+    }
+    return { mix64(fp_a), mix64(fp_b) };
+}
+
+namespace {
+
 Json
 specToJson(const Node &n)
 {

@@ -10,6 +10,7 @@
  */
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "adg/node.h"
@@ -99,6 +100,13 @@ class Adg
     /** @return all live edge ids (ascending). */
     std::vector<EdgeId> edgeIds() const;
 
+    /** @return size of the node slot array (one past the largest id
+     * ever issued, tombstones included) — for dense id-indexed
+     * side tables. */
+    size_t nodeSlots() const { return nodes.size(); }
+    /** @return size of the edge slot array (see nodeSlots()). */
+    size_t edgeSlots() const { return edges.size(); }
+
     /** @return count of live nodes of @p kind. */
     int countKind(NodeKind kind) const;
     /** @return count of live nodes. */
@@ -130,6 +138,30 @@ class Adg
     Json toJson() const;
     /** Deserialize; fatal on malformed input. */
     static Adg fromJson(const Json &json);
+
+    /**
+     * 64-bit structural fingerprint over live nodes (id, kind, every
+     * spec parameter) and live edges (id, endpoints, delay). Two ADGs
+     * with identical live structure — including the id numbering the
+     * scheduler depends on — fingerprint equal regardless of the
+     * mutation history that produced them; per-item hashes are
+     * combined commutatively, so iteration order is irrelevant. Any
+     * single node/edge/parameter perturbation changes the value (see
+     * tests/adg/fingerprint_test.cc). The DSE evaluation cache keys
+     * on two independently salted fingerprints, making accidental
+     * collisions a ~2^-128 event.
+     */
+    uint64_t fingerprint(uint64_t salt = 0) const;
+
+    /**
+     * Both salted fingerprints in one graph traversal. The per-item
+     * structural hash is salt-independent, so computing a pair costs
+     * barely more than one fingerprint() — the DSE evaluation cache
+     * uses this for its double-salted key. fingerprint(s) ==
+     * fingerprintPair(s, t).first for every t.
+     */
+    std::pair<uint64_t, uint64_t> fingerprintPair(uint64_t saltA,
+                                                  uint64_t saltB) const;
 
     /** Monotonically increasing count of structural mutations. */
     uint64_t version() const { return mutationCount; }

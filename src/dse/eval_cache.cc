@@ -1,0 +1,70 @@
+#include "dse/eval_cache.h"
+
+namespace overgen::dse {
+
+std::optional<model::Resources>
+EvalCache::findResources(const Key &key)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = resourceMap.find(key);
+    if (it == resourceMap.end()) {
+        ++counts.misses;
+        return std::nullopt;
+    }
+    ++counts.hits;
+    return it->second;
+}
+
+void
+EvalCache::storeResources(const Key &key, const model::Resources &res)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    auto [it, inserted] = resourceMap.try_emplace(key, res);
+    if (!inserted)
+        return;  // concurrent miss recomputed the same value
+    resourceOrder.push_back(key);
+    while (resourceMap.size() > capacity) {
+        resourceMap.erase(resourceOrder.front());
+        resourceOrder.pop_front();
+        ++counts.evictions;
+    }
+}
+
+std::optional<CachedScheduleAll>
+EvalCache::findScheduleAll(const Key &key, uint64_t epoch)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = scheduleMap.find(ScheduleKey{ key, epoch });
+    if (it == scheduleMap.end()) {
+        ++counts.misses;
+        return std::nullopt;
+    }
+    ++counts.hits;
+    return it->second;  // map-value copy: a deep copy by construction
+}
+
+void
+EvalCache::storeScheduleAll(const Key &key, uint64_t epoch,
+                            const CachedScheduleAll &result)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    auto [it, inserted] =
+        scheduleMap.try_emplace(ScheduleKey{ key, epoch }, result);
+    if (!inserted)
+        return;
+    scheduleOrder.push_back(ScheduleKey{ key, epoch });
+    while (scheduleMap.size() > capacity) {
+        scheduleMap.erase(scheduleOrder.front());
+        scheduleOrder.pop_front();
+        ++counts.evictions;
+    }
+}
+
+EvalCacheStats
+EvalCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return counts;
+}
+
+} // namespace overgen::dse

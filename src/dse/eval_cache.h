@@ -1,0 +1,105 @@
+#ifndef OVERGEN_DSE_EVAL_CACHE_H
+#define OVERGEN_DSE_EVAL_CACHE_H
+
+/**
+ * @file
+ * Bounded, thread-safe memoization of the expensive halves of DSE
+ * candidate evaluation, keyed by ADG structural fingerprint (see
+ * Adg::fingerprint and DESIGN.md "Evaluation cache and model split").
+ * The annealer's mutate/reject cycles revisit structurally identical
+ * designs; a revisit costs a hash lookup instead of a re-schedule.
+ *
+ * Two tables:
+ *  - tile resources: fingerprint -> model::Resources. Pure function
+ *    of the ADG, valid for the whole exploration.
+ *  - schedule-all results: (fingerprint, epoch) -> schedules +
+ *    variant choices (or a cached infeasibility). The scheduler's
+ *    repair path reads the *current* design's schedules, so results
+ *    are only reusable while the annealer's base design is unchanged;
+ *    the epoch — bumped by the explorer on every acceptance — scopes
+ *    entries to one base design.
+ *
+ * Determinism contract: every cached value was produced by the same
+ * pure computation a miss would run, so hits return (deep copies of)
+ * bit-identical results — the cache changes wall-clock, never the
+ * trajectory. Keys pair two independently salted 64-bit fingerprints,
+ * so a false hit needs a simultaneous collision in both.
+ *
+ * Thread safety: one mutex per cache guards both tables; lookups and
+ * inserts from the explorer's parallel candidate evaluation are safe.
+ * Concurrent misses of the same key may compute the value twice and
+ * both insert — identical values, so last-writer-wins is harmless.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "model/resources.h"
+#include "sched/schedule.h"
+
+namespace overgen::dse {
+
+/** Memoized outcome of scheduling every kernel onto one candidate
+ * ADG (the explorer's schedule_all). Infeasible designs are cached
+ * too — re-discovering unschedulability is as expensive as
+ * scheduling. */
+struct CachedScheduleAll
+{
+    bool feasible = false;
+    /** Per-kernel schedules; empty when infeasible. */
+    std::vector<sched::Schedule> schedules;
+    /** Per-kernel chosen variant indices; empty when infeasible. */
+    std::vector<int> variantIndex;
+};
+
+/** Running totals, readable while the cache is in use. */
+struct EvalCacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+};
+
+/** See file comment. */
+class EvalCache
+{
+  public:
+    /** Double-fingerprint key (two salts of Adg::fingerprint). */
+    using Key = std::pair<uint64_t, uint64_t>;
+
+    /** @p capacity bounds EACH table's entry count (FIFO eviction). */
+    explicit EvalCache(size_t capacity) : capacity(capacity) {}
+
+    /** @return a copy of the cached tile resources, if present. */
+    std::optional<model::Resources> findResources(const Key &key);
+    void storeResources(const Key &key, const model::Resources &res);
+
+    /** @return a deep copy of the cached schedule-all result for
+     * (@p key, @p epoch), if present. */
+    std::optional<CachedScheduleAll> findScheduleAll(const Key &key,
+                                                    uint64_t epoch);
+    void storeScheduleAll(const Key &key, uint64_t epoch,
+                          const CachedScheduleAll &result);
+
+    /** Cumulative hit/miss/eviction counts over both tables. */
+    EvalCacheStats stats() const;
+
+  private:
+    using ScheduleKey = std::pair<Key, uint64_t>;
+
+    size_t capacity;
+    mutable std::mutex mutex;
+    std::map<Key, model::Resources> resourceMap;
+    std::deque<Key> resourceOrder;  //!< FIFO eviction queue
+    std::map<ScheduleKey, CachedScheduleAll> scheduleMap;
+    std::deque<ScheduleKey> scheduleOrder;
+    EvalCacheStats counts;
+};
+
+} // namespace overgen::dse
+
+#endif // OVERGEN_DSE_EVAL_CACHE_H

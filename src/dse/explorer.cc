@@ -1,13 +1,17 @@
 #include "dse/explorer.h"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <memory>
 
 #include "adg/builders.h"
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/stats.h"
 #include "compiler/compile.h"
+#include "dse/eval_cache.h"
 #include "dse/mutations.h"
 #include "model/oracle.h"
 #include "telemetry/sink.h"
@@ -106,13 +110,16 @@ exploreOverlay(const std::vector<wl::KernelSpec> &kernels,
         variants.push_back(compiler::compileVariants(k, copts));
 
     // Schedule all kernels on an ADG, preferring prior schedules.
+    // Takes the tile by value: callers hand over their (freshly
+    // mutated) copy, so the candidate adopts it without another
+    // deep graph copy.
     auto schedule_all =
-        [&](const adg::Adg &tile,
+        [&](adg::Adg tile,
             const Candidate *prior) -> std::optional<Candidate> {
         Candidate cand;
-        cand.adg = tile;
+        cand.adg = std::move(tile);
         sched::SpatialScheduler scheduler(
-            tile, sched::SchedulerOptions{ options.seed, 2 });
+            cand.adg, sched::SchedulerOptions{ options.seed, 2 });
         for (size_t k = 0; k < kernels.size(); ++k) {
             std::optional<sched::Schedule> best;
             int best_variant = -1;
@@ -142,52 +149,109 @@ exploreOverlay(const std::vector<wl::KernelSpec> &kernels,
         return cand;
     };
 
+    // Evaluation cache (see eval_cache.h): schedule-all results are
+    // scoped to the current base design via `epoch` (bumped on every
+    // acceptance — the scheduler's repair path reads `current`);
+    // tile resource vectors are pure in the ADG and epoch-free.
+    std::unique_ptr<EvalCache> cache;
+    if (options.evalCache)
+        cache = std::make_unique<EvalCache>(options.evalCacheEntries);
+    uint64_t epoch = 0;
+    auto cache_key = [](const adg::Adg &adg) {
+        auto [a, b] =
+            adg.fingerprintPair(0, 0x517cc1b727220a95ull);
+        return EvalCache::Key{ a, b };
+    };
+    auto tile_resources =
+        [&](const adg::Adg &adg,
+            const std::optional<EvalCache::Key> &key) {
+            if (key) {
+                if (auto hit = cache->findResources(*key))
+                    return *hit;
+            }
+            model::Resources res = prices.tileResources(adg);
+            if (key)
+                cache->storeResources(*key, res);
+            return res;
+        };
+
+    // System-grid axes, ascending: resources are monotone in each
+    // axis, so once a point exceeds the budget the rest of its axis
+    // (and, when it was the axis's first point, the enclosing
+    // subtree) is provably over budget and pruned wholesale.
+    auto ascending = [](std::vector<int> v) {
+        std::sort(v.begin(), v.end());
+        return v;
+    };
+    const std::vector<int> tile_grid = ascending(options.tileCountGrid);
+    const std::vector<int> bank_grid = ascending(options.l2BankGrid);
+    const std::vector<int> noc_grid = ascending(options.nocBytesGrid);
+    const std::vector<int> l2_grid = ascending(options.l2CapacityGrid);
+    const std::vector<int> chan_grid =
+        ascending(options.dramChannelGrid);
+    std::atomic<uint64_t> grid_pruned{ 0 };
+
     // Nested exhaustive system DSE (paper §V-A): pick the best system
-    // parameters for a scheduled ADG under the resource budget.
-    auto system_dse = [&](Candidate &cand) {
-        model::Resources tile_res = prices.tileResources(cand.adg);
+    // parameters for a scheduled ADG under the resource budget. The
+    // per-kernel perf precomputation and the backing derivation are
+    // hoisted out of the grid — only combineSystemPerf runs per point.
+    auto system_dse = [&](Candidate &cand,
+                          const model::Resources &tile_only) {
+        model::Resources tile_res = tile_only;
         tile_res += model::synthesizeControlCore();
+        std::vector<model::TilePerfSummary> summaries;
+        std::vector<double> weights;
+        std::vector<double> throughput;
+        summaries.reserve(kernels.size());
+        for (size_t k = 0; k < kernels.size(); ++k) {
+            const dfg::Mdfg &m = variants[k][cand.variantIndex[k]];
+            summaries.push_back(model::precomputeTilePerf(
+                m,
+                sched::backingFromSchedule(cand.schedules[k],
+                                           cand.adg, m),
+                cand.adg));
+            weights.push_back(m.weight);
+            throughput.push_back(
+                cand.schedules[k].throughputFactor());
+        }
+        std::vector<model::PerfBreakdown> perf(kernels.size());
         double best_score = -1.0;
-        for (int tiles : options.tileCountGrid) {
-            for (int banks : options.l2BankGrid) {
-                for (int noc : options.nocBytesGrid) {
-                    for (int l2_kib : options.l2CapacityGrid) {
-                        for (int channels : options.dramChannelGrid) {
+        uint64_t pruned = 0;
+        const size_t nb = bank_grid.size(), nn = noc_grid.size();
+        const size_t nl = l2_grid.size(), nc = chan_grid.size();
+        for (size_t ti = 0; ti < tile_grid.size(); ++ti) {
+            bool tiles_over = false;  // over budget at subtree start
+            for (size_t bi = 0; bi < nb; ++bi) {
+                bool banks_over = false;
+                for (size_t ni = 0; ni < nn; ++ni) {
+                    bool noc_over = false;
+                    for (size_t li = 0; li < nl; ++li) {
+                        bool l2_over = false;
+                        for (size_t ci = 0; ci < nc; ++ci) {
                             adg::SystemParams sys;
-                            sys.numTiles = tiles;
-                            sys.l2Banks = banks;
-                            sys.nocBytes = noc;
-                            sys.l2CapacityKiB = l2_kib;
-                            sys.dramChannels = channels;
+                            sys.numTiles = tile_grid[ti];
+                            sys.l2Banks = bank_grid[bi];
+                            sys.nocBytes = noc_grid[ni];
+                            sys.l2CapacityKiB = l2_grid[li];
+                            sys.dramChannels = chan_grid[ci];
                             model::Resources total =
-                                tile_res * static_cast<double>(tiles);
+                                tile_res *
+                                static_cast<double>(sys.numTiles);
                             total += model::synthesizeUncore(sys);
                             double util =
                                 device.worstUtilization(total);
-                            if (util > options.budgetFraction)
-                                continue;
+                            if (util > options.budgetFraction) {
+                                // Larger channel counts only grow.
+                                pruned += nc - ci - 1;
+                                l2_over = ci == 0;
+                                break;
+                            }
                             // Estimated performance objective.
-                            std::vector<model::PerfBreakdown> perf;
-                            std::vector<double> weights;
                             for (size_t k = 0; k < kernels.size();
                                  ++k) {
-                                const dfg::Mdfg &m =
-                                    variants[k]
-                                            [cand.variantIndex[k]];
-                                model::PerfInput input;
-                                input.mdfg = &m;
-                                input.backing =
-                                    sched::backingFromSchedule(
-                                        cand.schedules[k], cand.adg,
-                                        m);
-                                model::PerfBreakdown b =
-                                    model::estimateIpc(
-                                        input, cand.adg, sys,
-                                        options.perf);
-                                b.ipc *= cand.schedules[k]
-                                             .throughputFactor();
-                                perf.push_back(b);
-                                weights.push_back(m.weight);
+                                perf[k] = model::combineSystemPerf(
+                                    summaries[k], sys, options.perf);
+                                perf[k].ipc *= throughput[k];
                             }
                             double ipc = model::performanceObjective(
                                 perf, weights);
@@ -206,24 +270,95 @@ exploreOverlay(const std::vector<wl::KernelSpec> &kernels,
                                 cand.valid = true;
                             }
                         }
+                        if (l2_over) {
+                            pruned += (nl - li - 1) * nc;
+                            noc_over = li == 0;
+                            break;
+                        }
                     }
+                    if (noc_over) {
+                        pruned += (nn - ni - 1) * nl * nc;
+                        banks_over = ni == 0;
+                        break;
+                    }
+                }
+                if (banks_over) {
+                    pruned += (nb - bi - 1) * nn * nl * nc;
+                    tiles_over = bi == 0;
+                    break;
+                }
+            }
+            if (tiles_over) {
+                pruned += (tile_grid.size() - ti - 1) * nb * nn * nl *
+                          nc;
+                break;
+            }
+        }
+        grid_pruned.fetch_add(pruned, std::memory_order_relaxed);
+        return cand.valid;
+    };
+
+    // The annealer's base design; declared ahead of the evaluation
+    // lambda because schedule repair reads its schedules.
+    Candidate current;
+
+    // Full candidate evaluation: fingerprint -> (cached or fresh)
+    // schedule-all -> (cached or fresh) tile resources -> system DSE.
+    // Infeasibility (unschedulable kernel) is cached too.
+    auto evaluate_candidate =
+        [&](adg::Adg mutated) -> std::optional<Candidate> {
+        std::optional<EvalCache::Key> key;
+        if (cache)
+            key = cache_key(mutated);
+        std::optional<Candidate> cand;
+        bool sched_cached = false;
+        if (key) {
+            if (auto hit = cache->findScheduleAll(*key, epoch)) {
+                sched_cached = true;
+                if (hit->feasible) {
+                    Candidate c;
+                    c.adg = std::move(mutated);
+                    c.schedules = std::move(hit->schedules);
+                    c.variantIndex = std::move(hit->variantIndex);
+                    cand = std::move(c);
                 }
             }
         }
-        return cand.valid;
+        if (!sched_cached) {
+            cand = schedule_all(std::move(mutated), &current);
+            if (key) {
+                CachedScheduleAll entry;
+                entry.feasible = cand.has_value();
+                if (cand) {
+                    entry.schedules = cand->schedules;
+                    entry.variantIndex = cand->variantIndex;
+                }
+                cache->storeScheduleAll(*key, epoch, entry);
+            }
+        }
+        if (!cand)
+            return std::nullopt;
+        if (!system_dse(*cand, tile_resources(cand->adg, key)))
+            return std::nullopt;
+        return cand;
     };
 
     DseResult result;
 
-    // Seed.
-    Candidate current;
+    // Seed. Scheduled outside the cache (no base design to repair
+    // from yet); bumping the epoch afterwards keeps later lookups
+    // from ever aliasing this prior-less evaluation.
     {
         auto seeded = schedule_all(seedTile(kernels), nullptr);
         OG_ASSERT(seeded.has_value(),
                   "seed tile cannot host the domain");
         current = std::move(*seeded);
-        bool ok = system_dse(current);
+        std::optional<EvalCache::Key> key;
+        if (cache)
+            key = cache_key(current.adg);
+        bool ok = system_dse(current, tile_resources(current.adg, key));
         OG_ASSERT(ok, "seed design exceeds the device budget");
+        epoch = 1;
     }
     Candidate best = current;
     result.convergence.push_back(
@@ -261,6 +396,25 @@ exploreOverlay(const std::vector<wl::KernelSpec> &kernels,
         record.set("utilization", Json(state.utilization));
         record.set("resource_slack",
                    Json(options.budgetFraction - state.utilization));
+        // Cumulative at the round barrier, so deterministic across
+        // thread counts and cache settings.
+        record.set("grid_pruned",
+                   Json(static_cast<int64_t>(
+                       grid_pruned.load(std::memory_order_relaxed))));
+        // Cache traffic is wall-clock-flavored observability (racing
+        // workers shift the hit/miss split): consumers comparing
+        // trajectories must strip it, like "seconds".
+        if (cache != nullptr) {
+            EvalCacheStats stats = cache->stats();
+            Json traffic = Json::makeObject();
+            traffic.set("hits",
+                        Json(static_cast<int64_t>(stats.hits)));
+            traffic.set("misses",
+                        Json(static_cast<int64_t>(stats.misses)));
+            traffic.set("evictions",
+                        Json(static_cast<int64_t>(stats.evictions)));
+            record.set("cache", std::move(traffic));
+        }
         Json kinds = Json::makeArray();
         for (MutationKind kind : edits)
             kinds.push(Json(mutationKindName(kind)));
@@ -323,9 +477,7 @@ exploreOverlay(const std::vector<wl::KernelSpec> &kernels,
                 }
                 if (!mutated.validate().empty())
                     return ev;  // abandoned
-                auto cand = schedule_all(mutated, &current);
-                if (cand && system_dse(*cand))
-                    ev.cand = std::move(cand);
+                ev.cand = evaluate_candidate(std::move(mutated));
                 return ev;
             });
 
@@ -349,6 +501,9 @@ exploreOverlay(const std::vector<wl::KernelSpec> &kernels,
                 ev.rng.nextDouble() < std::exp(delta / temperature);
             if (accept) {
                 current = std::move(*ev.cand);
+                // The base design changed: schedule-repair results
+                // keyed to the old base are no longer reachable.
+                ++epoch;
                 ++result.accepted;
                 if (current.objective > best.objective)
                     best = current;
@@ -394,6 +549,20 @@ exploreOverlay(const std::vector<wl::KernelSpec> &kernels,
         result.mappings.push_back(std::move(mapping));
         result.schedules.push_back(best.schedules[k]);
         result.mdfgs.push_back(m);
+    }
+    result.gridPruned = grid_pruned.load(std::memory_order_relaxed);
+    if (cache != nullptr) {
+        EvalCacheStats stats = cache->stats();
+        result.cacheHits = stats.hits;
+        result.cacheMisses = stats.misses;
+        result.cacheEvictions = stats.evictions;
+    }
+    if (sink != nullptr) {
+        telemetry::Registry &reg = sink->registry();
+        reg.counter("dse/grid/pruned").add(result.gridPruned);
+        reg.counter("dse/cache/hits").add(result.cacheHits);
+        reg.counter("dse/cache/misses").add(result.cacheMisses);
+        reg.counter("dse/cache/evictions").add(result.cacheEvictions);
     }
     result.elapsedSeconds = secondsSince(start);
     return result;

@@ -58,13 +58,28 @@ struct DseOptions
     bool schedulePreserving = true;
     /** Apply OverGen source tuning when compiling variants. */
     bool applyTuning = false;
-    /** Nested system-DSE grids (paper §III-B). */
+    /** Nested system-DSE grids (paper §III-B). Each axis is iterated
+     * in ascending order; resources are monotone per axis, so the
+     * explorer prunes whole over-budget subtrees instead of visiting
+     * every point (see DESIGN.md "Evaluation cache and model split"). */
     std::vector<int> tileCountGrid{ 1, 2, 3, 4, 6, 8, 10, 13, 16 };
     std::vector<int> l2BankGrid{ 4, 8, 16 };
     std::vector<int> nocBytesGrid{ 32, 64 };
     std::vector<int> l2CapacityGrid{ 256, 512, 1024 };
     std::vector<int> dramChannelGrid{ 1 };
     model::PerfConfig perf;
+    /**
+     * Memoize schedule-all results and tile resource vectors by ADG
+     * fingerprint, so mutate/reject revisits of structurally
+     * identical designs cost a hash lookup instead of a re-schedule.
+     * Results are bit-identical with the cache on or off — hits
+     * return deep copies of values the same pure computation would
+     * produce (see DESIGN.md). Off is the escape hatch
+     * (`--no-eval-cache` on the bench harnesses).
+     */
+    bool evalCache = true;
+    /** Entry bound of each memo table (FIFO eviction beyond it). */
+    size_t evalCacheEntries = 1024;
 
     /**
      * Telemetry sink: when live, the explorer appends one JSONL
@@ -117,6 +132,18 @@ struct DseResult
     int evaluated = 0;
     /** Speculative evaluations discarded unexamined. */
     int discarded = 0;
+    /**
+     * Evaluation-cache traffic (zero with the cache off). The split
+     * between hits and misses can vary with thread timing — two
+     * workers racing the same fingerprint may both miss — so these
+     * are observability, outside the determinism contract.
+     */
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
+    uint64_t cacheEvictions = 0;
+    /** System-grid points skipped by monotone budget pruning (a
+     * deterministic function of the trajectory). */
+    uint64_t gridPruned = 0;
     double elapsedSeconds = 0.0;
 };
 

@@ -68,17 +68,41 @@ bottleneck(double production, double consumption)
     return std::clamp(production / consumption, 1e-6, 1.0);
 }
 
+/** Shared limit selection + naming of estimateIpc and combine. */
+void
+finishBreakdown(PerfBreakdown &out, double tiles, double inst_bandwidth,
+                int vectorization)
+{
+    double limit = std::min({ out.fabricFactor, out.spadFactor,
+                              out.l2Factor, out.dramFactor });
+    if (limit == out.dramFactor)
+        out.bottleneck = "dram";
+    if (limit == out.l2Factor)
+        out.bottleneck = "l2";
+    if (limit == out.spadFactor)
+        out.bottleneck = "spad";
+    if (limit == out.fabricFactor)
+        out.bottleneck = "fabric";
+    if (limit >= 1.0 - 1e-12)
+        out.bottleneck = "compute";
+
+    out.ipc = inst_bandwidth * tiles * limit;
+    out.workRate = static_cast<double>(vectorization) * tiles * limit;
+}
+
 } // namespace
 
-std::map<dfg::NodeId, Backing>
+BackingVec
 deriveBacking(const Mdfg &mdfg, const adg::Adg &tile)
 {
     TileBandwidths bw = tileBandwidths(tile);
-    std::map<dfg::NodeId, Backing> backing;
+    BackingVec backing(static_cast<size_t>(mdfg.numNodes()),
+                       Backing::Dma);
 
     // Scratchpad allocation: prefer arrays the compiler marked, largest
     // general reuse first, while capacity lasts.
-    std::map<dfg::NodeId, bool> array_in_spad;
+    std::vector<bool> array_in_spad(
+        static_cast<size_t>(mdfg.numNodes()), false);
     double remaining = bw.spadCapacityBytes;
     std::vector<dfg::NodeId> arrays =
         mdfg.nodeIdsOfKind(NodeKind::Array);
@@ -103,8 +127,6 @@ deriveBacking(const Mdfg &mdfg, const adg::Adg &tile)
         if (wants_spad && fits && supported) {
             array_in_spad[id] = true;
             remaining -= static_cast<double>(arr.sizeBytes);
-        } else {
-            array_in_spad[id] = false;
         }
     }
 
@@ -121,8 +143,7 @@ deriveBacking(const Mdfg &mdfg, const adg::Adg &tile)
             break;
         }
         if (stream.array != dfg::invalidNode &&
-            array_in_spad.count(stream.array) &&
-            array_in_spad.at(stream.array)) {
+            array_in_spad[stream.array]) {
             return Backing::Scratchpad;
         }
         return Backing::Dma;
@@ -142,7 +163,7 @@ estimateIpc(const PerfInput &input, const adg::Adg &tile,
     const Mdfg &mdfg = *input.mdfg;
     TileBandwidths bw = tileBandwidths(tile);
 
-    std::map<dfg::NodeId, Backing> backing = input.backing;
+    BackingVec backing = input.backing;
     if (backing.empty())
         backing = deriveBacking(mdfg, tile);
 
@@ -167,8 +188,7 @@ estimateIpc(const PerfInput &input, const adg::Adg &tile,
         else
             out_port_demand += bytes;
 
-        auto it = backing.find(id);
-        Backing b = it != backing.end() ? it->second : Backing::Dma;
+        Backing b = backingOf(backing, id);
         double captured = std::max(stream.reuse.capturedFactor(), 1.0);
         double demand =
             bytes / captured / std::max(stream.bandwidthEfficiency,
@@ -232,22 +252,135 @@ estimateIpc(const PerfInput &input, const adg::Adg &tile,
         config.dramChannelBandwidthBytes * sys.dramChannels;
     out.dramFactor = bottleneck(dram_production, dram_demand * tiles);
 
-    double limit = std::min({ out.fabricFactor, out.spadFactor,
-                              out.l2Factor, out.dramFactor });
-    if (limit == out.dramFactor)
-        out.bottleneck = "dram";
-    if (limit == out.l2Factor)
-        out.bottleneck = "l2";
-    if (limit == out.spadFactor)
-        out.bottleneck = "spad";
-    if (limit == out.fabricFactor)
-        out.bottleneck = "fabric";
-    if (limit >= 1.0 - 1e-12)
-        out.bottleneck = "compute";
+    finishBreakdown(out, tiles, out.instBandwidth,
+                    mdfg.vectorization());
+    return out;
+}
 
-    out.ipc = out.instBandwidth * tiles * limit;
-    out.workRate =
-        static_cast<double>(mdfg.vectorization()) * tiles * limit;
+TilePerfSummary
+precomputeTilePerf(const Mdfg &mdfg, const BackingVec &backing_in,
+                   const adg::Adg &tile)
+{
+    TileBandwidths bw = tileBandwidths(tile);
+
+    const BackingVec *backing = &backing_in;
+    BackingVec derived;
+    if (backing_in.empty()) {
+        derived = deriveBacking(mdfg, tile);
+        backing = &derived;
+    }
+
+    TilePerfSummary s;
+    s.instBandwidth = mdfg.instructionBandwidth();
+    s.vectorization = mdfg.vectorization();
+    s.dmaBytes = bw.dmaBytes;
+
+    // Same accumulation order as estimateIpc (input streams, then
+    // output streams): the sums and the DRAM term sequence replay
+    // identically in combineSystemPerf, keeping the split bit-exact.
+    double in_port_demand = 0.0, out_port_demand = 0.0;
+    double spad_read = 0.0, spad_write = 0.0;
+
+    auto add_stream = [&](dfg::NodeId id, bool is_input) {
+        const dfg::StreamNode &stream = mdfg.node(id).stream;
+        double bytes = stream.bytesPerFiring();
+        if (is_input)
+            in_port_demand += bytes;
+        else
+            out_port_demand += bytes;
+
+        Backing b = backingOf(*backing, id);
+        double captured = std::max(stream.reuse.capturedFactor(), 1.0);
+        double demand =
+            bytes / captured / std::max(stream.bandwidthEfficiency,
+                                        1e-3);
+        switch (b) {
+          case Backing::Scratchpad: {
+            if (is_input)
+                spad_read += demand;
+            else
+                spad_write += demand;
+            TilePerfSummary::DramTerm term;
+            term.demand = demand;
+            term.generalReuse =
+                std::max(stream.reuse.generalReuse(), 1.0);
+            term.l2Filtered = false;
+            s.dramTerms.push_back(term);
+            break;
+          }
+          case Backing::Dma: {
+            s.l2Demand += demand;
+            TilePerfSummary::DramTerm term;
+            term.demand = demand;
+            term.footprintBytes = stream.reuse.footprintBytes;
+            term.generalReuse =
+                std::max(stream.reuse.generalReuse(), 1.0);
+            term.l2Filtered = true;
+            s.dramTerms.push_back(term);
+            break;
+          }
+          case Backing::Recurrence:
+          case Backing::Generate:
+          case Backing::Register:
+            break;
+        }
+    };
+
+    for (dfg::NodeId id : mdfg.nodeIdsOfKind(NodeKind::InputStream))
+        add_stream(id, true);
+    for (dfg::NodeId id : mdfg.nodeIdsOfKind(NodeKind::OutputStream))
+        add_stream(id, false);
+
+    s.fabricFactor =
+        std::min(bottleneck(bw.inPortBytes, in_port_demand),
+                 bottleneck(bw.outPortBytes, out_port_demand));
+    s.spadFactor =
+        std::min(bottleneck(bw.spadReadBytes, spad_read),
+                 bottleneck(bw.spadWriteBytes, spad_write));
+    return s;
+}
+
+PerfBreakdown
+combineSystemPerf(const TilePerfSummary &summary,
+                  const adg::SystemParams &sys,
+                  const PerfConfig &config)
+{
+    PerfBreakdown out;
+    out.instBandwidth = summary.instBandwidth;
+    out.fabricFactor = summary.fabricFactor;
+    out.spadFactor = summary.spadFactor;
+
+    double l2_share_bytes =
+        sys.l2CapacityKiB * 1024.0 /
+        std::max(1, sys.numTiles);
+
+    // Replay the DRAM-demand accumulation of estimateIpc: each term
+    // divides by 1.0 (no filtering), the general reuse (scratchpad
+    // fill/drain, or DMA traffic the L2 captures) — identical
+    // operations in identical order.
+    double dram_demand = 0.0;
+    for (const TilePerfSummary::DramTerm &term : summary.dramTerms) {
+        double reuse = term.generalReuse;
+        if (term.l2Filtered && term.footprintBytes > l2_share_bytes)
+            reuse = 1.0;
+        dram_demand += term.demand / reuse;
+    }
+
+    double tiles = static_cast<double>(sys.numTiles);
+    double l2_production =
+        config.l2BankBandwidthBytes * sys.l2Banks;
+    double tile_link = std::min(summary.dmaBytes,
+                                static_cast<double>(sys.nocBytes));
+    out.l2Factor =
+        std::min(bottleneck(l2_production, summary.l2Demand * tiles),
+                 bottleneck(tile_link, summary.l2Demand));
+
+    double dram_production =
+        config.dramChannelBandwidthBytes * sys.dramChannels;
+    out.dramFactor = bottleneck(dram_production, dram_demand * tiles);
+
+    finishBreakdown(out, tiles, summary.instBandwidth,
+                    summary.vectorization);
     return out;
 }
 

@@ -9,9 +9,16 @@
  * production/consumption ratio over the memory hierarchy (scratchpad,
  * L2, DRAM) and the fabric port interfaces. Stream reuse factors from
  * the compiler's reuse analysis reduce consumption at each level.
+ *
+ * The model is offered in two forms that compute bit-identical
+ * results (see DESIGN.md "Evaluation cache and model split"):
+ *  - estimateIpc(): the one-shot reference path;
+ *  - precomputeTilePerf() + combineSystemPerf(): the factored path
+ *    the DSE's nested system grid uses — everything that depends only
+ *    on (mDFG, backing, tile) is summarized once, and each system
+ *    point pays only a handful of multiplies and compares.
  */
 
-#include <map>
 #include <string>
 #include <vector>
 
@@ -29,6 +36,25 @@ enum class Backing : uint8_t {
     Register,    //!< scalar collection (negligible)
 };
 
+/**
+ * Flat backing table indexed by dfg::NodeId (hot-path replacement for
+ * the former std::map: the DSE queries it per stream per candidate).
+ * Entries exist for every node of the mDFG; only stream-node slots
+ * are meaningful, the rest stay at the Dma default. An empty vector
+ * means "no placement information" — estimateIpc derives the backing
+ * itself.
+ */
+using BackingVec = std::vector<Backing>;
+
+/** @return the backing of @p id; Dma when the table has no entry. */
+inline Backing
+backingOf(const BackingVec &backing, dfg::NodeId id)
+{
+    return id >= 0 && static_cast<size_t>(id) < backing.size()
+               ? backing[static_cast<size_t>(id)]
+               : Backing::Dma;
+}
+
 /** Technology constants of the memory system (bytes/cycle). */
 struct PerfConfig
 {
@@ -41,10 +67,9 @@ struct PerfConfig
 struct PerfInput
 {
     const dfg::Mdfg *mdfg = nullptr;
-    /** Backing per memory-stream node; streams absent from the map
-     * derive their backing from the stream source and the array's
-     * preferred placement. */
-    std::map<dfg::NodeId, Backing> backing;
+    /** Backing per node (see BackingVec); empty derives the backing
+     * from the stream sources and the arrays' preferred placement. */
+    BackingVec backing;
 };
 
 /** IPC estimate with the limiting factor decomposition. */
@@ -65,16 +90,74 @@ struct PerfBreakdown
     std::string bottleneck;     //!< name of the limiting level
 };
 
+/**
+ * The design-dependent half of the performance model: every quantity
+ * of estimateIpc() that depends only on (mDFG, backing, tile) and not
+ * on the system parameters. Computed once per (candidate, kernel) by
+ * precomputeTilePerf(); the nested system DSE then evaluates each
+ * grid point with combineSystemPerf() without re-walking the ADG or
+ * the mDFG's streams.
+ */
+struct TilePerfSummary
+{
+    double instBandwidth = 0.0;
+    int vectorization = 1;
+    /** Port-interface and scratchpad factors are system-independent
+     * and carried over verbatim. */
+    double fabricFactor = 1.0;
+    double spadFactor = 1.0;
+    /** Per-tile bytes/cycle demanded of the L2 (DMA-backed streams). */
+    double l2Demand = 0.0;
+    /** Aggregate DMA-engine bandwidth of the tile (bytes/cycle). */
+    double dmaBytes = 0.0;
+
+    /**
+     * One DRAM-demand term per memory-backed stream, in the exact
+     * stream order estimateIpc() accumulates them — combine replays
+     * the same additions so the factored model is bit-identical to
+     * the reference path.
+     */
+    struct DramTerm
+    {
+        /** Bytes/cycle after captured reuse and efficiency derating. */
+        double demand = 0.0;
+        /** Stream footprint; only meaningful when l2Filtered. */
+        double footprintBytes = 0.0;
+        /** General reuse factor, clamped to >= 1. */
+        double generalReuse = 1.0;
+        /** true: DMA-backed — the L2 filters the traffic when the
+         * footprint fits its per-tile share (system-dependent);
+         * false: scratchpad fill/drain — always divided by the
+         * general reuse. */
+        bool l2Filtered = false;
+    };
+    std::vector<DramTerm> dramTerms;
+};
+
 /** @return the default backing of each memory stream of @p mdfg given
  * the engines available in @p tile (spad capacity honored greedily in
  * array-size order; recurrence requires a recurrence engine). */
-std::map<dfg::NodeId, Backing> deriveBacking(const dfg::Mdfg &mdfg,
-                                             const adg::Adg &tile);
+BackingVec deriveBacking(const dfg::Mdfg &mdfg, const adg::Adg &tile);
 
 /** Estimate the IPC of one mDFG on the design point (Eq. 1). */
 PerfBreakdown estimateIpc(const PerfInput &input, const adg::Adg &tile,
                           const adg::SystemParams &sys,
                           const PerfConfig &config = {});
+
+/**
+ * Precompute the system-independent half of estimateIpc() for one
+ * mDFG on one tile. @p backing may be empty (derived as in
+ * estimateIpc). combineSystemPerf(precomputeTilePerf(m, b, t), sys,
+ * cfg) == estimateIpc({&m, b}, t, sys, cfg) to bit precision.
+ */
+TilePerfSummary precomputeTilePerf(const dfg::Mdfg &mdfg,
+                                   const BackingVec &backing,
+                                   const adg::Adg &tile);
+
+/** Evaluate one system point against a precomputed tile summary. */
+PerfBreakdown combineSystemPerf(const TilePerfSummary &summary,
+                                const adg::SystemParams &sys,
+                                const PerfConfig &config = {});
 
 /**
  * Overall DSE performance objective: weighted geometric mean of the

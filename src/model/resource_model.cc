@@ -197,10 +197,22 @@ FpgaResourceModel::defaultModel()
 }
 
 Resources
-FpgaResourceModel::predict(const Mlp &mlp,
+FpgaResourceModel::predict(const Mlp &mlp, int kind_key,
                            const std::vector<double> &features) const
 {
-    return targetsToResources(mlp.predict(features)) * pessimism;
+    {
+        std::lock_guard<std::mutex> lock(memo->mutex);
+        auto it = memo->cache.find({ kind_key, features });
+        if (it != memo->cache.end())
+            return it->second;
+    }
+    Resources r = targetsToResources(mlp.predict(features)) * pessimism;
+    std::lock_guard<std::mutex> lock(memo->mutex);
+    // The mutation grids keep the reachable key space small; the cap
+    // is insurance against pathological callers, not a working set.
+    if (memo->cache.size() < 65536)
+        memo->cache.emplace(std::make_pair(kind_key, features), r);
+    return r;
 }
 
 Resources
@@ -208,13 +220,17 @@ FpgaResourceModel::nodeResources(const adg::Node &node, int radix) const
 {
     switch (node.kind) {
       case adg::NodeKind::Pe:
-        return predict(*peMlp, peFeatures(node.pe()));
+        return predict(*peMlp, static_cast<int>(node.kind),
+                       peFeatures(node.pe()));
       case adg::NodeKind::Switch:
-        return predict(*switchMlp, switchFeatures(node.sw(), radix));
+        return predict(*switchMlp, static_cast<int>(node.kind),
+                       switchFeatures(node.sw(), radix));
       case adg::NodeKind::InPort:
-        return predict(*inPortMlp, portFeatures(node.port()));
+        return predict(*inPortMlp, static_cast<int>(node.kind),
+                       portFeatures(node.port()));
       case adg::NodeKind::OutPort:
-        return predict(*outPortMlp, portFeatures(node.port()));
+        return predict(*outPortMlp, static_cast<int>(node.kind),
+                       portFeatures(node.port()));
       default:
         // Few-parameter engines are exhaustively characterized: use
         // the synthesis result directly.

@@ -10,7 +10,11 @@
  * price every candidate design without running synthesis.
  */
 
+#include <map>
 #include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
 
 #include "adg/adg.h"
 #include "model/mlp.h"
@@ -80,8 +84,25 @@ class FpgaResourceModel
   private:
     FpgaResourceModel() = default;
 
-    Resources predict(const Mlp &mlp,
+    Resources predict(const Mlp &mlp, int kind_key,
                       const std::vector<double> &features) const;
+
+    /**
+     * Thread-safe memo of MLP predictions keyed by (node kind,
+     * feature vector). A trained MLP is a pure function, so the
+     * memoized value is bit-identical to a fresh forward pass — this
+     * only removes redundant arithmetic, never changes a price. The
+     * DSE re-prices near-identical tiles thousands of times, so the
+     * hit rate is high. Behind a unique_ptr because std::mutex is not
+     * movable and the model is returned by value from train().
+     */
+    struct PredictionMemo
+    {
+        std::mutex mutex;
+        std::map<std::pair<int, std::vector<double>>, Resources> cache;
+    };
+    mutable std::unique_ptr<PredictionMemo> memo =
+        std::make_unique<PredictionMemo>();
 
     std::unique_ptr<Mlp> peMlp;
     std::unique_ptr<Mlp> switchMlp;

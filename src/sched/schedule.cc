@@ -7,9 +7,8 @@ namespace overgen::sched {
 adg::NodeId
 Schedule::placedOn(dfg::NodeId node) const
 {
-    auto it = placement.find(node);
-    OG_ASSERT(it != placement.end(), "dfg node ", node, " unplaced");
-    return it->second;
+    OG_ASSERT(placement.count(node), "dfg node ", node, " unplaced");
+    return placement.at(node);
 }
 
 bool
@@ -32,11 +31,12 @@ usedCapabilities(const Schedule &schedule, const dfg::Mdfg &mdfg)
     return used;
 }
 
-std::map<dfg::NodeId, model::Backing>
+model::BackingVec
 backingFromSchedule(const Schedule &schedule, const adg::Adg &adg,
                     const dfg::Mdfg &mdfg)
 {
-    std::map<dfg::NodeId, model::Backing> backing;
+    model::BackingVec backing(static_cast<size_t>(mdfg.numNodes()),
+                              model::Backing::Dma);
     auto classify_stream = [&](dfg::NodeId id) {
         const dfg::StreamNode &stream = mdfg.node(id).stream;
         switch (stream.source) {

@@ -9,6 +9,7 @@
  * (paper Fig. 2d and §V-B).
  */
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <vector>
@@ -22,6 +23,228 @@ namespace overgen::sched {
 /** A routed path: the ADG edges traversed, in order. */
 using Route = std::vector<adg::EdgeId>;
 
+/**
+ * dfg-node -> ADG-node mapping as a flat id-indexed vector with the
+ * iteration/count/size surface of the std::map it replaced. The DSE
+ * copies and rebuilds schedules on every candidate evaluation, so the
+ * container must copy as a memcpy, not a tree rebuild. Iteration
+ * yields (dfg node, adg node) pairs in ascending dfg-id order —
+ * identical to the old map order. Absence is adg::invalidNode.
+ */
+class PlacementMap
+{
+  public:
+    /** Grow-on-demand slot reference, std::map::operator[] style:
+     * assigning a valid node id makes the entry "present". */
+    adg::NodeId &
+    operator[](dfg::NodeId id)
+    {
+        if (static_cast<size_t>(id) >= slots.size())
+            slots.resize(static_cast<size_t>(id) + 1,
+                         adg::invalidNode);
+        return slots[id];
+    }
+
+    /** @return 1 when @p id has a placement, else 0 (map::count). */
+    size_t
+    count(dfg::NodeId id) const
+    {
+        return static_cast<size_t>(id) < slots.size() &&
+                       slots[id] != adg::invalidNode
+                   ? 1
+                   : 0;
+    }
+
+    /** @return the placement of @p id (must be present). */
+    adg::NodeId
+    at(dfg::NodeId id) const
+    {
+        return slots[id];
+    }
+
+    /** @return the number of placed nodes. */
+    size_t
+    size() const
+    {
+        size_t n = 0;
+        for (adg::NodeId v : slots)
+            n += v != adg::invalidNode;
+        return n;
+    }
+
+    /** Pre-size the slot table (avoids regrowth during placement). */
+    void
+    reserveNodes(size_t n)
+    {
+        if (slots.size() < n)
+            slots.resize(n, adg::invalidNode);
+    }
+
+    /** Ascending-id iterator over present entries, yielding
+     * (dfg node, adg node) pairs by value. */
+    class const_iterator
+    {
+      public:
+        const_iterator(const std::vector<adg::NodeId> *slots,
+                       size_t index)
+            : slots(slots), index(index)
+        {
+            skipAbsent();
+        }
+        std::pair<dfg::NodeId, adg::NodeId>
+        operator*() const
+        {
+            return { static_cast<dfg::NodeId>(index),
+                     (*slots)[index] };
+        }
+        const_iterator &
+        operator++()
+        {
+            ++index;
+            skipAbsent();
+            return *this;
+        }
+        bool
+        operator!=(const const_iterator &other) const
+        {
+            return index != other.index;
+        }
+
+      private:
+        void
+        skipAbsent()
+        {
+            while (index < slots->size() &&
+                   (*slots)[index] == adg::invalidNode) {
+                ++index;
+            }
+        }
+        const std::vector<adg::NodeId> *slots;
+        size_t index;
+    };
+    const_iterator begin() const { return { &slots, 0 }; }
+    const_iterator end() const { return { &slots, slots.size() }; }
+
+    /** Semantic equality: the same set of placements (trailing
+     * absent slots are irrelevant). */
+    bool
+    operator==(const PlacementMap &other) const
+    {
+        size_t n = std::max(slots.size(), other.slots.size());
+        for (size_t i = 0; i < n; ++i) {
+            adg::NodeId a = i < slots.size() ? slots[i]
+                                             : adg::invalidNode;
+            adg::NodeId b = i < other.slots.size()
+                                ? other.slots[i]
+                                : adg::invalidNode;
+            if (a != b)
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    std::vector<adg::NodeId> slots;
+};
+
+/**
+ * dfg-edge-index -> Route as a flat vector plus presence flags, with
+ * the map surface the scheduler and DSE use (see PlacementMap for
+ * why). Iteration yields (edge index, route) in ascending edge-index
+ * order — identical to the old std::map order.
+ */
+class RouteMap
+{
+  public:
+    /** Grow-on-demand route reference; marks the entry present
+     * (std::map::operator[] inserts). */
+    Route &
+    operator[](int edge_index)
+    {
+        if (static_cast<size_t>(edge_index) >= paths.size()) {
+            paths.resize(static_cast<size_t>(edge_index) + 1);
+            present.resize(paths.size(), 0);
+        }
+        present[edge_index] = 1;
+        return paths[edge_index];
+    }
+
+    size_t
+    count(int edge_index) const
+    {
+        return static_cast<size_t>(edge_index) < present.size() &&
+                       present[edge_index]
+                   ? 1
+                   : 0;
+    }
+
+    const Route &
+    at(int edge_index) const
+    {
+        return paths[edge_index];
+    }
+
+    /** @return the number of routed edges. */
+    size_t
+    size() const
+    {
+        size_t n = 0;
+        for (char p : present)
+            n += p != 0;
+        return n;
+    }
+
+    /** Ascending iterator over routed edges, yielding
+     * (edge index, const Route&) pairs. */
+    class const_iterator
+    {
+      public:
+        const_iterator(const RouteMap *map, size_t index)
+            : map(map), index(index)
+        {
+            skipAbsent();
+        }
+        std::pair<int, const Route &>
+        operator*() const
+        {
+            return { static_cast<int>(index), map->paths[index] };
+        }
+        const_iterator &
+        operator++()
+        {
+            ++index;
+            skipAbsent();
+            return *this;
+        }
+        bool
+        operator!=(const const_iterator &other) const
+        {
+            return index != other.index;
+        }
+
+      private:
+        void
+        skipAbsent()
+        {
+            while (index < map->present.size() &&
+                   !map->present[index]) {
+                ++index;
+            }
+        }
+        const RouteMap *map;
+        size_t index;
+    };
+    const_iterator begin() const { return { this, 0 }; }
+    const_iterator end() const
+    {
+        return { this, present.size() };
+    }
+
+  private:
+    std::vector<Route> paths;
+    std::vector<char> present;
+};
+
 /** The mapping of one mDFG variant onto an ADG. */
 struct Schedule
 {
@@ -32,11 +255,11 @@ struct Schedule
 
     /** dfg node -> ADG node. Instructions map to PEs, streams to
      * ports (index streams to engines), arrays to memory engines. */
-    std::map<dfg::NodeId, adg::NodeId> placement;
+    PlacementMap placement;
 
     /** dfg edge index (into Mdfg::edges()) -> routed path. Edges that
      * need no fabric route (array->stream, index feeds) are absent. */
-    std::map<int, Route> routes;
+    RouteMap routes;
 
     /** PE-mapped dfg instruction -> operand index -> delay-FIFO depth. */
     std::map<dfg::NodeId, std::map<int, int>> delayFifos;
@@ -76,9 +299,10 @@ usedCapabilities(const Schedule &schedule, const dfg::Mdfg &mdfg);
 
 /**
  * @return the perf-model backing of every memory stream implied by the
- * schedule's array placements.
+ * schedule's array placements, as a flat per-node table (see
+ * model::BackingVec; non-stream slots stay at the Dma default).
  */
-std::map<dfg::NodeId, model::Backing>
+model::BackingVec
 backingFromSchedule(const Schedule &schedule, const adg::Adg &adg,
                     const dfg::Mdfg &mdfg);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <limits>
 #include <queue>
 
 #include "common/logging.h"
@@ -24,10 +25,35 @@ class Attempt
     {
         schedule.mdfgName = mdfg.name;
         schedule.adgVersion = adg.version();
+        schedule.placement.reserveNodes(
+            static_cast<size_t>(mdfg.numNodes()));
+        // Flat id-indexed side tables and per-kind id lists, hoisted
+        // here so the placement/routing inner loops never rescan the
+        // graph. The ADG is fixed for the attempt's lifetime.
+        usedPes.assign(adg.nodeSlots(), 0);
+        usedPorts.assign(adg.nodeSlots(), 0);
+        spadRemaining.assign(adg.nodeSlots(), -1);
         for (adg::NodeId id : adg.nodeIdsOfKind(NodeKind::Scratchpad)) {
             spadRemaining[id] =
                 static_cast<int64_t>(adg.node(id).spad().capacityKiB) *
                 1024;
+        }
+        edgeSignal.assign(adg.edgeSlots(), dfg::invalidNode);
+        hopCache.assign(adg.nodeSlots(), {});
+        peIds = adg.nodeIdsOfKind(NodeKind::Pe);
+        auto first_of = [&](NodeKind kind) {
+            auto ids = adg.nodeIdsOfKind(kind);
+            return ids.empty() ? adg::invalidNode : ids[0];
+        };
+        recurrenceEngine = first_of(NodeKind::Recurrence);
+        generateEngine = first_of(NodeKind::Generate);
+        registerEngine = first_of(NodeKind::Register);
+        indexStream.assign(static_cast<size_t>(mdfg.numNodes()), 0);
+        for (dfg::NodeId other :
+             mdfg.nodeIdsOfKind(dfg::NodeKind::InputStream)) {
+            dfg::NodeId idx = mdfg.node(other).stream.indexStream;
+            if (idx != dfg::invalidNode)
+                indexStream[idx] = 1;
         }
     }
 
@@ -133,7 +159,7 @@ class Attempt
     instructionLegal(const dfg::Node &dn, const adg::Node &an,
                      adg::NodeId adg_node) const
     {
-        if (an.kind != NodeKind::Pe || usedPes.count(adg_node))
+        if (an.kind != NodeKind::Pe || usedPes[adg_node])
             return false;
         const adg::PeSpec &pe = an.pe();
         if (!pe.capabilities.count({ dn.inst.op, dn.inst.type }))
@@ -154,9 +180,7 @@ class Attempt
         if (an.kind == NodeKind::Scratchpad) {
             if (dn.array.indirectIndexed && !an.spad().indirect)
                 return false;
-            auto it = spadRemaining.find(adg_node);
-            return it != spadRemaining.end() &&
-                   it->second >= dn.array.sizeBytes;
+            return spadRemaining[adg_node] >= dn.array.sizeBytes;
         }
         return false;
     }
@@ -173,18 +197,12 @@ class Attempt
             }
             return schedule.placedOn(dn.stream.array);
           }
-          case StreamSource::Recurrence: {
-            auto engines = adg.nodeIdsOfKind(NodeKind::Recurrence);
-            return engines.empty() ? adg::invalidNode : engines[0];
-          }
-          case StreamSource::Generated: {
-            auto engines = adg.nodeIdsOfKind(NodeKind::Generate);
-            return engines.empty() ? adg::invalidNode : engines[0];
-          }
-          case StreamSource::Register: {
-            auto engines = adg.nodeIdsOfKind(NodeKind::Register);
-            return engines.empty() ? adg::invalidNode : engines[0];
-          }
+          case StreamSource::Recurrence:
+            return recurrenceEngine;
+          case StreamSource::Generated:
+            return generateEngine;
+          case StreamSource::Register:
+            return registerEngine;
         }
         return adg::invalidNode;
     }
@@ -211,7 +229,7 @@ class Attempt
         // Index streams live on the data stream's engine, not a port.
         if (isIndexStream(dn.id))
             return isStreamEngine(an.kind);
-        if (an.kind != NodeKind::InPort || usedPorts.count(adg_node))
+        if (an.kind != NodeKind::InPort || usedPorts[adg_node])
             return false;
         if (!portSupportsStream(an.port(), dn.stream))
             return false;
@@ -232,7 +250,7 @@ class Attempt
     outputStreamLegal(const dfg::Node &dn, const adg::Node &an,
                       adg::NodeId adg_node) const
     {
-        if (an.kind != NodeKind::OutPort || usedPorts.count(adg_node))
+        if (an.kind != NodeKind::OutPort || usedPorts[adg_node])
             return false;
         if (!portSupportsStream(an.port(), dn.stream))
             return false;
@@ -257,16 +275,12 @@ class Attempt
         return false;
     }
 
+    /** A stream is an index stream if some other stream names it
+     * (precomputed in the constructor). */
     bool
     isIndexStream(dfg::NodeId id) const
     {
-        // A stream is an index stream if some other stream names it.
-        for (dfg::NodeId other :
-             mdfg.nodeIdsOfKind(dfg::NodeKind::InputStream)) {
-            if (mdfg.node(other).stream.indexStream == id)
-                return true;
-        }
-        return false;
+        return indexStream[id] != 0;
     }
     /// @}
 
@@ -277,10 +291,10 @@ class Attempt
         const dfg::Node &dn = mdfg.node(dfg_node);
         const adg::Node &an = adg.node(adg_node);
         if (dn.kind == dfg::NodeKind::Instruction)
-            usedPes.insert(adg_node);
+            usedPes[adg_node] = 1;
         if ((dn.kind == dfg::NodeKind::InputStream && !isIndexStream(dfg_node)) ||
             dn.kind == dfg::NodeKind::OutputStream) {
-            usedPorts.insert(adg_node);
+            usedPorts[adg_node] = 1;
         }
         if (dn.kind == dfg::NodeKind::Array &&
             an.kind == NodeKind::Scratchpad) {
@@ -335,6 +349,8 @@ class Attempt
     placeStreams()
     {
         auto place_kind = [&](dfg::NodeKind kind, NodeKind port_kind) {
+            const std::vector<adg::NodeId> ports =
+                adg.nodeIdsOfKind(port_kind);
             for (dfg::NodeId id : mdfg.nodeIdsOfKind(kind)) {
                 if (schedule.isPlaced(id))
                     continue;
@@ -348,8 +364,7 @@ class Attempt
                     commitPlacement(id, engine);
                     continue;
                 }
-                std::vector<adg::NodeId> candidates =
-                    adg.nodeIdsOfKind(port_kind);
+                std::vector<adg::NodeId> candidates = ports;
                 // Prefer the narrowest port that still sustains full
                 // rate, leaving wide ports for wide streams.
                 double want = mdfg.node(id).stream.bytesPerFiring();
@@ -387,16 +402,14 @@ class Attempt
     placeInstructions()
     {
         // Topological order over instruction dependencies.
-        std::vector<dfg::NodeId> order = topoInstructions();
+        const std::vector<dfg::NodeId> &order = topoInstructions();
         for (dfg::NodeId id : order) {
             if (schedule.isPlaced(id))
                 continue;
-            std::vector<adg::NodeId> pes =
-                adg.nodeIdsOfKind(NodeKind::Pe);
             // Score candidates by hop distance from placed producers.
             adg::NodeId best = adg::invalidNode;
             double best_score = 1e18;
-            for (adg::NodeId pe : pes) {
+            for (adg::NodeId pe : peIds) {
                 if (!placementLegal(id, pe))
                     continue;
                 double score = rng.nextDouble();  // tiebreak
@@ -420,9 +433,13 @@ class Attempt
         return true;
     }
 
-    std::vector<dfg::NodeId>
+    /** Topological order over instruction dependencies; a pure
+     * function of the mDFG, computed once per attempt. */
+    const std::vector<dfg::NodeId> &
     topoInstructions() const
     {
+        if (topoComputed)
+            return topoOrder;
         std::vector<dfg::NodeId> insts =
             mdfg.nodeIdsOfKind(dfg::NodeKind::Instruction);
         std::map<dfg::NodeId, int> depth;
@@ -446,36 +463,45 @@ class Attempt
                          [&](dfg::NodeId a, dfg::NodeId b) {
                              return depth_of(a) < depth_of(b);
                          });
-        return insts;
+        topoOrder = std::move(insts);
+        topoComputed = true;
+        return topoOrder;
     }
     /// @}
 
     /** @name Routing */
     /// @{
-    /** BFS hop distance through the fabric (any node), -1 if none. */
+    /**
+     * BFS hop distance through the fabric (any node), -1 if none.
+     * The full single-source distance vector is cached per source —
+     * instruction placement asks about every PE from the same placed
+     * producer, and BFS distances are a pure property of the fixed
+     * ADG, so caching cannot change any value.
+     */
     int
     hopDistance(adg::NodeId from, adg::NodeId to) const
     {
         if (from == to)
             return 0;
-        std::map<adg::NodeId, int> dist;
-        std::queue<adg::NodeId> queue;
-        dist[from] = 0;
-        queue.push(from);
-        while (!queue.empty()) {
-            adg::NodeId at = queue.front();
-            queue.pop();
-            for (adg::EdgeId eid : adg.outEdges(at)) {
-                adg::NodeId next = adg.edge(eid).dst;
-                if (dist.count(next))
-                    continue;
-                dist[next] = dist[at] + 1;
-                if (next == to)
-                    return dist[next];
-                queue.push(next);
+        std::vector<int> &dist = hopCache[from];
+        if (dist.empty()) {
+            dist.assign(adg.nodeSlots(), -1);
+            dist[from] = 0;
+            std::queue<adg::NodeId> queue;
+            queue.push(from);
+            while (!queue.empty()) {
+                adg::NodeId at = queue.front();
+                queue.pop();
+                for (adg::EdgeId eid : adg.outEdges(at)) {
+                    adg::NodeId next = adg.edge(eid).dst;
+                    if (dist[next] >= 0)
+                        continue;
+                    dist[next] = dist[at] + 1;
+                    queue.push(next);
+                }
             }
         }
-        return -1;
+        return dist[to];
     }
 
     /**
@@ -499,8 +525,11 @@ class Attempt
         std::priority_queue<Entry, std::vector<Entry>,
                             std::greater<Entry>>
             queue;
-        std::map<adg::NodeId, double> best;
-        std::map<adg::NodeId, adg::EdgeId> via;
+        constexpr double kUnreached =
+            std::numeric_limits<double>::infinity();
+        std::vector<double> best(adg.nodeSlots(), kUnreached);
+        std::vector<adg::EdgeId> via(adg.nodeSlots(),
+                                     adg::invalidEdge);
         queue.push({ 0.0, from });
         best[from] = 0.0;
         while (!queue.empty()) {
@@ -518,28 +547,27 @@ class Attempt
                     adg.node(next).kind != NodeKind::Switch) {
                     continue;
                 }
-                auto held = edgeSignal.find(eid);
+                dfg::NodeId held = edgeSignal[eid];
                 double edge_cost = 1.0;
-                if (held != edgeSignal.end()) {
-                    if (held->second != signal)
+                if (held != dfg::invalidNode) {
+                    if (held != signal)
                         continue;  // circuit taken by another value
                     edge_cost = 0.0;  // fanout reuse
                 }
                 double cost = entry.cost + edge_cost;
-                auto it = best.find(next);
-                if (it == best.end() || cost < it->second - 1e-9) {
+                if (cost < best[next] - 1e-9) {
                     best[next] = cost;
                     via[next] = eid;
                     queue.push({ cost, next });
                 }
             }
         }
-        if (!best.count(to))
+        if (best[to] == kUnreached)
             return std::nullopt;
         Route route;
         adg::NodeId at = to;
         while (at != from) {
-            adg::EdgeId eid = via.at(at);
+            adg::EdgeId eid = via[at];
             route.push_back(eid);
             at = adg.edge(eid).src;
         }
@@ -593,23 +621,30 @@ class Attempt
     void
     balanceDelays()
     {
-        std::map<dfg::NodeId, double> arrival;
+        std::vector<double> arrival(
+            static_cast<size_t>(mdfg.numNodes()), 0.0);
         auto route_delay = [&](int edge_index) {
             double d = 0.0;
             for (adg::EdgeId eid : schedule.routes.at(edge_index))
                 d += adg.edge(eid).delay;
             return d;
         };
+        // Routed in-edge indices per destination, ascending — the
+        // same visit order as scanning the full edge list per node.
+        const auto &edges = mdfg.edges();
+        std::vector<std::vector<int>> in_by_dst(
+            static_cast<size_t>(mdfg.numNodes()));
+        for (int i = 0; i < static_cast<int>(edges.size()); ++i) {
+            if (schedule.routes.count(i))
+                in_by_dst[edges[i].dst].push_back(i);
+        }
         for (dfg::NodeId id : topoInstructions()) {
             const dfg::Node &dn = mdfg.node(id);
             const adg::Node &an = adg.node(schedule.placedOn(id));
             // Collect operand arrival times.
             std::map<int, double> operand_time;
-            const auto &edges = mdfg.edges();
-            for (int i = 0; i < static_cast<int>(edges.size()); ++i) {
+            for (int i : in_by_dst[id]) {
                 const dfg::Edge &e = edges[i];
-                if (e.dst != id || !schedule.routes.count(i))
-                    continue;
                 double t = route_delay(i);
                 const dfg::Node &src = mdfg.node(e.src);
                 if (src.kind == dfg::NodeKind::Instruction)
@@ -679,10 +714,25 @@ class Attempt
     const Mdfg &mdfg;
     Rng &rng;
     Schedule schedule;
-    std::set<adg::NodeId> usedPes;
-    std::set<adg::NodeId> usedPorts;
-    std::map<adg::NodeId, int64_t> spadRemaining;
-    std::map<adg::EdgeId, dfg::NodeId> edgeSignal;
+    /** @name Id-indexed side tables (see the constructor) */
+    /// @{
+    std::vector<char> usedPes;    //!< by ADG node id
+    std::vector<char> usedPorts;  //!< by ADG node id
+    /** Free bytes per scratchpad node; -1 marks non-scratchpads. */
+    std::vector<int64_t> spadRemaining;
+    /** Signal owning each ADG edge (invalidNode when unrouted). */
+    std::vector<dfg::NodeId> edgeSignal;
+    /** Per-source BFS distance vectors, filled lazily (empty =
+     * uncomputed); the ADG never changes within an attempt. */
+    mutable std::vector<std::vector<int>> hopCache;
+    std::vector<adg::NodeId> peIds;
+    adg::NodeId recurrenceEngine = adg::invalidNode;
+    adg::NodeId generateEngine = adg::invalidNode;
+    adg::NodeId registerEngine = adg::invalidNode;
+    std::vector<char> indexStream;  //!< by mDFG node id
+    mutable std::vector<dfg::NodeId> topoOrder;
+    mutable bool topoComputed = false;
+    /// @}
 };
 
 } // namespace

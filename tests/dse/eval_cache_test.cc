@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "dse/eval_cache.h"
+#include "dse/explorer.h"
+#include "model/resource_model.h"
+#include "telemetry/sink.h"
+#include "workloads/suites.h"
+
+namespace overgen {
+namespace {
+
+using dse::CachedScheduleAll;
+using dse::EvalCache;
+using dse::EvalCacheStats;
+
+model::Resources
+res(double lut)
+{
+    model::Resources r;
+    r.lut = lut;
+    r.ff = lut * 2;
+    r.bram = 3;
+    r.dsp = 4;
+    return r;
+}
+
+TEST(EvalCache, ResourceStoreAndFind)
+{
+    EvalCache cache(4);
+    EvalCache::Key key{ 1, 2 };
+    EXPECT_FALSE(cache.findResources(key).has_value());
+    cache.storeResources(key, res(100));
+    auto hit = cache.findResources(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, res(100));
+    // Both fingerprint halves participate in the key.
+    EXPECT_FALSE(cache.findResources({ 1, 3 }).has_value());
+    EXPECT_FALSE(cache.findResources({ 3, 2 }).has_value());
+}
+
+TEST(EvalCache, CountsHitsAndMisses)
+{
+    EvalCache cache(4);
+    cache.findResources({ 1, 1 });
+    cache.storeResources({ 1, 1 }, res(1));
+    cache.findResources({ 1, 1 });
+    cache.findScheduleAll({ 2, 2 }, 0);
+    EvalCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 2u);
+    EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(EvalCache, FifoEvictionBoundsEachTable)
+{
+    EvalCache cache(2);
+    cache.storeResources({ 1, 1 }, res(1));
+    cache.storeResources({ 2, 2 }, res(2));
+    cache.storeResources({ 3, 3 }, res(3));  // evicts {1,1}
+    EXPECT_FALSE(cache.findResources({ 1, 1 }).has_value());
+    EXPECT_TRUE(cache.findResources({ 2, 2 }).has_value());
+    EXPECT_TRUE(cache.findResources({ 3, 3 }).has_value());
+    EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(EvalCache, ScheduleAllIsEpochScoped)
+{
+    // Schedule-all results depend on the annealer's base design via
+    // the repair path; the explorer bumps the epoch on every
+    // acceptance, which must invalidate earlier entries.
+    EvalCache cache(4);
+    CachedScheduleAll result;
+    result.feasible = true;
+    result.variantIndex = { 0, 2 };
+    result.schedules.resize(2);
+    cache.storeScheduleAll({ 5, 6 }, 1, result);
+    EXPECT_TRUE(cache.findScheduleAll({ 5, 6 }, 1).has_value());
+    EXPECT_FALSE(cache.findScheduleAll({ 5, 6 }, 2).has_value());
+}
+
+TEST(EvalCache, ScheduleAllHitIsADeepCopy)
+{
+    EvalCache cache(4);
+    CachedScheduleAll result;
+    result.feasible = true;
+    result.variantIndex = { 7 };
+    sched::Schedule schedule;
+    schedule.mdfgName = "k";
+    schedule.valid = true;
+    schedule.placement[3] = 9;
+    result.schedules = { schedule };
+    cache.storeScheduleAll({ 8, 8 }, 0, result);
+
+    auto first = cache.findScheduleAll({ 8, 8 }, 0);
+    ASSERT_TRUE(first.has_value());
+    // Mutating the returned copy must not poison the cache.
+    first->schedules[0].placement[3] = 1;
+    first->variantIndex[0] = 0;
+
+    auto second = cache.findScheduleAll({ 8, 8 }, 0);
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(second->variantIndex[0], 7);
+    EXPECT_EQ(second->schedules[0].placement.at(3), 9);
+}
+
+TEST(EvalCache, InfeasibilityIsCached)
+{
+    // Re-discovering unschedulability costs as much as scheduling, so
+    // negative results are first-class entries.
+    EvalCache cache(4);
+    CachedScheduleAll infeasible;
+    infeasible.feasible = false;
+    cache.storeScheduleAll({ 9, 9 }, 0, infeasible);
+    auto hit = cache.findScheduleAll({ 9, 9 }, 0);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_FALSE(hit->feasible);
+    EXPECT_TRUE(hit->schedules.empty());
+}
+
+/** Fast-training resource model shared across this file. */
+const model::FpgaResourceModel &
+testModel()
+{
+    static model::FpgaResourceModel m = [] {
+        model::ResourceModelConfig config;
+        config.peSamples = 600;
+        config.switchSamples = 300;
+        config.inPortSamples = 200;
+        config.outPortSamples = 200;
+        config.train.epochs = 40;
+        return model::FpgaResourceModel::train(config);
+    }();
+    return m;
+}
+
+std::vector<std::string>
+canonicalRecords(const std::vector<std::string> &lines)
+{
+    std::vector<std::string> out;
+    for (const std::string &line : lines) {
+        Json record = Json::parse(line);
+        record.set("seconds", Json(0.0));
+        // The hit/miss split is observability, not trajectory (see
+        // parallel_determinism_test.cc).
+        record.asObject().erase("cache");
+        out.push_back(record.dump());
+    }
+    return out;
+}
+
+struct ExploreRun
+{
+    dse::DseResult result;
+    std::vector<std::string> records;
+};
+
+ExploreRun
+explore(bool cache_on, int threads)
+{
+    std::vector<wl::KernelSpec> domain = { wl::makeFir(128, 16),
+                                           wl::makeAccumulate(16) };
+    telemetry::Sink sink;
+    dse::DseOptions options;
+    options.seed = 13;
+    options.iterations = 12;
+    options.threads = threads;
+    options.evalCache = cache_on;
+    options.tileCountGrid = { 1, 2, 4 };
+    options.l2BankGrid = { 4, 8 };
+    options.nocBytesGrid = { 64 };
+    options.l2CapacityGrid = { 512 };
+    options.sink = &sink;
+    options.telemetryLabel = "cache";
+    ExploreRun run;
+    run.result = dse::exploreOverlay(domain, options, &testModel());
+    run.records = canonicalRecords(sink.dseLines());
+    return run;
+}
+
+TEST(EvalCacheIntegration, CacheDoesNotChangeTheTrajectory)
+{
+    // The cache contract (DESIGN.md): hits return bit-identical
+    // results, so toggling the cache — like changing the thread
+    // count — must leave the design, the objective, and the
+    // timestamp-stripped record stream untouched.
+    ExploreRun off = explore(false, 1);
+    ExploreRun on = explore(true, 1);
+    ExploreRun on_parallel = explore(true, 4);
+    EXPECT_EQ(off.result.design.toJson().dump(),
+              on.result.design.toJson().dump());
+    EXPECT_EQ(off.result.objective, on.result.objective);
+    EXPECT_EQ(off.result.evaluated, on.result.evaluated);
+    EXPECT_EQ(off.records, on.records);
+    EXPECT_EQ(off.records, on_parallel.records);
+    EXPECT_EQ(off.result.objective, on_parallel.result.objective);
+
+    // Counter plumbing: the cache-off run reports no traffic.
+    EXPECT_EQ(off.result.cacheHits + off.result.cacheMisses, 0u);
+    EXPECT_GT(on.result.cacheMisses, 0u);
+}
+
+} // namespace
+} // namespace overgen

@@ -53,6 +53,11 @@ canonicalRecords(const std::vector<std::string> &lines)
     for (const std::string &line : lines) {
         Json record = Json::parse(line);
         record.set("seconds", Json(0.0));
+        // Cache traffic is wall-clock-flavored observability (racing
+        // workers shift the hit/miss split between identical
+        // trajectories), so it sits outside the determinism contract
+        // just like "seconds".
+        record.asObject().erase("cache");
         out.push_back(record.dump());
     }
     return out;

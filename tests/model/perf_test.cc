@@ -124,9 +124,11 @@ TEST(Perf, DeriveBackingHonorsScratchpadHint)
     dfg::Mdfg mdfg =
         compiler::compileOne(wl::makeFir(1024, 199), 2, true, false);
     auto backing = deriveBacking(mdfg, tile);
+    EXPECT_EQ(backing.size(),
+              static_cast<size_t>(mdfg.numNodes()));
     // The 'a' array (hinted) stream should sit on the scratchpad.
     bool spad_used = false;
-    for (auto [id, b] : backing)
+    for (Backing b : backing)
         spad_used |= (b == Backing::Scratchpad);
     EXPECT_TRUE(spad_used);
 }
@@ -137,7 +139,7 @@ TEST(Perf, DeriveBackingFallsBackWithoutSpace)
     dfg::Mdfg mdfg =
         compiler::compileOne(wl::makeFir(1024, 199), 2, true, false);
     auto backing = deriveBacking(mdfg, tile);
-    for (auto [id, b] : backing)
+    for (Backing b : backing)
         EXPECT_NE(b, Backing::Scratchpad);
 }
 
@@ -147,7 +149,7 @@ TEST(Perf, RecurrenceRequiresEngine)
     dfg::Mdfg mdfg =
         compiler::compileOne(wl::makeMm(32), 2, true, false);
     auto backing = deriveBacking(mdfg, no_rec);
-    for (auto [id, b] : backing)
+    for (Backing b : backing)
         EXPECT_NE(b, Backing::Recurrence);
 }
 

@@ -262,8 +262,9 @@ TEST(Scheduler, BackingReflectsArrayPlacement)
     auto result = scheduler.schedule(mdfg);
     ASSERT_TRUE(result.has_value());
     auto backing = backingFromSchedule(*result, tile, mdfg);
+    ASSERT_EQ(backing.size(), static_cast<size_t>(mdfg.numNodes()));
     int spad_streams = 0, rec_streams = 0;
-    for (auto [id, b] : backing) {
+    for (model::Backing b : backing) {
         spad_streams += b == model::Backing::Scratchpad;
         rec_streams += b == model::Backing::Recurrence;
     }
