@@ -23,6 +23,7 @@
 #include "dse/explorer.h"
 #include "hls/autodse.h"
 #include "sched/scheduler.h"
+#include "sim/batch.h"
 #include "sim/simulate.h"
 #include "telemetry/bridge.h"
 #include "telemetry/sink.h"
@@ -56,28 +57,38 @@ class Harness
     {
         telemetry::SinkOptions opts;
         std::string threadsArg;
+        std::string simThreadsArg;
         for (int i = 1; i < argc; ++i) {
             std::string arg = argv[i];
             if (arg == "--threads" && i + 1 < argc) {
                 threadsArg = argv[++i];
                 continue;
             }
+            if (arg == "--sim-threads" && i + 1 < argc) {
+                simThreadsArg = argv[++i];
+                continue;
+            }
             if (!eat(arg, "--trace=", opts.tracePath) &&
                 !eat(arg, "--dse-log=", opts.dseLogPath) &&
                 !eat(arg, "--telemetry-json=", registryPath) &&
                 !eat(arg, "--threads=", threadsArg) &&
+                !eat(arg, "--sim-threads=", simThreadsArg) &&
                 arg != "--trace-detail" &&
-                arg != "--no-eval-cache") {
+                arg != "--no-eval-cache" &&
+                arg != "--no-fast-forward") {
                 OG_FATAL("unknown argument '", arg,
                          "' (expected --threads[=]<n>, "
-                         "--trace=<path>, --dse-log=<path>, "
-                         "--trace-detail, --no-eval-cache, or "
+                         "--sim-threads[=]<n>, --trace=<path>, "
+                         "--dse-log=<path>, --trace-detail, "
+                         "--no-eval-cache, --no-fast-forward, or "
                          "--telemetry-json=<path>)");
             }
             if (arg == "--trace-detail")
                 opts.traceDetail = true;
             if (arg == "--no-eval-cache")
                 useEvalCache = false;
+            if (arg == "--no-fast-forward")
+                noFastForward = true;
         }
         if (!threadsArg.empty()) {
             numThreads = std::atoi(threadsArg.c_str());
@@ -85,6 +96,13 @@ class Harness
                       threadsArg, "'");
         } else {
             numThreads = ThreadPool::hardwareThreads();
+        }
+        if (!simThreadsArg.empty()) {
+            numSimThreads = std::atoi(simThreadsArg.c_str());
+            OG_ASSERT(numSimThreads >= 1, "bad --sim-threads value '",
+                      simThreadsArg, "'");
+        } else {
+            numSimThreads = numThreads;
         }
         if (!opts.tracePath.empty() || !opts.dseLogPath.empty() ||
             !registryPath.empty()) {
@@ -97,6 +115,29 @@ class Harness
 
     /** Resolved worker count (>= 1). */
     int threads() const { return numThreads; }
+
+    /**
+     * Worker count for batched simulation (`--sim-threads[=]N`,
+     * defaulting to threads()). Cycle results are bit-identical for
+     * every value — each simulation is single-threaded-deterministic
+     * and sim::runBatch stores results at the job's own index.
+     */
+    int simThreads() const { return numSimThreads; }
+
+    /**
+     * Per-run SimConfig honoring `--no-fast-forward` (naive per-cycle
+     * ticking; cycle counts are identical either way — the flag is an
+     * A/B switch for wall-clock and debugging) with this harness's
+     * sink attached.
+     */
+    sim::SimConfig
+    simConfig() const
+    {
+        sim::SimConfig config;
+        config.sink = sink();
+        config.noFastForward = noFastForward;
+        return config;
+    }
 
     /**
      * Whether the DSE evaluation cache is enabled (`--no-eval-cache`
@@ -182,7 +223,9 @@ class Harness
     std::unique_ptr<ThreadPool> workPool;
     std::string registryPath;
     int numThreads = 1;
+    int numSimThreads = 1;
     bool useEvalCache = true;
+    bool noFastForward = false;
 };
 
 /** Overlay fabric clock (paper: quad-tile floorplan at 92.87 MHz). */
@@ -277,6 +320,96 @@ runMapped(const wl::KernelSpec &spec, const dse::DseResult &dse,
     run.ipc = result.ipc;
     run.variant = dse.mdfgs[index].name;
     return run;
+}
+
+/**
+ * A compiled + scheduled (kernel, design) pair awaiting simulation.
+ * Harnesses prepare these (cheap, serial) and then execute many at
+ * once with runPreparedBatch — the sim::runBatch fan-out across
+ * `--sim-threads` workers. `ok == false` marks an unschedulable
+ * kernel; it flows through the batch as a skipped row.
+ */
+struct PreparedSim
+{
+    bool ok = false;
+    const wl::KernelSpec *spec = nullptr;  //!< caller-owned, stable
+    adg::SysAdg design;
+    dfg::Mdfg mdfg;
+    sched::Schedule schedule;
+};
+
+/** Compile/schedule @p spec on @p design (first-fit variant). */
+inline PreparedSim
+prepareOverlayRun(const wl::KernelSpec &spec, const adg::SysAdg &design,
+                  bool apply_tuning = false)
+{
+    PreparedSim prepared;
+    prepared.spec = &spec;
+    prepared.design = design;
+    compiler::CompileOptions copts;
+    copts.applyTuning = apply_tuning;
+    auto variants = compiler::compileVariants(spec, copts);
+    sched::SpatialScheduler scheduler(prepared.design.adg);
+    auto fit = scheduler.scheduleFirstFit(variants);
+    if (!fit)
+        return prepared;
+    prepared.ok = true;
+    prepared.mdfg = std::move(variants[fit->second]);
+    prepared.schedule = std::move(fit->first);
+    return prepared;
+}
+
+/** Pair @p spec with the schedule a DSE result chose for it. */
+inline PreparedSim
+prepareMapped(const wl::KernelSpec &spec, const dse::DseResult &dse,
+              size_t index)
+{
+    PreparedSim prepared;
+    prepared.ok = true;
+    prepared.spec = &spec;
+    prepared.design = dse.design;
+    prepared.mdfg = dse.mdfgs[index];
+    prepared.schedule = dse.schedules[index];
+    return prepared;
+}
+
+/**
+ * Simulate every prepared entry concurrently (harness sim threads,
+ * harness SimConfig) and return OverlayRun rows in the same order.
+ * Entries with `ok == false` come back as the default (not-ok) row.
+ */
+inline std::vector<OverlayRun>
+runPreparedBatch(const std::vector<PreparedSim> &prepared,
+                 Harness &harness)
+{
+    std::vector<sim::SimJob> jobs;
+    std::vector<size_t> job_row;
+    for (size_t i = 0; i < prepared.size(); ++i) {
+        if (!prepared[i].ok)
+            continue;
+        sim::SimJob job;
+        job.spec = prepared[i].spec;
+        job.mdfg = &prepared[i].mdfg;
+        job.schedule = &prepared[i].schedule;
+        job.design = &prepared[i].design;
+        job.config = harness.simConfig();
+        jobs.push_back(job);
+        job_row.push_back(i);
+    }
+    sim::BatchOptions options;
+    options.threads = harness.simThreads();
+    std::vector<sim::SimResult> results = sim::runBatch(jobs, options);
+    std::vector<OverlayRun> rows(prepared.size());
+    for (size_t j = 0; j < results.size(); ++j) {
+        OverlayRun &row = rows[job_row[j]];
+        row.ok = results[j].completed;
+        row.cycles = results[j].cycles;
+        row.seconds = static_cast<double>(results[j].cycles) /
+                      (overlayClockMhz * 1e6);
+        row.ipc = results[j].ipc;
+        row.variant = prepared[job_row[j]].mdfg.name;
+    }
+    return rows;
 }
 
 /** Geometric mean helper over positive values. */

@@ -28,6 +28,20 @@ struct KernelRow
     double spWl = 0.0;
 };
 
+/**
+ * Per-kernel phase-1 output: the AutoDSE baselines plus the three
+ * compiled/scheduled overlay mappings, awaiting the phase-2 batched
+ * simulation.
+ */
+struct KernelPrep
+{
+    hls::AutoDseResult ad;
+    hls::AutoDseResult adTuned;
+    bench::PreparedSim onGeneral;
+    bench::PreparedSim onSuite;
+    bench::PreparedSim onWl;
+};
+
 } // namespace
 
 int
@@ -61,20 +75,20 @@ main(int argc, char **argv)
         dse::DseResult suite_dse =
             dse::exploreOverlay(suites[s], options);
 
-        std::vector<KernelRow> rows = harness.pool().parallelMap(
+        // Phase 1 (harness pool): per-kernel AutoDSE baselines,
+        // per-workload exploration, and compile/schedule of the three
+        // overlay mappings.
+        std::vector<KernelPrep> preps = harness.pool().parallelMap(
             suites[s].size(), [&](size_t k) {
                 const wl::KernelSpec &spec = suites[s][k];
-                KernelRow row;
-                hls::AutoDseResult ad = hls::runAutoDse(spec, false);
-                hls::AutoDseResult ad_tuned =
-                    hls::runAutoDse(spec, true);
+                KernelPrep prep;
+                prep.ad = hls::runAutoDse(spec, false);
+                prep.adTuned = hls::runAutoDse(spec, true);
 
-                bench::OverlayRun on_general = bench::runOnOverlay(
-                    spec, general, true,
-                    bench::withSink(harness.sink()));
-                bench::OverlayRun on_suite = bench::runMapped(
-                    spec, suite_dse, k,
-                    bench::withSink(harness.sink()));
+                prep.onGeneral =
+                    bench::prepareOverlayRun(spec, general, true);
+                prep.onSuite =
+                    bench::prepareMapped(spec, suite_dse, k);
 
                 dse::DseOptions wl_options = harness.dseOptions(
                     iters, 100 + k, spec.name + "-wl");
@@ -83,22 +97,36 @@ main(int argc, char **argv)
                                          // parallelism here
                 dse::DseResult wl_dse =
                     dse::exploreOverlay({ spec }, wl_options);
-                bench::OverlayRun on_wl = bench::runMapped(
-                    spec, wl_dse, 0,
-                    bench::withSink(harness.sink()));
-
-                row.base = ad.perf.seconds;
-                row.spTuned = row.base / ad_tuned.perf.seconds;
-                row.spGeneral = on_general.ok
-                                    ? row.base / on_general.seconds
-                                    : 0.0;
-                row.spSuite = on_suite.ok
-                                  ? row.base / on_suite.seconds
-                                  : 0.0;
-                row.spWl =
-                    on_wl.ok ? row.base / on_wl.seconds : 0.0;
-                return row;
+                prep.onWl = bench::prepareMapped(spec, wl_dse, 0);
+                return prep;
             });
+
+        // Phase 2: simulate every mapping in one batch
+        // (`--sim-threads` workers, index-ordered results).
+        std::vector<bench::PreparedSim> prepared;
+        for (const KernelPrep &prep : preps) {
+            prepared.push_back(prep.onGeneral);
+            prepared.push_back(prep.onSuite);
+            prepared.push_back(prep.onWl);
+        }
+        std::vector<bench::OverlayRun> runs =
+            bench::runPreparedBatch(prepared, harness);
+
+        std::vector<KernelRow> rows(suites[s].size());
+        for (size_t k = 0; k < suites[s].size(); ++k) {
+            KernelRow &row = rows[k];
+            const bench::OverlayRun &on_general = runs[3 * k];
+            const bench::OverlayRun &on_suite = runs[3 * k + 1];
+            const bench::OverlayRun &on_wl = runs[3 * k + 2];
+            row.base = preps[k].ad.perf.seconds;
+            row.spTuned = row.base / preps[k].adTuned.perf.seconds;
+            row.spGeneral = on_general.ok
+                                ? row.base / on_general.seconds
+                                : 0.0;
+            row.spSuite =
+                on_suite.ok ? row.base / on_suite.seconds : 0.0;
+            row.spWl = on_wl.ok ? row.base / on_wl.seconds : 0.0;
+        }
 
         std::vector<double> g_general, g_suite, g_wl, g_tuned;
         for (size_t k = 0; k < suites[s].size(); ++k) {

@@ -22,24 +22,39 @@ main(int argc, char **argv)
     const char *workloads[] = { "cholesky", "fft",      "stencil-3d",
                                 "crs",      "gemm",     "stencil-2d",
                                 "channel-ext", "bgr2grey", "blur" };
+    // Stable spec storage: PreparedSim keeps a pointer to its spec.
+    std::vector<wl::KernelSpec> specs;
+    for (const char *name : workloads)
+        specs.push_back(wl::workloadByName(name));
+
+    // Compile + schedule every (workload, tuning) pair, then simulate
+    // all of them in one batched fan-out across `--sim-threads`.
+    std::vector<bench::PreparedSim> prepared;
+    for (const wl::KernelSpec &spec : specs) {
+        prepared.push_back(bench::prepareOverlayRun(spec, general,
+                                                    false));
+        prepared.push_back(bench::prepareOverlayRun(spec, general,
+                                                    true));
+    }
+    std::vector<bench::OverlayRun> runs =
+        bench::runPreparedBatch(prepared, harness);
+
     std::printf("%-12s | %13s | %13s | %13s\n", "workload",
                 "AD tuned gain", "OG tuned gain", "OG/AD untuned");
     std::vector<double> ad_gains, og_gains;
-    for (const char *name : workloads) {
-        wl::KernelSpec spec = wl::workloadByName(name);
+    for (size_t i = 0; i < specs.size(); ++i) {
+        const wl::KernelSpec &spec = specs[i];
         hls::AutoDseResult ad = hls::runAutoDse(spec, false);
         hls::AutoDseResult ad_tuned = hls::runAutoDse(spec, true);
-        bench::OverlayRun og = bench::runOnOverlay(
-            spec, general, false, bench::withSink(harness.sink()));
-        bench::OverlayRun og_tuned = bench::runOnOverlay(
-            spec, general, true, bench::withSink(harness.sink()));
+        const bench::OverlayRun &og = runs[2 * i];
+        const bench::OverlayRun &og_tuned = runs[2 * i + 1];
         double ad_gain = ad.perf.seconds / ad_tuned.perf.seconds;
         double og_gain =
             og.ok && og_tuned.ok ? og.seconds / og_tuned.seconds : 1.0;
         double ratio =
             og.ok ? ad.perf.seconds / og.seconds : 0.0;
-        std::printf("%-12s | %12.2fx | %12.2fx | %12.2fx\n", name,
-                    ad_gain, og_gain, ratio);
+        std::printf("%-12s | %12.2fx | %12.2fx | %12.2fx\n",
+                    spec.name.c_str(), ad_gain, og_gain, ratio);
         ad_gains.push_back(ad_gain);
         og_gains.push_back(og_gain);
     }

@@ -26,6 +26,21 @@ struct LooRow
     double reconfSpeedup = 0.0;
 };
 
+/**
+ * Per-held-out phase-1 output: the leave-one-out exploration and
+ * compile-time measurements, plus the two mappings (held-out kernel
+ * on the LOO overlay and on the full-suite overlay) awaiting the
+ * phase-2 batched simulation.
+ */
+struct LooPrep
+{
+    bool maps = false;
+    double compileSpeedup = 0.0;
+    double reconfSpeedup = 0.0;
+    bench::PreparedSim onLoo;
+    bench::PreparedSim onFull;
+};
+
 } // namespace
 
 int
@@ -40,9 +55,11 @@ main(int argc, char **argv)
         harness.dseOptions(iters, 77, "full-suite");
     dse::DseResult full = dse::exploreOverlay(suite, options);
 
-    std::vector<LooRow> rows = harness.pool().parallelMap(
+    // Phase 1 (harness pool): the five leave-one-out explorations and
+    // held-out compile/schedule steps, timed individually.
+    std::vector<LooPrep> preps = harness.pool().parallelMap(
         suite.size(), [&](size_t held) {
-            LooRow row;
+            LooPrep prep;
             std::vector<wl::KernelSpec> rest;
             for (size_t k = 0; k < suite.size(); ++k) {
                 if (k != held)
@@ -63,37 +80,55 @@ main(int argc, char **argv)
                     std::chrono::steady_clock::now() - t0)
                     .count();
             if (!fit)
-                return row;
-            row.maps = true;
-            wl::Memory memory;
-            memory.init(suite[held]);
-            sim::SimResult on_loo = sim::simulate(
-                suite[held], variants[fit->second], fit->first,
-                loo.design, memory,
-                bench::withSink(harness.sink()));
-            bench::OverlayRun on_full = bench::runMapped(
-                suite[held], full, held,
-                bench::withSink(harness.sink()));
-
-            row.relative = on_full.ok && on_loo.completed
-                               ? static_cast<double>(on_full.cycles) /
-                                     on_loo.cycles
-                               : 0.0;
+                return prep;
+            prep.maps = true;
             // HLS path: synthesis hours for this kernel vs our
             // compile.
             hls::AutoDseResult ad =
                 hls::runAutoDse(suite[held], false);
-            row.compileSpeedup = ad.synthHours * 3600.0 /
-                                 std::max(compile_seconds, 1e-4);
+            prep.compileSpeedup = ad.synthHours * 3600.0 /
+                                  std::max(compile_seconds, 1e-4);
             // Reconfiguration: full-FPGA reflash ~1.2 s vs spatial
             // config.
             double flash_cycles = 1.2 * bench::overlayClockMhz * 1e6;
-            row.reconfSpeedup =
+            prep.reconfSpeedup =
                 flash_cycles /
                 static_cast<double>(sim::reconfigurationCycles(
                     fit->first, loo.design.adg));
-            return row;
+
+            prep.onLoo.ok = true;
+            prep.onLoo.spec = &suite[held];
+            prep.onLoo.design = loo.design;
+            prep.onLoo.mdfg = std::move(variants[fit->second]);
+            prep.onLoo.schedule = std::move(fit->first);
+            prep.onFull = bench::prepareMapped(suite[held], full, held);
+            return prep;
         });
+
+    // Phase 2: one batched simulation of the ten mappings.
+    std::vector<bench::PreparedSim> prepared;
+    for (const LooPrep &prep : preps) {
+        prepared.push_back(prep.onLoo);
+        prepared.push_back(prep.onFull);
+    }
+    std::vector<bench::OverlayRun> runs =
+        bench::runPreparedBatch(prepared, harness);
+
+    std::vector<LooRow> rows(suite.size());
+    for (size_t held = 0; held < suite.size(); ++held) {
+        LooRow &row = rows[held];
+        if (!preps[held].maps)
+            continue;
+        const bench::OverlayRun &on_loo = runs[2 * held];
+        const bench::OverlayRun &on_full = runs[2 * held + 1];
+        row.maps = true;
+        row.relative = on_full.ok && on_loo.ok
+                           ? static_cast<double>(on_full.cycles) /
+                                 on_loo.cycles
+                           : 0.0;
+        row.compileSpeedup = preps[held].compileSpeedup;
+        row.reconfSpeedup = preps[held].reconfSpeedup;
+    }
 
     std::printf("%-12s %10s %14s %14s\n", "held-out", "rel.perf",
                 "compile-spdup", "reconf-spdup");

@@ -42,6 +42,12 @@ main(int argc, char **argv)
     std::printf("%-12s | %7s %7s | %7s %7s\n", "workload", "ad-2",
                 "ad-4", "og-2", "og-4");
     std::vector<wl::KernelSpec> workloads = wl::allWorkloads();
+
+    // Phase 1 (harness pool): AutoDSE model sweeps, plus one compile
+    // + schedule per workload — the channel count is a system knob
+    // that leaves the tile ADG (and thus the mapping) untouched, so
+    // the three channel points share the mapping and differ only in
+    // `sys.dramChannels`.
     std::vector<ChannelRow> rows = harness.pool().parallelMap(
         workloads.size(), [&](size_t i) {
             const wl::KernelSpec &k = workloads[i];
@@ -57,20 +63,33 @@ main(int argc, char **argv)
                 ad1 / hls::runAutoDse(k, true, two).perf.seconds;
             row.ad4 =
                 ad1 / hls::runAutoDse(k, true, four).perf.seconds;
-
-            // OverGen side (simulator).
-            auto run = [&](int channels) {
-                adg::SysAdg design = base;
-                design.sys.dramChannels = channels;
-                bench::OverlayRun r = bench::runOnOverlay(
-                    k, design, true, bench::withSink(harness.sink()));
-                return r.ok ? static_cast<double>(r.cycles) : 0.0;
-            };
-            double og1 = run(1);
-            row.og2 = og1 > 0 ? og1 / run(2) : 0.0;
-            row.og4 = og1 > 0 ? og1 / run(4) : 0.0;
             return row;
         });
+
+    std::vector<bench::PreparedSim> prepared;
+    const int channel_counts[] = { 1, 2, 4 };
+    for (const wl::KernelSpec &k : workloads) {
+        bench::PreparedSim mapping =
+            bench::prepareOverlayRun(k, base, true);
+        for (int channels : channel_counts) {
+            bench::PreparedSim point = mapping;
+            point.design.sys.dramChannels = channels;
+            prepared.push_back(std::move(point));
+        }
+    }
+
+    // Phase 2: the whole 19-workload x 3-channel sweep as one batch.
+    std::vector<bench::OverlayRun> runs =
+        bench::runPreparedBatch(prepared, harness);
+    for (size_t i = 0; i < workloads.size(); ++i) {
+        auto cycles = [&](size_t point) {
+            const bench::OverlayRun &r = runs[3 * i + point];
+            return r.ok ? static_cast<double>(r.cycles) : 0.0;
+        };
+        double og1 = cycles(0);
+        rows[i].og2 = og1 > 0 ? og1 / cycles(1) : 0.0;
+        rows[i].og4 = og1 > 0 ? og1 / cycles(2) : 0.0;
+    }
     std::vector<double> og2_all, og4_all, ad2_all, ad4_all;
     for (size_t i = 0; i < workloads.size(); ++i) {
         const ChannelRow &row = rows[i];

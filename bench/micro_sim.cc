@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Simulator-core throughput microbenchmark: simulated cycles per
+ * wall-clock second with event-horizon fast-forward on vs off. Three
+ * regimes: a DRAM-limited fig19-style point (the widened general
+ * overlay pinned to one DRAM channel) behind a slow memory, where
+ * whole-system stall windows dominate and fast-forward pays; the same
+ * point at the default fill latency, where staggered in-flight fills
+ * keep some component busy nearly every cycle; and a compute-bound
+ * contrast kernel whose horizon never opens. Writes BENCH_sim.json
+ * next to the binary.
+ *
+ * Methodology mirrors micro_dse_eval: each configuration runs several
+ * repetitions and the best (minimum-time) repetition is the headline
+ * number. The bench asserts the bit-identity contract — cycles and
+ * IPC equal across fast-forward on/off and every repetition — and
+ * reports the skipped-cycle fraction so a perf regression can be told
+ * apart from a horizon regression (DESIGN.md "SimEngine and
+ * event-horizon fast-forward").
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "common.h"
+
+#include "common/json.h"
+
+using namespace overgen;
+
+namespace {
+
+struct Point
+{
+    std::string label;
+    wl::KernelSpec spec;
+    bench::PreparedSim prepared;
+    /** Cycles a DRAM fill takes (SimConfig::dramLatency; 0 keeps the
+     * default). The headline point raises it: global dead windows
+     * only open when the fill latency dwarfs what the tiles' ROBs can
+     * overlap, and that is the regime fast-forward exists for. */
+    int dramLatency = 0;
+};
+
+struct Measurement
+{
+    double bestCyclesPerSec = 0.0;
+    double meanCyclesPerSec = 0.0;
+    uint64_t cycles = 0;
+    double ipc = 0.0;
+    uint64_t tickedCycles = 0;
+    uint64_t skippedCycles = 0;
+};
+
+Measurement
+measure(const Point &point, sim::SimConfig config, bool fast_forward,
+        int reps, int inner)
+{
+    config.noFastForward = !fast_forward;
+    if (point.dramLatency > 0)
+        config.dramLatency = point.dramLatency;
+    Measurement m;
+    double total_cps = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+        uint64_t cycles = 0;
+        auto t0 = std::chrono::steady_clock::now();
+        sim::SimResult result;
+        for (int i = 0; i < inner; ++i) {
+            wl::Memory memory;
+            memory.init(point.spec);
+            result = sim::simulate(point.spec, point.prepared.mdfg,
+                                   point.prepared.schedule,
+                                   point.prepared.design, memory,
+                                   config);
+            OG_ASSERT(result.completed, "'", point.label,
+                      "' did not complete");
+            cycles += result.cycles;
+        }
+        double seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        double cps = static_cast<double>(cycles) / seconds;
+        total_cps += cps;
+        if (rep == 0) {
+            m.cycles = result.cycles;
+            m.ipc = result.ipc;
+        } else {
+            OG_ASSERT(result.cycles == m.cycles && result.ipc == m.ipc,
+                      "'", point.label,
+                      "' drifted between repetitions");
+        }
+        if (cps > m.bestCyclesPerSec) {
+            m.bestCyclesPerSec = cps;
+            m.tickedCycles = result.tickedCycles;
+            m.skippedCycles = result.skippedCycles;
+        }
+    }
+    m.meanCyclesPerSec = total_cps / reps;
+    return m;
+}
+
+Json
+toJson(const Measurement &m)
+{
+    Json obj = Json::makeObject();
+    obj.set("best_cycles_per_sec", Json(m.bestCyclesPerSec));
+    obj.set("mean_cycles_per_sec", Json(m.meanCyclesPerSec));
+    obj.set("cycles", Json(m.cycles));
+    obj.set("ipc", Json(m.ipc));
+    obj.set("ticked_cycles", Json(m.tickedCycles));
+    obj.set("skipped_cycles", Json(m.skippedCycles));
+    return obj;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Harness harness(argc, argv);
+    bench::banner("micro_sim",
+                  "simulator throughput, event-horizon fast-forward "
+                  "on vs off");
+
+    // The headline point is the DRAM-limited fig19 regime (ten tiles
+    // sharing one channel, L2 far smaller than the streamed arrays)
+    // behind a slow memory: once the fill latency dwarfs what the
+    // tiles' 16-deep ROBs can overlap, the whole system spends most
+    // cycles stalled on DRAM — the dead windows event-horizon
+    // fast-forward exists to skip. The same point at the default
+    // latency is the densely-pipelined contrast (staggered fills keep
+    // some component busy nearly every cycle, so the horizon rarely
+    // opens) and `fir` on the stock overlay is the compute-bound one
+    // (tiles fire nearly every cycle).
+    adg::SysAdg starved = bench::generalOverlay();
+    starved.sys.numTiles = 10;
+    starved.sys.nocBytes = 64;
+    starved.sys.l2Banks = 16;
+    starved.sys.l2CapacityKiB = 16;
+    starved.sys.dramChannels = 1;
+
+    std::vector<Point> points;
+    for (const char *name : { "accumulate", "vecmax" }) {
+        Point point;
+        point.label = std::string(name) + "@1ch,slow-dram";
+        point.spec = wl::workloadByName(name);
+        point.prepared =
+            bench::prepareOverlayRun(point.spec, starved, true);
+        OG_ASSERT(point.prepared.ok, "cannot schedule '", point.label,
+                  "'");
+        point.dramLatency = 4000;
+        points.push_back(std::move(point));
+    }
+    {
+        Point point;
+        point.label = "accumulate@1ch";
+        point.spec = wl::workloadByName("accumulate");
+        point.prepared =
+            bench::prepareOverlayRun(point.spec, starved, true);
+        OG_ASSERT(point.prepared.ok, "cannot schedule '", point.label,
+                  "'");
+        points.push_back(std::move(point));
+    }
+    {
+        Point point;
+        point.label = "fir(compute-bound)";
+        point.spec = wl::workloadByName("fir");
+        point.prepared = bench::prepareOverlayRun(
+            point.spec, bench::generalOverlay(), true);
+        OG_ASSERT(point.prepared.ok, "cannot schedule '", point.label,
+                  "'");
+        points.push_back(std::move(point));
+    }
+
+    const int reps = 5;
+    const int inner = 3;
+    std::printf("\nconfig: reps=%d inner=%d (best-of-reps headline)\n",
+                reps, inner);
+    std::printf("%-20s %16s %16s %9s %9s\n", "point", "ff-on Mcyc/s",
+                "ff-off Mcyc/s", "speedup", "skipped");
+
+    Json rows = Json::makeArray();
+    for (const Point &point : points) {
+        sim::SimConfig config = bench::withSink(harness.sink());
+        Measurement on = measure(point, config, true, reps, inner);
+        Measurement off = measure(point, config, false, reps, inner);
+        OG_ASSERT(on.cycles == off.cycles && on.ipc == off.ipc,
+                  "fast-forward changed the simulation of '",
+                  point.label, "'");
+        double speedup = on.bestCyclesPerSec / off.bestCyclesPerSec;
+        double skipped =
+            static_cast<double>(on.skippedCycles) /
+            static_cast<double>(std::max<uint64_t>(on.cycles, 1));
+        std::printf("%-20s %16.2f %16.2f %8.2fx %8.1f%%\n",
+                    point.label.c_str(), on.bestCyclesPerSec / 1e6,
+                    off.bestCyclesPerSec / 1e6, speedup,
+                    skipped * 100.0);
+        Json row = Json::makeObject();
+        row.set("point", Json(point.label));
+        row.set("fast_forward_on", toJson(on));
+        row.set("fast_forward_off", toJson(off));
+        row.set("speedup", Json(speedup));
+        rows.push(std::move(row));
+    }
+
+    Json report = Json::makeObject();
+    report.set("bench", Json("micro_sim"));
+    report.set("reps", Json(reps));
+    report.set("inner", Json(inner));
+    report.set("points", std::move(rows));
+    std::string text = report.dump(2);
+    const char *path = "BENCH_sim.json";
+    std::FILE *f = std::fopen(path, "w");
+    OG_ASSERT(f != nullptr, "cannot open '", path, "'");
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    std::printf("\n[bench] report written to %s\n", path);
+
+    harness.finish();
+    return 0;
+}

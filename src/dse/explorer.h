@@ -80,6 +80,14 @@ struct DseOptions
     bool evalCache = true;
     /** Entry bound of each memo table (FIFO eviction beyond it). */
     size_t evalCacheEntries = 1024;
+    /**
+     * Cycle-simulate every kernel on the final design after the
+     * anneal (sim::runBatch over `threads` workers) and record the
+     * measured cycles/IPC next to the model estimate in each
+     * KernelMapping. Off by default: the anneal itself never
+     * simulates, so this only adds one batched sweep at the end.
+     */
+    bool validateFinal = false;
 
     /**
      * Telemetry sink: when live, the explorer appends one JSONL
@@ -110,6 +118,12 @@ struct KernelMapping
     std::string variantName;
     double estimatedIpc = 0.0;
     std::string bottleneck;
+    /** @name Filled only with DseOptions::validateFinal. @{ */
+    bool simulated = false;      //!< a cycle simulation ran
+    bool simCompleted = false;   //!< it finished within maxCycles
+    uint64_t simulatedCycles = 0;
+    double simulatedIpc = 0.0;
+    /// @}
 };
 
 /** Explorer result. */

@@ -64,6 +64,26 @@ struct SimConfig
     /** Fabric pipeline drain allowance before declaring deadlock. */
     uint64_t maxCycles = 200'000'000ull;
 
+    /** @name Simulation engine (see DESIGN.md "SimEngine and
+     * event-horizon fast-forward") */
+    /// @{
+    /** Tick every component every cycle (the reference loop) instead
+     * of event-horizon fast-forwarding provably dead cycles. Results
+     * are bit-identical either way; this is the A/B and debugging
+     * path (`--no-fast-forward` in the benches). */
+    bool noFastForward = false;
+    /** Debug mode: compute horizons as usual but execute the skipped
+     * cycles anyway, asserting each one was genuinely quiescent
+     * (no progress, frozen fingerprints). Much slower; test-only. */
+    bool checkFastForward = false;
+    /** Watchdog: abort with a per-component diagnostic dump when no
+     * component makes forward progress for this many cycles
+     * (0 disables). Real stall windows top out around the DRAM
+     * round-trip (~100 cycles), so the default only fires on genuine
+     * deadlocks — long before the maxCycles spin would end. */
+    uint64_t deadlockCycles = 2'000'000ull;
+    /// @}
+
     /**
      * Telemetry sink (counters + Chrome trace). Null disables all
      * observation: instrumentation sites guard on this pointer and

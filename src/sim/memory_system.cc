@@ -1,6 +1,7 @@
 #include "sim/memory_system.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.h"
 #include "telemetry/sink.h"
@@ -132,6 +133,9 @@ MemorySystem::submit(int tile, uint64_t addr, int bytes, bool write)
     txn.write = write;
     inFlight[txn.id] = txn;
     tileLink[tile].push_back(txn);
+    uint64_t outstanding = inFlight.size() + completed.size();
+    memStats.peakOutstandingTxns =
+        std::max(memStats.peakOutstandingTxns, outstanding);
     return txn.id;
 }
 
@@ -170,6 +174,7 @@ MemorySystem::tick()
             memStats.nocBytes += txn.bytes;
             banks[bankOf(txn.addr)].queue.push_back(txn);
             tileLink[t].pop_front();
+            ++progressEvents;
         }
         // The cap must admit at least one full line even on narrow
         // links, or sub-line bandwidths could never accumulate enough
@@ -209,6 +214,7 @@ MemorySystem::tick()
                     lookup(bank, txn.addr, true);  // set dirty
                 inFlight.erase(txn.id);
                 bank.queue.pop_front();
+                ++progressEvents;
                 continue;
             }
             if (bank.mshrsInUse >= config.l2MshrsPerBank) {
@@ -237,6 +243,7 @@ MemorySystem::tick()
                 bank.dramQueue.push_back(txn);
             }
             bank.queue.pop_front();
+            ++progressEvents;
         }
         bank.byteBudget = std::min(
             bank.byteBudget,
@@ -263,6 +270,7 @@ MemorySystem::tick()
             bank.fillReady[line] = ready;  // MSHR held until fill
             inFlight.erase(txn.id);
             bank.dramQueue.pop_front();
+            ++progressEvents;
         }
         // Writebacks share the channel bandwidth (channel 0 slice for
         // simplicity of attribution).
@@ -275,6 +283,7 @@ MemorySystem::tick()
             budget -= config.cacheLineBytes;
             bank.writebackBytes -= config.cacheLineBytes;
             memStats.dramBytesWritten += config.cacheLineBytes;
+            ++progressEvents;
         }
     }
     for (double &budget : channelBudget) {
@@ -283,6 +292,191 @@ MemorySystem::tick()
             std::max(
                 static_cast<double>(config.dramChannelBandwidthBytes),
                 static_cast<double>(config.cacheLineBytes)));
+    }
+}
+
+void
+MemorySystem::tick(uint64_t engine_cycle)
+{
+    tick();
+    OG_ASSERT(cycle == engine_cycle, "memory system clock skew: ",
+              cycle, " vs engine ", engine_cycle);
+}
+
+uint64_t
+MemorySystem::budgetReadyCycle(uint64_t now, double budget, double inc,
+                               double bytes)
+{
+    // tick() accrues inc before processing, so the budget visible at
+    // cycle now+k is budget + k*inc (the cap never binds below a head
+    // that fits under it). First k >= 1 with budget + k*inc >= bytes.
+    if (inc <= 0.0)
+        return kNoEventCycle;  // starved pipe: never self-wakes
+    double deficit = bytes - budget;
+    uint64_t k = 1;
+    if (deficit > inc)
+        k = static_cast<uint64_t>(std::ceil(deficit / inc));
+    return now + k;
+}
+
+uint64_t
+MemorySystem::nextEventCycle(uint64_t now) const
+{
+    // Per-cycle telemetry sampling (distributions) cannot be replayed
+    // in closed form; with a sink attached, observation degrades to
+    // per-cycle ticking.
+    if (mshrOccupancy != nullptr)
+        return now + 1;
+    uint64_t ev = kNoEventCycle;
+    auto at = [&ev](uint64_t c) { ev = std::min(ev, c); };
+    // Tile links: the head moves once the link budget covers it.
+    for (size_t t = 0; t < tileLink.size(); ++t)
+        if (!tileLink[t].empty())
+            at(budgetReadyCycle(now, tileLinkBudget[t], sys.nocBytes,
+                                tileLink[t].front().bytes));
+    for (const Bank &bank : banks) {
+        if (!bank.queue.empty()) {
+            const Txn &head = bank.queue.front();
+            uint64_t line = head.addr / config.cacheLineBytes;
+            bool mergeable = bank.fillReady.count(line) > 0;
+            // Service happens at the budget-ready cycle unless the
+            // head is MSHR-blocked; an MSHR-blocked head instead
+            // waits on a fill expiry (below) while accruing
+            // mshrStallCycles, which fastForward replays.
+            if (mergeable ||
+                bank.mshrsInUse < config.l2MshrsPerBank) {
+                at(budgetReadyCycle(now, bank.byteBudget,
+                                    config.l2BankBandwidthBytes,
+                                    head.bytes));
+            }
+            // Any fill expiry can change what happens at this bank's
+            // head (merge window closing, MSHR freeing): stop there.
+            for (const auto &[fill_line, ready] : bank.fillReady)
+                at(std::max(ready, now + 1));
+        }
+        // DRAM fills dispatch when the head's channel budget covers a
+        // line; writebacks likewise on their (frozen) channel.
+        if (!bank.dramQueue.empty()) {
+            int chan = channelOf(bank.dramQueue.front().addr);
+            at(budgetReadyCycle(now, channelBudget[chan],
+                                config.dramChannelBandwidthBytes,
+                                config.cacheLineBytes));
+        }
+        if (bank.writebackBytes > 0) {
+            int chan = bankOf(static_cast<uint64_t>(
+                           bank.writebackBytes)) %
+                       static_cast<int>(channelBudget.size());
+            at(budgetReadyCycle(now, channelBudget[chan],
+                                config.dramChannelBandwidthBytes,
+                                config.cacheLineBytes));
+        }
+    }
+    // Completions become pollable at their ready cycle.
+    for (const auto &[id, ready] : completed)
+        at(std::max(ready, now + 1));
+    return ev;
+}
+
+void
+MemorySystem::fastForward(uint64_t from, uint64_t to)
+{
+    double k = static_cast<double>(to - from);
+    double line = static_cast<double>(config.cacheLineBytes);
+    // An MSHR-blocked head counts one stall per skipped tick whose
+    // accrued budget would have covered it — exactly what per-cycle
+    // ticking does (the break happens before any budget deduction).
+    for (Bank &bank : banks) {
+        if (bank.queue.empty() ||
+            bank.mshrsInUse < config.l2MshrsPerBank)
+            continue;
+        const Txn &head = bank.queue.front();
+        if (bank.fillReady.count(head.addr / config.cacheLineBytes) >
+            0)
+            continue;  // merge path: no stall accrual
+        double inc = config.l2BankBandwidthBytes;
+        double bytes = head.bytes;
+        uint64_t k0 = 1;
+        if (bank.byteBudget < bytes) {
+            if (inc <= 0.0)
+                continue;  // budget never covers the head: no stalls
+            double deficit = bytes - bank.byteBudget;
+            if (deficit > inc)
+                k0 = static_cast<uint64_t>(std::ceil(deficit / inc));
+        }
+        uint64_t ticks = to - from;
+        if (ticks >= k0)
+            memStats.mshrStallCycles += ticks - k0 + 1;
+    }
+    // Each budget follows b = min(b + inc, cap) per idle tick, so k
+    // ticks collapse to min(b + k*inc, cap) — the caps mirror tick().
+    for (double &budget : tileLinkBudget)
+        budget = std::min(
+            budget + k * sys.nocBytes,
+            std::max(static_cast<double>(sys.nocBytes), line));
+    for (Bank &bank : banks)
+        bank.byteBudget = std::min(
+            bank.byteBudget + k * config.l2BankBandwidthBytes,
+            std::max(static_cast<double>(config.l2BankBandwidthBytes),
+                     line));
+    for (double &budget : channelBudget)
+        budget = std::min(
+            budget + k * config.dramChannelBandwidthBytes,
+            std::max(
+                static_cast<double>(config.dramChannelBandwidthBytes),
+                line));
+    cycle = to;
+}
+
+uint64_t
+MemorySystem::quiescenceFingerprint() const
+{
+    // Excluded on purpose: byte budgets, fillReady/mshrsInUse (expiry
+    // is deferred under fast-forward), mshrStallCycles (replayed in
+    // closed form by fastForward), and the clock itself.
+    uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+    };
+    for (const auto &link : tileLink)
+        mix(link.size());
+    for (const Bank &bank : banks) {
+        mix(bank.queue.size());
+        mix(bank.dramQueue.size());
+        mix(static_cast<uint64_t>(bank.writebackBytes));
+    }
+    mix(inFlight.size());
+    mix(completed.size());
+    mix(static_cast<uint64_t>(nextId));
+    mix(memStats.l2Hits);
+    mix(memStats.l2Misses);
+    mix(memStats.dramBytesRead);
+    mix(memStats.dramBytesWritten);
+    mix(memStats.nocBytes);
+    mix(memStats.peakOutstandingTxns);
+    return h;
+}
+
+void
+MemorySystem::describeState(std::string &out) const
+{
+    out += "memory-system @cycle " + std::to_string(cycle) + ":";
+    out += " in_flight=" + std::to_string(inFlight.size());
+    out += " awaiting_poll=" + std::to_string(completed.size());
+    out += "\n  tile links:";
+    for (size_t t = 0; t < tileLink.size(); ++t)
+        out += " [" + std::to_string(t) + "]=" +
+               std::to_string(tileLink[t].size());
+    out += "\n";
+    for (size_t b = 0; b < banks.size(); ++b) {
+        const Bank &bank = banks[b];
+        out += "  bank" + std::to_string(b) +
+               ": queue=" + std::to_string(bank.queue.size()) +
+               " dram_queue=" + std::to_string(bank.dramQueue.size()) +
+               " mshrs=" + std::to_string(bank.mshrsInUse) + "/" +
+               std::to_string(config.l2MshrsPerBank) +
+               " writeback_bytes=" +
+               std::to_string(bank.writebackBytes) + "\n";
     }
 }
 

@@ -16,6 +16,7 @@
 
 #include "adg/adg.h"
 #include "sim/config.h"
+#include "sim/engine.h"
 
 namespace overgen::telemetry {
 class Distribution;
@@ -35,6 +36,11 @@ struct MemoryStats
     uint64_t dramBytesWritten = 0;
     uint64_t nocBytes = 0;
     uint64_t mshrStallCycles = 0;
+    /** High-water mark of submitted-but-not-yet-consumed transactions
+     * (queued + in service + completed-awaiting-poll). Bounds the
+     * `completed` map: entries are erased on successful poll, so this
+     * is the worst-case live footprint of the transaction tables. */
+    uint64_t peakOutstandingTxns = 0;
 };
 
 /**
@@ -42,7 +48,7 @@ struct MemoryStats
  * completion is polled. Contention is modeled with per-cycle byte
  * budgets on each tile link, L2 bank, and DRAM channel.
  */
-class MemorySystem
+class MemorySystem : public ClockedComponent
 {
   public:
     MemorySystem(const adg::SystemParams &sys, const SimConfig &config);
@@ -62,6 +68,22 @@ class MemorySystem
 
     /** Advance one cycle. */
     void tick();
+
+    /** @name ClockedComponent */
+    /// @{
+    void tick(uint64_t engine_cycle) override;
+    /** Next completion becoming pollable, or the next cycle whenever
+     * any queue holds work (queues drain with per-cycle budgets that
+     * are cheaper to tick than to replay). */
+    uint64_t nextEventCycle(uint64_t now) const override;
+    /** Saturate the per-link/bank/channel byte budgets in closed form
+     * and jump the clock; deferred fill expiry is re-done lazily by
+     * the next real tick. */
+    void fastForward(uint64_t from, uint64_t to) override;
+    uint64_t progressCount() const override { return progressEvents; }
+    uint64_t quiescenceFingerprint() const override;
+    void describeState(std::string &out) const override;
+    /// @}
 
     /** @return current cycle count. */
     uint64_t now() const { return cycle; }
@@ -120,6 +142,13 @@ class MemorySystem
 
     int bankOf(uint64_t addr) const;
     int channelOf(uint64_t addr) const;
+    /**
+     * @return the first cycle > now at which a budget accruing @p inc
+     * per tick (from @p budget) covers @p bytes — when a queue head
+     * blocked only on bandwidth gets serviced.
+     */
+    static uint64_t budgetReadyCycle(uint64_t now, double budget,
+                                     double inc, double bytes);
     /** Probe and update the tag store (allocates on miss). */
     LookupResult lookup(Bank &bank, uint64_t addr, bool write);
 
@@ -134,6 +163,7 @@ class MemorySystem
     int setsPerBank = 0;
     TxnId nextId = 1;
     uint64_t cycle = 0;
+    uint64_t progressEvents = 0;
     MemoryStats memStats;
 
     /** @name Telemetry (null when config.sink is null) */

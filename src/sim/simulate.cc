@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/logging.h"
+#include "sim/engine.h"
 #include "telemetry/sink.h"
 
 namespace overgen::sim {
@@ -31,6 +32,8 @@ dumpCounters(telemetry::Sink &sink, const std::string &kernel,
     reg.counter(mem + "noc_bytes").add(result.memory.nocBytes);
     reg.counter(mem + "mshr_stall_cycles")
         .add(result.memory.mshrStallCycles);
+    reg.counter(mem + "peak_outstanding_txns")
+        .add(result.memory.peakOutstandingTxns);
     for (size_t t = 0; t < result.tiles.size(); ++t) {
         const TileStats &ts = result.tiles[t];
         const std::string tile =
@@ -97,15 +100,16 @@ simulate(const wl::KernelSpec &spec, const dfg::Mdfg &mdfg,
         }
     }
 
-    SimResult result;
-    uint64_t cycle = 0;
+    // The engine ticks the memory system first, then the tiles, in
+    // the order the historical loop did.
+    SimEngine engine(config);
+    engine.add(&memsys);
+    for (auto &sim : sims)
+        engine.add(sim.get());
     std::vector<bool> traceEnded(sims.size(), false);
-    while (cycle < config.maxCycles) {
-        ++cycle;
-        memsys.tick();
-        bool all_done = true;
+    auto all_done = [&]() {
+        bool all = true;
         for (size_t s = 0; s < sims.size(); ++s) {
-            sims[s]->tick(cycle);
             bool done = sims[s]->done();
             if (tracing && done && !traceEnded[s]) {
                 traceEnded[s] = true;
@@ -113,14 +117,19 @@ simulate(const wl::KernelSpec &spec, const dfg::Mdfg &mdfg,
                     "tile" + std::to_string(tileIds[s]), "tile", pid,
                     tileIds[s] + 1, sims[s]->stats().finishCycle);
             }
-            all_done &= done;
+            all &= done;
         }
-        if (all_done)
-            break;
-    }
+        return all;
+    };
+    EngineOutcome outcome = engine.run(all_done);
+    uint64_t cycle = outcome.cycles;
 
-    result.completed = cycle < config.maxCycles;
+    SimResult result;
+    result.completed = outcome.completed;
+    result.deadlocked = outcome.deadlocked;
     result.cycles = cycle;
+    result.tickedCycles = outcome.tickedCycles;
+    result.skippedCycles = outcome.skippedCycles;
     result.memory = memsys.stats();
     double insts = 0.0;
     for (auto &tile : sims) {

@@ -18,10 +18,20 @@ namespace overgen::sim {
 struct SimResult
 {
     bool completed = false;
+    /** The deadlock watchdog aborted the run (implies !completed). */
+    bool deadlocked = false;
     uint64_t cycles = 0;
     uint64_t totalIterations = 0;
     /** Committed instructions (compute + memory ops) per cycle. */
     double ipc = 0.0;
+    /** @name Wall-clock observability (how the engine spent the run;
+     * excluded from the bit-identity contract and the counter dump) */
+    /// @{
+    /** Cycles executed tick-by-tick. */
+    uint64_t tickedCycles = 0;
+    /** Cycles elided by event-horizon fast-forward. */
+    uint64_t skippedCycles = 0;
+    /// @}
     MemoryStats memory;
     std::vector<TileStats> tiles;
 };

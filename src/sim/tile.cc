@@ -151,6 +151,18 @@ struct TileSim::Impl
     void tick(uint64_t cycle);
     bool done() const;
 
+    /** @name ClockedComponent backing (see sim/engine.h) */
+    /// @{
+    uint64_t nextEventCycle(uint64_t now) const;
+    void fastForward(uint64_t from, uint64_t to);
+    uint64_t fingerprint() const;
+    void describe(std::string &out) const;
+    /** First cycle the fabric's timing gates would let it fire. */
+    uint64_t fireReadyCycle() const;
+    /** Whether the fabric's port checks pass right now. */
+    bool fabricPortsReady() const;
+    /// @}
+
     void engineTick(adg::NodeId engine_id, EngineRt &engine,
                     uint64_t cycle);
     void memoryEngineIssue(EngineRt &engine, uint64_t cycle);
@@ -186,6 +198,9 @@ struct TileSim::Impl
     int pipelineDepth = 4;
     TileStats stats;
     bool finished = false;
+    /** Monotone forward-progress events (issues, retires, drains,
+     * firings); quiescent ticks never bump it. */
+    uint64_t progressEvents = 0;
 
     /** @name Telemetry (trace tid 0 is the memory system) */
     /// @{
@@ -568,6 +583,7 @@ TileSim::Impl::memoryEngineIssue(EngineRt &engine, uint64_t cycle)
                                       !rt.input);
             engine.outstanding[txn] = { &rt, elems };
         }
+        ++progressEvents;
         return;  // one issue per cycle
     }
 }
@@ -591,6 +607,7 @@ TileSim::Impl::recurrenceTick(EngineRt &engine, uint64_t cycle)
             out->port.available -= n;
             out->drainedElems += n;
             in->recPool += n;
+            ++progressEvents;
             stats.recurrenceBytes +=
                 static_cast<uint64_t>(n) * out->elemBytes;
             int64_t left = n;
@@ -636,6 +653,7 @@ TileSim::Impl::recurrenceTick(EngineRt &engine, uint64_t cycle)
             if (supplied > 0) {
                 in->port.deliver(cycle + config.recurrenceLatency,
                                  supplied);
+                ++progressEvents;
             }
         }
     }
@@ -657,6 +675,7 @@ TileSim::Impl::generateTick(EngineRt &engine, uint64_t cycle)
                 break;
             rt->firingRemaining -= take;
             rt->port.deliver(cycle + 1, take);
+            ++progressEvents;
             n -= take;
             if (rt->firingRemaining == 0) {
                 rt->walker->advance();
@@ -675,6 +694,7 @@ TileSim::Impl::registerTick(EngineRt &engine, uint64_t cycle)
         if (rt->port.available > 0) {
             --rt->port.available;
             ++rt->drainedElems;
+            ++progressEvents;
             if (--rt->firingRemaining == 0) {
                 rt->walker->advance();
                 settleDemand(*rt);
@@ -709,6 +729,7 @@ TileSim::Impl::engineTick(adg::NodeId engine_id, EngineRt &engine,
             if (rt->walker->done() && rt->firingRemaining == 0)
                 settleDemand(*rt);
             it = engine.outstanding.erase(it);
+            ++progressEvents;
         } else {
             ++it;
         }
@@ -794,6 +815,7 @@ TileSim::Impl::fabricTick(uint64_t cycle)
     }
     stats.iterations += count;
     ++stats.firings;
+    ++progressEvents;
     fabricWalker.advance();
     nextFire = static_cast<double>(cycle) + iiInterval;
 }
@@ -842,6 +864,7 @@ TileSim::Impl::tick(uint64_t cycle)
         if (drained) {
             finished = true;
             stats.finishCycle = cycle;
+            ++progressEvents;
         }
     }
 }
@@ -850,6 +873,220 @@ bool
 TileSim::Impl::done() const
 {
     return finished;
+}
+
+uint64_t
+TileSim::Impl::fireReadyCycle() const
+{
+    double nf = std::max(0.0, nextFire);
+    auto ceiled = static_cast<uint64_t>(nf);
+    if (static_cast<double>(ceiled) < nf)
+        ++ceiled;
+    return std::max<uint64_t>(ceiled, stats.startupCycles);
+}
+
+bool
+TileSim::Impl::fabricPortsReady() const
+{
+    for (const auto &rt : streams) {
+        if (rt->isIndexFeed)
+            continue;
+        int64_t need =
+            elemsForFiring(mdfg, rt->id, rt->kind, fabricWalker);
+        if (rt->input) {
+            if (rt->kind == StreamKind::ConstantTaps) {
+                if (rt->port.available < rt->members)
+                    return false;
+            } else if (rt->port.available < need) {
+                return false;
+            }
+        } else if (rt->port.available >= rt->port.capacity) {
+            return false;
+        }
+    }
+    return true;
+}
+
+uint64_t
+TileSim::Impl::nextEventCycle(uint64_t now) const
+{
+    if (finished)
+        return kNoEventCycle;
+    // Any attached sink samples per-cycle/per-interval telemetry that
+    // cannot be replayed in closed form: observation degrades to
+    // per-cycle ticking (the memory system does the same).
+    if (config.sink != nullptr)
+        return now + 1;
+    uint64_t ev = kNoEventCycle;
+    auto at = [&ev, now](uint64_t cycle) {
+        ev = std::min(ev, std::max(cycle, now + 1));
+    };
+    // Port deliveries landing in the future wake the tile.
+    for (const auto &rt : streams)
+        for (const auto &[ready, elems] : rt->port.arrivals)
+            at(ready);
+    for (const auto &[engine_id, engine] : engines) {
+        switch (engine.kind) {
+          case adg::NodeKind::Dma:
+            // ROB full: the next issue waits on a retirement, and
+            // retirements are completions — the memory system's
+            // horizon covers them. (A full tile link likewise keeps
+            // the memory system ticking.)
+            if (static_cast<int>(engine.outstanding.size()) >=
+                engine.robEntries) {
+                break;
+            }
+            [[fallthrough]];
+          case adg::NodeKind::Scratchpad:
+            // A stream that is ready apart from its activation cycle
+            // issues then; readiness only changes through events
+            // tracked elsewhere (drains, retirements, deliveries).
+            for (const StreamRt *rt : engine.streams) {
+                uint64_t active = std::max(now + 1, rt->activeAt);
+                bool ready = rt->input ? readReady(*rt, active)
+                                       : writeReady(*rt, active);
+                if (ready)
+                    at(active);
+            }
+            break;
+          case adg::NodeKind::Recurrence:
+            for (const StreamRt *in : engine.streams) {
+                if (in->kind != StreamKind::RecurrenceIn)
+                    continue;
+                const StreamRt *out = in->recurrenceOut;
+                if (out != nullptr && !out->engineDone &&
+                    out->port.available > 0)
+                    at(std::max(now + 1, out->activeAt));
+                if (!in->engineDone && in->port.space() > 0 &&
+                    (in->recInitialRemaining > 0 || in->recPool > 0))
+                    at(std::max(now + 1, in->activeAt));
+            }
+            break;
+          case adg::NodeKind::Generate:
+            for (const StreamRt *rt : engine.streams)
+                if (!rt->engineDone && rt->port.space() > 0)
+                    at(std::max(now + 1, rt->activeAt));
+            break;
+          case adg::NodeKind::Register:
+            for (const StreamRt *rt : engine.streams)
+                if (!rt->input && !rt->engineDone &&
+                    rt->port.available > 0)
+                    at(std::max(now + 1, rt->activeAt));
+            break;
+          default:
+            at(now + 1);  // unknown engine: never skip over it
+            break;
+        }
+    }
+    // The fabric fires at its timing gate if the port state (frozen
+    // while we skip) already admits the firing; otherwise the firing
+    // waits on a port event accounted above.
+    if (!fabricWalker.done() && fabricPortsReady())
+        at(fireReadyCycle());
+    return ev;
+}
+
+void
+TileSim::Impl::fastForward(uint64_t from, uint64_t to)
+{
+    if (finished)
+        return;
+    uint64_t k = to - from;
+    for (auto &[engine_id, engine] : engines) {
+        // Budget saturation: b = min(b + inc, cap) per tick collapses
+        // to min(b + k*inc, cap) over k ticks (cap as in engineTick).
+        engine.budget =
+            std::min(engine.budget + static_cast<double>(k) *
+                                         engine.bandwidthBytes,
+                     engine.bandwidthBytes +
+                         static_cast<double>(config.cacheLineBytes));
+        // Without the one-hot bypass a lone active stream flips the
+        // issue toggle every tick it is polled, issued or not.
+        if (!config.oneHotBypass &&
+            (engine.kind == adg::NodeKind::Dma ||
+             engine.kind == adg::NodeKind::Scratchpad)) {
+            int active = 0;
+            for (const StreamRt *rt : engine.streams)
+                active += !rt->engineDone;
+            if (active == 1 && (k & 1) != 0)
+                engine.issueToggle = !engine.issueToggle;
+        }
+    }
+    // Every skipped cycle past the fabric's timing gate would have
+    // counted a stall (had the ports admitted a firing, the horizon
+    // would have stopped at the gate instead of skipping it).
+    if (!fabricWalker.done()) {
+        uint64_t first = std::max(from + 1, fireReadyCycle());
+        if (first <= to)
+            stats.fabricStallCycles += to - first + 1;
+    }
+}
+
+uint64_t
+TileSim::Impl::fingerprint() const
+{
+    // Excluded on purpose (legal drift in a skipped range): engine
+    // byte budgets, the issue toggle, and fabric stall counts.
+    uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+    };
+    mix(stats.firings);
+    mix(stats.iterations);
+    mix(stats.spadBytes);
+    mix(stats.dmaBytes);
+    mix(stats.recurrenceBytes);
+    mix(stats.finishCycle);
+    mix(static_cast<uint64_t>(finished));
+    mix(static_cast<uint64_t>(fabricWalker.done()));
+    for (const auto &rt : streams) {
+        mix(static_cast<uint64_t>(rt->port.available));
+        mix(static_cast<uint64_t>(rt->port.pending));
+        mix(rt->port.arrivals.size());
+        mix(static_cast<uint64_t>(rt->firingRemaining));
+        mix(static_cast<uint64_t>(rt->issuedElems));
+        mix(static_cast<uint64_t>(rt->drainedElems));
+        mix(static_cast<uint64_t>(rt->indexAvail));
+        mix(static_cast<uint64_t>(rt->recPool));
+        mix(static_cast<uint64_t>(rt->recInitialRemaining));
+        mix(static_cast<uint64_t>(rt->tapsDelivered));
+        mix(static_cast<uint64_t>(rt->engineDone));
+    }
+    for (const auto &[engine_id, engine] : engines) {
+        mix(engine.outstanding.size());
+        mix(engine.rrNext);
+    }
+    return h;
+}
+
+void
+TileSim::Impl::describe(std::string &out) const
+{
+    out += "tile" + std::to_string(tileIndex) + ": " +
+           (finished ? "finished" : "running");
+    out += " firings=" + std::to_string(stats.firings);
+    out += " fabric=" +
+           std::string(fabricWalker.done() ? "done" : "pending");
+    out += " dispatcher startup=" +
+           std::to_string(stats.startupCycles) + "\n";
+    for (const auto &[engine_id, engine] : engines) {
+        out += "  engine" + std::to_string(engine_id) + ": rob=" +
+               std::to_string(engine.outstanding.size()) + "/" +
+               std::to_string(engine.robEntries) + "\n";
+        for (const StreamRt *rt : engine.streams) {
+            out += "    stream" + std::to_string(rt->id) +
+                   (rt->input ? " in" : " out") +
+                   ": port=" + std::to_string(rt->port.available) +
+                   "+" + std::to_string(rt->port.pending) + "/" +
+                   std::to_string(rt->port.capacity) +
+                   " firing_remaining=" +
+                   std::to_string(rt->firingRemaining) +
+                   " issued=" + std::to_string(rt->issuedElems) +
+                   " drained=" + std::to_string(rt->drainedElems) +
+                   (rt->engineDone ? " done" : "") + "\n";
+        }
+    }
 }
 
 TileSim::TileSim(const wl::KernelSpec &spec, const dfg::Mdfg &mdfg,
@@ -876,6 +1113,36 @@ bool
 TileSim::done() const
 {
     return impl->done();
+}
+
+uint64_t
+TileSim::nextEventCycle(uint64_t now) const
+{
+    return impl->nextEventCycle(now);
+}
+
+void
+TileSim::fastForward(uint64_t from, uint64_t to)
+{
+    impl->fastForward(from, to);
+}
+
+uint64_t
+TileSim::progressCount() const
+{
+    return impl->progressEvents;
+}
+
+uint64_t
+TileSim::quiescenceFingerprint() const
+{
+    return impl->fingerprint();
+}
+
+void
+TileSim::describeState(std::string &out) const
+{
+    impl->describe(out);
 }
 
 const TileStats &

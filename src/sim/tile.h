@@ -33,7 +33,7 @@ struct TileStats
 };
 
 /** One tile executing a scheduled mDFG over an outer-loop partition. */
-class TileSim
+class TileSim : public ClockedComponent
 {
   public:
     /** @p trace_pid identifies the enclosing simulate() run in the
@@ -47,7 +47,16 @@ class TileSim
     ~TileSim();
 
     /** Advance one cycle. @p cycle is the global cycle count. */
-    void tick(uint64_t cycle);
+    void tick(uint64_t cycle) override;
+
+    /** @name ClockedComponent (see src/sim/engine.h) */
+    /// @{
+    uint64_t nextEventCycle(uint64_t now) const override;
+    void fastForward(uint64_t from, uint64_t to) override;
+    uint64_t progressCount() const override;
+    uint64_t quiescenceFingerprint() const override;
+    void describeState(std::string &out) const override;
+    /// @}
 
     /** @return whether all work (including drains) has retired. */
     bool done() const;

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "dse/explorer.h"
+#include "sim/simulate.h"
 #include "model/resource_model.h"
 #include "workloads/suites.h"
 
@@ -167,6 +168,43 @@ TEST(Explorer, TracksAcceptanceStats)
     EXPECT_EQ(r.iterationsRun, 10);
     EXPECT_LE(r.accepted + r.abandoned, r.iterationsRun);
     EXPECT_GT(r.elapsedSeconds, 0.0);
+}
+
+TEST(Explorer, ValidateFinalSimulatesMappings)
+{
+    DseOptions options = fastOptions(6);
+    options.validateFinal = true;
+    options.threads = 4;
+    DseResult r = exploreOverlay(smallSuite(), options, &testModel());
+    ASSERT_EQ(r.mappings.size(), 3u);
+    std::vector<wl::KernelSpec> suite = smallSuite();
+    for (size_t k = 0; k < r.mappings.size(); ++k) {
+        const KernelMapping &mapping = r.mappings[k];
+        EXPECT_TRUE(mapping.simulated) << mapping.kernel;
+        EXPECT_TRUE(mapping.simCompleted) << mapping.kernel;
+        EXPECT_GT(mapping.simulatedCycles, 0u) << mapping.kernel;
+        EXPECT_GT(mapping.simulatedIpc, 0.0) << mapping.kernel;
+        // The batched validation matches a direct simulation of the
+        // same mapping exactly.
+        wl::Memory memory;
+        memory.init(suite[k]);
+        sim::SimResult direct =
+            sim::simulate(suite[k], r.mdfgs[k], r.schedules[k],
+                          r.design, memory, {});
+        EXPECT_EQ(mapping.simulatedCycles, direct.cycles)
+            << mapping.kernel;
+        EXPECT_EQ(mapping.simulatedIpc, direct.ipc) << mapping.kernel;
+    }
+}
+
+TEST(Explorer, ValidateFinalOffLeavesMappingsUnsimulated)
+{
+    DseResult r =
+        exploreOverlay(smallSuite(), fastOptions(4), &testModel());
+    for (const KernelMapping &mapping : r.mappings) {
+        EXPECT_FALSE(mapping.simulated);
+        EXPECT_EQ(mapping.simulatedCycles, 0u);
+    }
 }
 
 } // namespace

@@ -169,6 +169,45 @@ TEST(MemorySystem, PerTileQueueBounded)
     EXPECT_TRUE(mem.canAccept(1));  // other tiles unaffected
 }
 
+TEST(MemorySystem, PeakOutstandingTracksHighWaterMark)
+{
+    SimConfig config;
+    MemorySystem mem(smallSys(), config);
+    EXPECT_EQ(mem.stats().peakOutstandingTxns, 0u);
+    std::vector<TxnId> ids;
+    for (int i = 0; i < 8; ++i)
+        ids.push_back(
+            mem.submit(0, static_cast<uint64_t>(i) * 64, 64, false));
+    EXPECT_EQ(mem.stats().peakOutstandingTxns, 8u);
+    for (TxnId id : ids)
+        ASSERT_GT(runUntilDone(mem, id), 0);
+    // Draining never lowers the high-water mark; a smaller burst
+    // never raises it.
+    EXPECT_EQ(mem.stats().peakOutstandingTxns, 8u);
+    TxnId extra = mem.submit(0, 4096, 64, false);
+    EXPECT_EQ(mem.stats().peakOutstandingTxns, 8u);
+    ASSERT_GT(runUntilDone(mem, extra), 0);
+}
+
+TEST(MemorySystem, CompletedMapIsBounded)
+{
+    // Polled completions leave the table: after every id is consumed,
+    // nothing is outstanding even though many were submitted.
+    SimConfig config;
+    MemorySystem mem(smallSys(), config);
+    for (int round = 0; round < 4; ++round) {
+        std::vector<TxnId> ids;
+        for (int i = 0; i < 16; ++i)
+            ids.push_back(mem.submit(
+                0, static_cast<uint64_t>(round * 16 + i) * 64, 64,
+                false));
+        for (TxnId id : ids)
+            ASSERT_GT(runUntilDone(mem, id), 0);
+        EXPECT_FALSE(mem.busy());
+    }
+    EXPECT_LE(mem.stats().peakOutstandingTxns, 16u);
+}
+
 TEST(MemorySystem, BusyReflectsInFlight)
 {
     SimConfig config;
