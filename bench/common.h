@@ -45,10 +45,15 @@ namespace overgen::bench {
  * Telemetry: `--trace=<path>` records a Chrome trace_event file of
  * every simulation the harness runs (open in chrome://tracing or
  * https://ui.perfetto.dev); `--dse-log=<path>` appends one JSONL
- * record per DSE iteration; `--trace-detail` adds per-issue instant
- * events (bigger traces); `--telemetry-json=<path>` dumps the
- * counter registry. Without any flag `sink()` returns null and the
- * run is telemetry-free.
+ * record per DSE iteration plus periodic heartbeats;
+ * `--trace-detail` adds per-issue instant events (bigger traces);
+ * `--telemetry-json=<path>` dumps the counter registry;
+ * `--stats-interval[=]N` samples every component's cycle ledger and
+ * key stats every N cycles into an interval time-series, written as
+ * JSONL to `--stats-jsonl=<path>` (defaults: interval 4096 when only
+ * the path is given, path "timeline.jsonl" when only the interval
+ * is). Without any flag `sink()` returns null and the run is
+ * telemetry-free.
  */
 class Harness
 {
@@ -58,6 +63,7 @@ class Harness
         telemetry::SinkOptions opts;
         std::string threadsArg;
         std::string simThreadsArg;
+        std::string statsIntervalArg;
         for (int i = 1; i < argc; ++i) {
             std::string arg = argv[i];
             if (arg == "--threads" && i + 1 < argc) {
@@ -68,11 +74,17 @@ class Harness
                 simThreadsArg = argv[++i];
                 continue;
             }
+            if (arg == "--stats-interval" && i + 1 < argc) {
+                statsIntervalArg = argv[++i];
+                continue;
+            }
             if (!eat(arg, "--trace=", opts.tracePath) &&
                 !eat(arg, "--dse-log=", opts.dseLogPath) &&
                 !eat(arg, "--telemetry-json=", registryPath) &&
+                !eat(arg, "--stats-jsonl=", opts.timelinePath) &&
                 !eat(arg, "--threads=", threadsArg) &&
                 !eat(arg, "--sim-threads=", simThreadsArg) &&
+                !eat(arg, "--stats-interval=", statsIntervalArg) &&
                 arg != "--trace-detail" &&
                 arg != "--no-eval-cache" &&
                 arg != "--no-fast-forward") {
@@ -80,7 +92,9 @@ class Harness
                          "' (expected --threads[=]<n>, "
                          "--sim-threads[=]<n>, --trace=<path>, "
                          "--dse-log=<path>, --trace-detail, "
-                         "--no-eval-cache, --no-fast-forward, or "
+                         "--no-eval-cache, --no-fast-forward, "
+                         "--stats-interval[=]<n>, "
+                         "--stats-jsonl=<path>, or "
                          "--telemetry-json=<path>)");
             }
             if (arg == "--trace-detail")
@@ -89,6 +103,16 @@ class Harness
                 useEvalCache = false;
             if (arg == "--no-fast-forward")
                 noFastForward = true;
+        }
+        if (!statsIntervalArg.empty()) {
+            int interval = std::atoi(statsIntervalArg.c_str());
+            OG_ASSERT(interval >= 1, "bad --stats-interval value '",
+                      statsIntervalArg, "'");
+            opts.statsInterval = static_cast<uint64_t>(interval);
+            if (opts.timelinePath.empty())
+                opts.timelinePath = "timeline.jsonl";
+        } else if (!opts.timelinePath.empty()) {
+            opts.statsInterval = 4096;  // path given: default cadence
         }
         if (!threadsArg.empty()) {
             numThreads = std::atoi(threadsArg.c_str());
@@ -105,7 +129,7 @@ class Harness
             numSimThreads = numThreads;
         }
         if (!opts.tracePath.empty() || !opts.dseLogPath.empty() ||
-            !registryPath.empty()) {
+            !registryPath.empty() || opts.statsInterval > 0) {
             live = std::make_unique<telemetry::Sink>(opts);
         }
     }
@@ -194,6 +218,13 @@ class Harness
                         "written to %s\n",
                         live->options().dseLogPath.c_str());
         }
+        if (!live->options().timelinePath.empty()) {
+            std::printf("[telemetry] interval time-series (JSONL, "
+                        "every %llu cycles) written to %s\n",
+                        static_cast<unsigned long long>(
+                            live->options().statsInterval),
+                        live->options().timelinePath.c_str());
+        }
         if (!registryPath.empty()) {
             std::string text = live->registry().toJson().dump(2);
             std::FILE *f = std::fopen(registryPath.c_str(), "w");
@@ -268,11 +299,36 @@ withSink(telemetry::Sink *sink, sim::SimConfig config = {})
 struct OverlayRun
 {
     bool ok = false;
+    /** The deadlock watchdog aborted the run (a failure mode distinct
+     * from "unschedulable": the kernel mapped but never finished). */
+    bool deadlocked = false;
+    /** Per-component describeState() dump at watchdog abort (empty
+     * unless deadlocked). */
+    std::string diagnostic;
     uint64_t cycles = 0;
     double seconds = 0.0;
     double ipc = 0.0;
     std::string variant;
+    /** Full per-run statistics (cycle ledgers included), for
+     * harnesses that break runs down (bench/report_cycles). */
+    sim::MemoryStats memory;
+    std::vector<sim::TileStats> tiles;
 };
+
+/** Copy one SimResult into @p row (everything but `variant`). */
+inline void
+fillRunRow(OverlayRun &row, const sim::SimResult &result)
+{
+    row.ok = result.completed;
+    row.deadlocked = result.deadlocked;
+    row.diagnostic = result.diagnostic;
+    row.cycles = result.cycles;
+    row.seconds =
+        static_cast<double>(result.cycles) / (overlayClockMhz * 1e6);
+    row.ipc = result.ipc;
+    row.memory = result.memory;
+    row.tiles = result.tiles;
+}
 
 /** Compile/schedule/simulate @p spec on @p design (first-fit variant). */
 inline OverlayRun
@@ -293,11 +349,7 @@ runOnOverlay(const wl::KernelSpec &spec, const adg::SysAdg &design,
     sim::SimResult result = sim::simulate(
         spec, variants[fit->second], fit->first, design, memory,
         config);
-    run.ok = result.completed;
-    run.cycles = result.cycles;
-    run.seconds =
-        static_cast<double>(result.cycles) / (overlayClockMhz * 1e6);
-    run.ipc = result.ipc;
+    fillRunRow(run, result);
     run.variant = variants[fit->second].name;
     return run;
 }
@@ -313,11 +365,7 @@ runMapped(const wl::KernelSpec &spec, const dse::DseResult &dse,
         sim::simulate(spec, dse.mdfgs[index], dse.schedules[index],
                       dse.design, memory, config);
     OverlayRun run;
-    run.ok = result.completed;
-    run.cycles = result.cycles;
-    run.seconds =
-        static_cast<double>(result.cycles) / (overlayClockMhz * 1e6);
-    run.ipc = result.ipc;
+    fillRunRow(run, result);
     run.variant = dse.mdfgs[index].name;
     return run;
 }
@@ -393,6 +441,11 @@ runPreparedBatch(const std::vector<PreparedSim> &prepared,
         job.schedule = &prepared[i].schedule;
         job.design = &prepared[i].design;
         job.config = harness.simConfig();
+        // Unique per-job timeline label so `--stats-jsonl` output is
+        // byte-identical for every --sim-threads value (the timeline
+        // sorts runs by label at write time).
+        job.config.runLabel =
+            std::to_string(i) + ":" + prepared[i].spec->name;
         jobs.push_back(job);
         job_row.push_back(i);
     }
@@ -402,12 +455,15 @@ runPreparedBatch(const std::vector<PreparedSim> &prepared,
     std::vector<OverlayRun> rows(prepared.size());
     for (size_t j = 0; j < results.size(); ++j) {
         OverlayRun &row = rows[job_row[j]];
-        row.ok = results[j].completed;
-        row.cycles = results[j].cycles;
-        row.seconds = static_cast<double>(results[j].cycles) /
-                      (overlayClockMhz * 1e6);
-        row.ipc = results[j].ipc;
+        fillRunRow(row, results[j]);
         row.variant = prepared[job_row[j]].mdfg.name;
+        if (row.deadlocked) {
+            // Surface the watchdog verdict where the harness user
+            // sees it; the full component dump names the stuck state.
+            OG_WARN("kernel '", prepared[job_row[j]].spec->name,
+                    "' deadlocked at cycle ", row.cycles,
+                    " (watchdog)\n", row.diagnostic);
+        }
     }
     return rows;
 }

@@ -131,10 +131,15 @@ main(int argc, char **argv)
         std::vector<double> g_general, g_suite, g_wl, g_tuned;
         for (size_t k = 0; k < suites[s].size(); ++k) {
             const KernelRow &row = rows[k];
-            std::printf("%-12s %9.2e %8.2fx %9.2fx %8.2fx %8.2fx\n",
+            // Mark watchdog aborts: a 0.00x with [deadlock] hung in
+            // simulation (dump on stderr), without it never mapped.
+            bool deadlocked = runs[3 * k].deadlocked ||
+                              runs[3 * k + 1].deadlocked ||
+                              runs[3 * k + 2].deadlocked;
+            std::printf("%-12s %9.2e %8.2fx %9.2fx %8.2fx %8.2fx%s\n",
                         suites[s][k].name.c_str(), row.base,
                         row.spTuned, row.spGeneral, row.spSuite,
-                        row.spWl);
+                        row.spWl, deadlocked ? " [deadlock]" : "");
             if (row.spGeneral > 0)
                 g_general.push_back(row.spGeneral);
             if (row.spSuite > 0)

@@ -53,8 +53,10 @@ main(int argc, char **argv)
             og.ok && og_tuned.ok ? og.seconds / og_tuned.seconds : 1.0;
         double ratio =
             og.ok ? ad.perf.seconds / og.seconds : 0.0;
-        std::printf("%-12s | %12.2fx | %12.2fx | %12.2fx\n",
-                    spec.name.c_str(), ad_gain, og_gain, ratio);
+        bool deadlocked = og.deadlocked || og_tuned.deadlocked;
+        std::printf("%-12s | %12.2fx | %12.2fx | %12.2fx%s\n",
+                    spec.name.c_str(), ad_gain, og_gain, ratio,
+                    deadlocked ? " [deadlock]" : "");
         ad_gains.push_back(ad_gain);
         og_gains.push_back(og_gain);
     }

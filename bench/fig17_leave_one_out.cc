@@ -140,9 +140,12 @@ main(int argc, char **argv)
                         suite[held].name.c_str());
             continue;
         }
-        std::printf("%-12s %9.0f%% %13.0fx %13.0fx\n",
+        bool deadlocked = runs[2 * held].deadlocked ||
+                          runs[2 * held + 1].deadlocked;
+        std::printf("%-12s %9.0f%% %13.0fx %13.0fx%s\n",
                     suite[held].name.c_str(), row.relative * 100.0,
-                    row.compileSpeedup, row.reconfSpeedup);
+                    row.compileSpeedup, row.reconfSpeedup,
+                    deadlocked ? " [deadlock]" : "");
         if (row.relative > 0)
             rel.push_back(row.relative);
         comp.push_back(row.compileSpeedup);

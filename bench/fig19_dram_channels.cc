@@ -93,9 +93,13 @@ main(int argc, char **argv)
     std::vector<double> og2_all, og4_all, ad2_all, ad4_all;
     for (size_t i = 0; i < workloads.size(); ++i) {
         const ChannelRow &row = rows[i];
-        std::printf("%-12s | %6.2fx %6.2fx | %6.2fx %6.2fx\n",
+        bool deadlocked = runs[3 * i].deadlocked ||
+                          runs[3 * i + 1].deadlocked ||
+                          runs[3 * i + 2].deadlocked;
+        std::printf("%-12s | %6.2fx %6.2fx | %6.2fx %6.2fx%s\n",
                     workloads[i].name.c_str(), row.ad2, row.ad4,
-                    row.og2, row.og4);
+                    row.og2, row.og4,
+                    deadlocked ? " [deadlock]" : "");
         ad2_all.push_back(row.ad2);
         ad4_all.push_back(row.ad4);
         if (row.og2 > 0)

@@ -25,6 +25,7 @@
 #include "common.h"
 
 #include "common/json.h"
+#include "telemetry/sink.h"
 
 using namespace overgen;
 
@@ -50,6 +51,7 @@ struct Measurement
     double ipc = 0.0;
     uint64_t tickedCycles = 0;
     uint64_t skippedCycles = 0;
+    uint64_t peakOutstandingTxns = 0;
 };
 
 Measurement
@@ -85,6 +87,7 @@ measure(const Point &point, sim::SimConfig config, bool fast_forward,
         if (rep == 0) {
             m.cycles = result.cycles;
             m.ipc = result.ipc;
+            m.peakOutstandingTxns = result.memory.peakOutstandingTxns;
         } else {
             OG_ASSERT(result.cycles == m.cycles && result.ipc == m.ipc,
                       "'", point.label,
@@ -110,6 +113,7 @@ toJson(const Measurement &m)
     obj.set("ipc", Json(m.ipc));
     obj.set("ticked_cycles", Json(m.tickedCycles));
     obj.set("skipped_cycles", Json(m.skippedCycles));
+    obj.set("peak_outstanding_txns", Json(m.peakOutstandingTxns));
     return obj;
 }
 
@@ -204,11 +208,45 @@ main(int argc, char **argv)
         rows.push(std::move(row));
     }
 
+    // Instrumentation-overhead guard: per-cycle ledger classification
+    // is always on, so compare a null-sink run against one with a
+    // live sink sampling an in-memory timeline (no trace file, no
+    // JSONL path — pure accounting cost). Both sides disable
+    // fast-forward so they tick the same cycles and the delta is
+    // attributable to sampling alone. The compute-bound point is the
+    // worst case: every cycle ticks, so every cycle pays.
+    const Point &guard_point = points.back();
+    sim::SimConfig plain_config;
+    Measurement plain =
+        measure(guard_point, plain_config, false, reps, inner);
+    telemetry::SinkOptions guard_opts;
+    guard_opts.statsInterval = 64;
+    telemetry::Sink guard_sink(guard_opts);
+    sim::SimConfig instr_config;
+    instr_config.sink = &guard_sink;
+    Measurement instrumented =
+        measure(guard_point, instr_config, false, reps, inner);
+    double overhead =
+        1.0 - instrumented.bestCyclesPerSec / plain.bestCyclesPerSec;
+    std::printf("\ninstrumentation overhead (%s, ff-off, "
+                "stats-interval=64): %.2f%% (guard: <3%%)\n",
+                guard_point.label.c_str(), overhead * 100.0);
+    OG_ASSERT(overhead < 0.03,
+              "ledger+timeline instrumentation costs ",
+              overhead * 100.0, "% cycles/sec (budget 3%)");
+
     Json report = Json::makeObject();
     report.set("bench", Json("micro_sim"));
     report.set("reps", Json(reps));
     report.set("inner", Json(inner));
     report.set("points", std::move(rows));
+    Json guard = Json::makeObject();
+    guard.set("point", Json(guard_point.label));
+    guard.set("null_sink", toJson(plain));
+    guard.set("instrumented", toJson(instrumented));
+    guard.set("overhead", Json(overhead));
+    guard.set("budget", Json(0.03));
+    report.set("instrumentation_overhead", std::move(guard));
     std::string text = report.dump(2);
     const char *path = "BENCH_sim.json";
     std::FILE *f = std::fopen(path, "w");

@@ -446,6 +446,50 @@ exploreOverlay(const std::vector<wl::KernelSpec> &kernels,
         std::optional<Candidate> cand;
     };
 
+    // Round-granular heartbeat: everything in it is round-barrier
+    // state (deterministic across thread counts) except the
+    // wall-clock-flavored rate fields, which trajectory comparisons
+    // strip exactly like "seconds" and "cache".
+    int round = 0;
+    auto log_heartbeat = [&](int iter, double temperature,
+                             bool force) {
+        if (sink == nullptr || options.heartbeatEvery <= 0)
+            return;
+        if (!force && round % options.heartbeatEvery != 0)
+            return;
+        sink->registry().counter("dse/heartbeats").inc();
+        double seconds = secondsSince(start);
+        Json record = Json::makeObject();
+        record.set("type", Json("heartbeat"));
+        if (!options.telemetryLabel.empty())
+            record.set("run", Json(options.telemetryLabel));
+        record.set("iteration", Json(iter));
+        record.set("evaluated", Json(result.evaluated));
+        record.set("accepted", Json(result.accepted));
+        record.set("abandoned", Json(result.abandoned));
+        record.set("best_objective", Json(best.objective));
+        record.set("temperature", Json(temperature));
+        record.set("grid_pruned",
+                   Json(static_cast<int64_t>(
+                       grid_pruned.load(std::memory_order_relaxed))));
+        record.set("seconds", Json(seconds));
+        record.set("candidates_per_sec",
+                   Json(seconds > 0.0
+                            ? static_cast<double>(result.evaluated) /
+                                  seconds
+                            : 0.0));
+        if (cache != nullptr) {
+            EvalCacheStats stats = cache->stats();
+            uint64_t lookups = stats.hits + stats.misses;
+            record.set("cache_hit_rate",
+                       Json(lookups > 0
+                                ? static_cast<double>(stats.hits) /
+                                      static_cast<double>(lookups)
+                                : 0.0));
+        }
+        sink->logDse(record);
+    };
+
     double temperature = options.initialTemperature;
     int examined = 0;
     while (examined < options.iterations) {
@@ -523,7 +567,13 @@ exploreOverlay(const std::vector<wl::KernelSpec> &kernels,
                         // stale base
             }
         }
+        ++round;
+        log_heartbeat(examined, temperature, false);
     }
+    // Every run closes with one final heartbeat (unless the last
+    // round just emitted one), so short runs still report progress.
+    if (round == 0 || round % std::max(1, options.heartbeatEvery) != 0)
+        log_heartbeat(examined, temperature, true);
 
     // Package the best design.
     result.design.adg = best.adg;

@@ -100,6 +100,15 @@ struct DseOptions
     /** Tag stamped into each JSONL record ("run"), distinguishing
      * multiple explorations sharing one sink. */
     std::string telemetryLabel;
+    /**
+     * Emit one `"type":"heartbeat"` progress record on the sink every
+     * N annealing rounds (candidates/sec, eval-cache hit rate,
+     * best-so-far objective; 0 disables). Heartbeats ride the same
+     * JSONL stream as iteration records — consumers filter on the
+     * "type" key — and are deterministic in count and content except
+     * for the wall-clock rate fields.
+     */
+    int heartbeatEvery = 4;
 };
 
 /** One point of the DSE convergence trace (Fig. 20). */

@@ -10,6 +10,7 @@
  */
 
 #include <cstdint>
+#include <string>
 
 namespace overgen::telemetry {
 class Sink;
@@ -90,6 +91,14 @@ struct SimConfig
      * never affect simulated behavior either way.
      */
     telemetry::Sink *sink = nullptr;
+
+    /**
+     * Timeline run label (`"run"` in interval time-series rows).
+     * Empty uses the kernel name; batch drivers set a unique
+     * "<index>:<kernel>" so runs serialize in a deterministic order
+     * for every `--sim-threads` value.
+     */
+    std::string runLabel;
 };
 
 } // namespace overgen::sim

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "common/logging.h"
 #include "telemetry/sink.h"
+#include "telemetry/timeline.h"
 
 namespace overgen::sim {
 
@@ -40,9 +42,24 @@ MemorySystem::attachTelemetry(int trace_pid, const std::string &prefix)
 }
 
 void
+MemorySystem::attachTimeline(telemetry::TimelineRun *run,
+                             uint64_t interval)
+{
+    OG_ASSERT(run == nullptr || interval > 0,
+              "timeline sampling needs a positive interval");
+    timelineRun = run;
+    timelineInterval = interval;
+}
+
+void
 MemorySystem::sampleTelemetry()
 {
     telemetry::Sink *sink = config.sink;
+    // Distributions and counters sample on the same interval: a
+    // per-cycle mutex-guarded record would dominate simulation cost
+    // (the micro_sim overhead guard holds instrumentation under 3%).
+    if (cycle % sink->options().counterSampleInterval != 0)
+        return;
     int mshrs = 0;
     int64_t queued = 0;
     for (const Bank &bank : banks) {
@@ -52,8 +69,7 @@ MemorySystem::sampleTelemetry()
     mshrOccupancy->record(static_cast<double>(mshrs));
     bankQueueDepth->record(static_cast<double>(queued) /
                            static_cast<double>(banks.size()));
-    if (sink->tracing() &&
-        cycle % sink->options().counterSampleInterval == 0) {
+    if (sink->tracing()) {
         telemetry::TraceEmitter &trace = sink->trace();
         trace.counter("l2.mshrs_in_use", tracePid, 0, cycle,
                       static_cast<double>(mshrs));
@@ -159,6 +175,7 @@ void
 MemorySystem::tick()
 {
     ++cycle;
+    uint64_t progress_before = progressEvents;
     if (mshrOccupancy != nullptr)
         sampleTelemetry();
 
@@ -293,6 +310,92 @@ MemorySystem::tick()
                 static_cast<double>(config.dramChannelBandwidthBytes),
                 static_cast<double>(config.cacheLineBytes)));
     }
+
+    if (progressEvents != progress_before)
+        memStats.ledger.add(telemetry::CycleCategory::Busy);
+    else
+        memStats.ledger.add(classifyStall());
+    if (timelineRun != nullptr && cycle % timelineInterval == 0)
+        emitTimelineRow();
+}
+
+telemetry::CycleCategory
+MemorySystem::classifyStall() const
+{
+    using C = telemetry::CycleCategory;
+    // DRAM involvement: fills in flight toward completion (fills and
+    // their completion entries are created together, and `completed`
+    // is frozen across skipped windows), queued read misses, or
+    // pending writebacks — and MSHR-blocked service, which is waiting
+    // on a fill to free an MSHR.
+    bool dram_work = !completed.empty();
+    bool queued = false;
+    for (const auto &link : tileLink)
+        queued |= !link.empty();
+    for (const Bank &bank : banks) {
+        if (!bank.dramQueue.empty() || bank.writebackBytes > 0)
+            dram_work = true;
+        if (!bank.queue.empty()) {
+            queued = true;
+            // Safe under fast-forward: with a non-empty queue the
+            // horizon stops at every fill expiry, so mshrsInUse and
+            // the merge window are frozen across the window.
+            if (bank.mshrsInUse >= config.l2MshrsPerBank &&
+                bank.fillReady.count(bank.queue.front().addr /
+                                     config.cacheLineBytes) == 0) {
+                dram_work = true;
+            }
+        }
+    }
+    if (dram_work)
+        return C::DramFill;
+    // Requests queued with no DRAM path involvement are waiting on
+    // NoC-link or L2-bank service bandwidth.
+    if (queued)
+        return C::NocContention;
+    return C::Idle;
+}
+
+void
+MemorySystem::emitTimelineRow()
+{
+    int mshrs = 0;
+    int64_t queued = 0;
+    for (const Bank &bank : banks) {
+        mshrs += bank.mshrsInUse;
+        queued += static_cast<int64_t>(bank.queue.size());
+    }
+    // Hand-formatted compact JSON, keys sorted — same bytes as a
+    // Json::dump of the equivalent object, minus the map allocations
+    // and snprintf format parsing (per-cycle hot path; see the
+    // bench/micro_sim instrumentation-overhead guard).
+    std::string &row = timelineRun->beginRow();
+    row += "{\"bank_queue_depth\":";
+    telemetry::appendDecimal(row, static_cast<uint64_t>(queued));
+    row += ",\"comp\":\"memory\",\"cycle\":";
+    telemetry::appendDecimal(row, cycle);
+    row += ",\"dram_bytes_read\":";
+    telemetry::appendDecimal(row, memStats.dramBytesRead);
+    row += ",\"dram_bytes_written\":";
+    telemetry::appendDecimal(row, memStats.dramBytesWritten);
+    row += ",\"l2_hits\":";
+    telemetry::appendDecimal(row, memStats.l2Hits);
+    row += ",\"l2_misses\":";
+    telemetry::appendDecimal(row, memStats.l2Misses);
+    row += ",\"ledger\":";
+    memStats.ledger.appendCompact(row);
+    row += ",\"mshr_stall_cycles\":";
+    telemetry::appendDecimal(row, memStats.mshrStallCycles);
+    row += ",\"mshrs_in_use\":";
+    telemetry::appendDecimal(row, static_cast<uint64_t>(mshrs));
+    row += ",\"noc_bytes\":";
+    telemetry::appendDecimal(row, memStats.nocBytes);
+    row += ",\"outstanding\":";
+    telemetry::appendDecimal(row, inFlight.size() + completed.size());
+    row += ",\"run\":\"";
+    row += timelineRun->label();
+    row += "\"}";
+    timelineRun->endRow();
 }
 
 void
@@ -322,10 +425,10 @@ MemorySystem::budgetReadyCycle(uint64_t now, double budget, double inc,
 uint64_t
 MemorySystem::nextEventCycle(uint64_t now) const
 {
-    // Per-cycle telemetry sampling (distributions) cannot be replayed
-    // in closed form; with a sink attached, observation degrades to
-    // per-cycle ticking.
-    if (mshrOccupancy != nullptr)
+    // Interval telemetry sampling (distributions, timeline rows)
+    // cannot be replayed in closed form; with a sink or timeline
+    // attached, observation degrades to per-cycle ticking.
+    if (mshrOccupancy != nullptr || timelineRun != nullptr)
         return now + 1;
     uint64_t ev = kNoEventCycle;
     auto at = [&ev](uint64_t c) { ev = std::min(ev, c); };
@@ -380,6 +483,10 @@ MemorySystem::nextEventCycle(uint64_t now) const
 void
 MemorySystem::fastForward(uint64_t from, uint64_t to)
 {
+    // Skipped windows are quiescent by construction: one closed-form
+    // classification of the frozen state covers every skipped cycle
+    // (classifyStall never reads the byte budgets updated below).
+    memStats.ledger.add(classifyStall(), to - from);
     double k = static_cast<double>(to - from);
     double line = static_cast<double>(config.cacheLineBytes);
     // An MSHR-blocked head counts one stall per skipped tick whose
@@ -431,8 +538,9 @@ uint64_t
 MemorySystem::quiescenceFingerprint() const
 {
     // Excluded on purpose: byte budgets, fillReady/mshrsInUse (expiry
-    // is deferred under fast-forward), mshrStallCycles (replayed in
-    // closed form by fastForward), and the clock itself.
+    // is deferred under fast-forward), mshrStallCycles and the cycle
+    // ledger (both replayed in closed form by fastForward), and the
+    // clock itself.
     uint64_t h = 1469598103934665603ull;
     auto mix = [&h](uint64_t v) {
         h ^= v;

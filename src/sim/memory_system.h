@@ -17,9 +17,11 @@
 #include "adg/adg.h"
 #include "sim/config.h"
 #include "sim/engine.h"
+#include "telemetry/ledger.h"
 
 namespace overgen::telemetry {
 class Distribution;
+class TimelineRun;
 } // namespace overgen::telemetry
 
 namespace overgen::sim {
@@ -41,6 +43,9 @@ struct MemoryStats
      * `completed` map: entries are erased on successful poll, so this
      * is the worst-case live footprint of the transaction tables. */
     uint64_t peakOutstandingTxns = 0;
+    /** Where every clocked cycle went (always on; bit-identical with
+     * fast-forward on or off — see telemetry/ledger.h). */
+    telemetry::CycleLedger ledger;
 };
 
 /**
@@ -102,6 +107,14 @@ class MemorySystem : public ClockedComponent
      */
     void attachTelemetry(int trace_pid, const std::string &prefix);
 
+    /**
+     * Stream interval time-series rows into @p run every @p interval
+     * cycles (requires a live `config.sink`, whose presence already
+     * degrades the horizon to per-cycle ticking).
+     */
+    void attachTimeline(telemetry::TimelineRun *run,
+                        uint64_t interval);
+
   private:
     struct Txn
     {
@@ -152,6 +165,15 @@ class MemorySystem : public ClockedComponent
     /** Probe and update the tag store (allocates on miss). */
     LookupResult lookup(Bank &bank, uint64_t addr, bool write);
 
+    /**
+     * Classify one quiescent (no-progress) cycle for the ledger. Reads
+     * only window-frozen state (queue occupancies, in-flight fills,
+     * MSHR merge windows) — never byte budgets — so one classification
+     * holds for a whole skipped window (see DESIGN.md "Cycle
+     * accounting and timelines" for why expiry deferral is safe).
+     */
+    telemetry::CycleCategory classifyStall() const;
+
     adg::SystemParams sys;
     SimConfig config;
     std::vector<Bank> banks;
@@ -174,6 +196,13 @@ class MemorySystem : public ClockedComponent
     int tracePid = 0;
     uint64_t lastNocBytes = 0;
     uint64_t lastDramBytes = 0;
+    /// @}
+
+    /** @name Interval time-series (null when sampling is off) */
+    /// @{
+    void emitTimelineRow();
+    telemetry::TimelineRun *timelineRun = nullptr;
+    uint64_t timelineInterval = 0;
     /// @}
 };
 

@@ -34,6 +34,13 @@ dumpCounters(telemetry::Sink &sink, const std::string &kernel,
         .add(result.memory.mshrStallCycles);
     reg.counter(mem + "peak_outstanding_txns")
         .add(result.memory.peakOutstandingTxns);
+    if (result.deadlocked)
+        reg.counter(base + "deadlocks").inc();
+    for (int c = 0; c < telemetry::kNumCycleCategories; ++c) {
+        auto cat = static_cast<telemetry::CycleCategory>(c);
+        reg.counter(mem + "cycles/" + telemetry::cycleCategoryName(cat))
+            .add(result.memory.ledger[cat]);
+    }
     for (size_t t = 0; t < result.tiles.size(); ++t) {
         const TileStats &ts = result.tiles[t];
         const std::string tile =
@@ -47,6 +54,12 @@ dumpCounters(telemetry::Sink &sink, const std::string &kernel,
         reg.counter(tile + "dma_bytes").add(ts.dmaBytes);
         reg.counter(tile + "recurrence_bytes")
             .add(ts.recurrenceBytes);
+        for (int c = 0; c < telemetry::kNumCycleCategories; ++c) {
+            auto cat = static_cast<telemetry::CycleCategory>(c);
+            reg.counter(tile + "cycles/" +
+                        telemetry::cycleCategoryName(cat))
+                .add(ts.ledger[cat]);
+        }
     }
 }
 
@@ -100,6 +113,22 @@ simulate(const wl::KernelSpec &spec, const dfg::Mdfg &mdfg,
         }
     }
 
+    // Interval time-series: one TimelineRun per simulate() call, fed
+    // by the memory system and every tile. Rows within a run are
+    // appended by the single thread driving this engine; batch
+    // drivers give each job a unique runLabel so lines() serializes
+    // deterministically for every --sim-threads value.
+    if (sink != nullptr && sink->timelineEnabled()) {
+        const std::string label =
+            config.runLabel.empty() ? spec.name : config.runLabel;
+        telemetry::TimelineRun *run =
+            sink->timeline().beginRun(label);
+        uint64_t interval = sink->options().statsInterval;
+        memsys.attachTimeline(run, interval);
+        for (auto &sim : sims)
+            sim->attachTimeline(run, interval);
+    }
+
     // The engine ticks the memory system first, then the tiles, in
     // the order the historical loop did.
     SimEngine engine(config);
@@ -127,6 +156,7 @@ simulate(const wl::KernelSpec &spec, const dfg::Mdfg &mdfg,
     SimResult result;
     result.completed = outcome.completed;
     result.deadlocked = outcome.deadlocked;
+    result.diagnostic = outcome.diagnostic;
     result.cycles = cycle;
     result.tickedCycles = outcome.tickedCycles;
     result.skippedCycles = outcome.skippedCycles;

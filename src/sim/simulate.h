@@ -20,6 +20,9 @@ struct SimResult
     bool completed = false;
     /** The deadlock watchdog aborted the run (implies !completed). */
     bool deadlocked = false;
+    /** Watchdog diagnostic: the per-component describeState() dump
+     * taken at abort time (empty unless deadlocked). */
+    std::string diagnostic;
     uint64_t cycles = 0;
     uint64_t totalIterations = 0;
     /** Committed instructions (compute + memory ops) per cycle. */

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "common/logging.h"
 #include "telemetry/sink.h"
+#include "telemetry/timeline.h"
 
 namespace overgen::sim {
 
@@ -163,6 +165,21 @@ struct TileSim::Impl
     bool fabricPortsReady() const;
     /// @}
 
+    /** @name Cycle accounting (telemetry/ledger.h). The conditions
+     * read only window-frozen state (port FIFOs, outstanding
+     * transactions, walker position, timing gates) — never bandwidth
+     * budgets — so one classification holds for a whole skipped
+     * window and the ledger is bit-identical with fast-forward on or
+     * off. */
+    /// @{
+    /** Whether any engine has memory transactions in flight. */
+    bool anyOutstanding() const;
+    /** Classify one quiescent (no-progress, unfinished) cycle. */
+    telemetry::CycleCategory classifyStall(uint64_t cycle) const;
+    /** Closed-form attribution of the skipped window (from, to]. */
+    void accountWindow(uint64_t from, uint64_t to);
+    /// @}
+
     void engineTick(adg::NodeId engine_id, EngineRt &engine,
                     uint64_t cycle);
     void memoryEngineIssue(EngineRt &engine, uint64_t cycle);
@@ -209,6 +226,13 @@ struct TileSim::Impl
     int tracePid = 0;
     uint64_t lastFirings = 0;
     uint64_t lastStallCycles = 0;
+    /// @}
+
+    /** @name Interval time-series (null when sampling is off) */
+    /// @{
+    void emitTimelineRow(uint64_t cycle);
+    telemetry::TimelineRun *timelineRun = nullptr;
+    uint64_t timelineInterval = 0;
     /// @}
 };
 
@@ -842,8 +866,13 @@ TileSim::Impl::sampleTelemetry(uint64_t cycle)
 void
 TileSim::Impl::tick(uint64_t cycle)
 {
-    if (finished)
+    if (finished) {
+        stats.ledger.add(telemetry::CycleCategory::Barrier);
+        if (timelineRun != nullptr && cycle % timelineInterval == 0)
+            emitTimelineRow(cycle);
         return;
+    }
+    uint64_t progress_before = progressEvents;
     for (auto &rt : streams)
         rt->port.tick(cycle);
     for (auto &[engine_id, engine] : engines)
@@ -867,6 +896,12 @@ TileSim::Impl::tick(uint64_t cycle)
             ++progressEvents;
         }
     }
+    if (progressEvents != progress_before)
+        stats.ledger.add(telemetry::CycleCategory::Busy);
+    else
+        stats.ledger.add(classifyStall(cycle));
+    if (timelineRun != nullptr && cycle % timelineInterval == 0)
+        emitTimelineRow(cycle);
 }
 
 bool
@@ -905,6 +940,102 @@ TileSim::Impl::fabricPortsReady() const
         }
     }
     return true;
+}
+
+bool
+TileSim::Impl::anyOutstanding() const
+{
+    for (const auto &[engine_id, engine] : engines)
+        if (!engine.outstanding.empty())
+            return true;
+    return false;
+}
+
+telemetry::CycleCategory
+TileSim::Impl::classifyStall(uint64_t cycle) const
+{
+    using C = telemetry::CycleCategory;
+    if (cycle < stats.startupCycles)
+        return C::Startup;
+    if (anyOutstanding())
+        return C::DramFill;
+    if (!fabricWalker.done()) {
+        if (!fabricPortsReady())
+            return C::PortStall;
+        if (cycle < fireReadyCycle())
+            return C::IiGate;
+        // Defensive: gate passed with ready ports would have fired
+        // (and counted Busy); only reachable through a model change.
+        return C::Idle;
+    }
+    // Fabric done but not drained: retiring output ports / in-flight
+    // stores (in-flight DRAM work was caught by anyOutstanding()).
+    return C::PortStall;
+}
+
+void
+TileSim::Impl::accountWindow(uint64_t from, uint64_t to)
+{
+    using C = telemetry::CycleCategory;
+    uint64_t lo = from + 1;
+    if (lo < stats.startupCycles) {
+        uint64_t n = std::min(to + 1, stats.startupCycles) - lo;
+        stats.ledger.add(C::Startup, n);
+        lo += n;
+    }
+    if (lo > to)
+        return;
+    uint64_t n = to - lo + 1;
+    if (anyOutstanding()) {
+        stats.ledger.add(C::DramFill, n);
+    } else if (!fabricWalker.done()) {
+        if (!fabricPortsReady()) {
+            stats.ledger.add(C::PortStall, n);
+        } else {
+            // The only cycle-dependent condition past startup is the
+            // timing gate: IiGate before it, Idle (defensively) after.
+            uint64_t gate = fireReadyCycle();
+            uint64_t ii =
+                lo < gate ? std::min(to, gate - 1) - lo + 1 : 0;
+            if (ii > 0)
+                stats.ledger.add(C::IiGate, ii);
+            if (n > ii)
+                stats.ledger.add(C::Idle, n - ii);
+        }
+    } else {
+        stats.ledger.add(C::PortStall, n);
+    }
+}
+
+void
+TileSim::Impl::emitTimelineRow(uint64_t cycle)
+{
+    // Hand-formatted compact JSON, keys sorted — the same bytes a
+    // Json::dump of the equivalent object would give, minus the map
+    // allocations and snprintf format parsing (this runs on the
+    // per-cycle hot path; see the bench/micro_sim
+    // instrumentation-overhead guard).
+    std::string &row = timelineRun->beginRow();
+    row += "{\"comp\":\"tile";
+    telemetry::appendDecimal(row, static_cast<uint64_t>(tileIndex));
+    row += "\",\"cycle\":";
+    telemetry::appendDecimal(row, cycle);
+    row += ",\"dma_bytes\":";
+    telemetry::appendDecimal(row, stats.dmaBytes);
+    row += ",\"fabric_stall_cycles\":";
+    telemetry::appendDecimal(row, stats.fabricStallCycles);
+    row += ",\"firings\":";
+    telemetry::appendDecimal(row, stats.firings);
+    row += ",\"iterations\":";
+    telemetry::appendDecimal(row, stats.iterations);
+    row += ",\"ledger\":";
+    stats.ledger.appendCompact(row);
+    row += ",\"run\":\"";
+    row += timelineRun->label();
+    row += "\",\"spad_bytes\":";
+    telemetry::appendDecimal(row, stats.spadBytes);
+    row += '}';
+    timelineRun->endRow();
 }
 
 uint64_t
@@ -989,8 +1120,15 @@ TileSim::Impl::nextEventCycle(uint64_t now) const
 void
 TileSim::Impl::fastForward(uint64_t from, uint64_t to)
 {
-    if (finished)
+    if (finished) {
+        stats.ledger.add(telemetry::CycleCategory::Barrier,
+                         to - from);
         return;
+    }
+    // Attribute the window before the budget/toggle updates below so
+    // the classification sees the same pre-window state a per-cycle
+    // run would (it never reads budgets, but keep the ordering tight).
+    accountWindow(from, to);
     uint64_t k = to - from;
     for (auto &[engine_id, engine] : engines) {
         // Budget saturation: b = min(b + inc, cap) per tick collapses
@@ -1026,7 +1164,8 @@ uint64_t
 TileSim::Impl::fingerprint() const
 {
     // Excluded on purpose (legal drift in a skipped range): engine
-    // byte budgets, the issue toggle, and fabric stall counts.
+    // byte budgets, the issue toggle, fabric stall counts, and the
+    // cycle ledger (accrued in closed form over skipped windows).
     uint64_t h = 1469598103934665603ull;
     auto mix = [&h](uint64_t v) {
         h ^= v;
@@ -1143,6 +1282,16 @@ void
 TileSim::describeState(std::string &out) const
 {
     impl->describe(out);
+}
+
+void
+TileSim::attachTimeline(telemetry::TimelineRun *run,
+                        uint64_t interval)
+{
+    OG_ASSERT(run == nullptr || interval > 0,
+              "timeline sampling needs a positive interval");
+    impl->timelineRun = run;
+    impl->timelineInterval = interval;
 }
 
 const TileStats &

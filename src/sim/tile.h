@@ -16,6 +16,11 @@
 #include "sched/schedule.h"
 #include "sim/exec.h"
 #include "sim/memory_system.h"
+#include "telemetry/ledger.h"
+
+namespace overgen::telemetry {
+class TimelineRun;
+} // namespace overgen::telemetry
 
 namespace overgen::sim {
 
@@ -30,6 +35,9 @@ struct TileStats
     uint64_t dmaBytes = 0;
     uint64_t recurrenceBytes = 0;
     uint64_t finishCycle = 0;
+    /** Where every clocked cycle went (always on; bit-identical with
+     * fast-forward on or off — see telemetry/ledger.h). */
+    telemetry::CycleLedger ledger;
 };
 
 /** One tile executing a scheduled mDFG over an outer-loop partition. */
@@ -60,6 +68,14 @@ class TileSim : public ClockedComponent
 
     /** @return whether all work (including drains) has retired. */
     bool done() const;
+
+    /**
+     * Stream interval time-series rows for this tile into @p run
+     * every @p interval cycles (requires a live `config.sink`, whose
+     * presence already degrades the horizon to per-cycle ticking).
+     */
+    void attachTimeline(telemetry::TimelineRun *run,
+                        uint64_t interval);
 
     /** @return statistics. */
     const TileStats &stats() const;

@@ -1,0 +1,69 @@
+#include "telemetry/ledger.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace overgen::telemetry {
+
+const char *
+cycleCategoryName(CycleCategory category)
+{
+    switch (category) {
+      case CycleCategory::Busy:
+        return "busy";
+      case CycleCategory::Startup:
+        return "startup";
+      case CycleCategory::IiGate:
+        return "ii_gate";
+      case CycleCategory::PortStall:
+        return "port_stall";
+      case CycleCategory::DramFill:
+        return "dram_fill";
+      case CycleCategory::NocContention:
+        return "noc_contention";
+      case CycleCategory::Barrier:
+        return "barrier";
+      case CycleCategory::Idle:
+        return "idle";
+    }
+    OG_PANIC("unknown CycleCategory ", static_cast<int>(category));
+}
+
+Json
+CycleLedger::toJson() const
+{
+    Json obj = Json::makeObject();
+    for (int c = 0; c < kNumCycleCategories; ++c) {
+        obj.set(cycleCategoryName(static_cast<CycleCategory>(c)),
+                Json(counts[c]));
+    }
+    return obj;
+}
+
+void
+CycleLedger::appendCompact(std::string &out) const
+{
+    // Alphabetical category order — the byte order Json::dump gives
+    // the std::map-backed toJson() object.
+    static constexpr CycleCategory kSorted[] = {
+        CycleCategory::Barrier,   CycleCategory::Busy,
+        CycleCategory::DramFill,  CycleCategory::Idle,
+        CycleCategory::IiGate,    CycleCategory::NocContention,
+        CycleCategory::PortStall, CycleCategory::Startup,
+    };
+    out += '{';
+    bool first = true;
+    for (CycleCategory cat : kSorted) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += '"';
+        out += cycleCategoryName(cat);
+        out += "\":";
+        appendDecimal(out, (*this)[cat]);
+    }
+    out += '}';
+}
+
+} // namespace overgen::telemetry

@@ -19,6 +19,8 @@ Sink::flush()
 {
     if (!opts.tracePath.empty())
         emitter.writeTo(opts.tracePath);
+    if (!opts.timelinePath.empty())
+        series.writeTo(opts.timelinePath);
     if (!opts.dseLogPath.empty()) {
         std::lock_guard<std::mutex> lock(dseMutex);
         std::FILE *f = std::fopen(opts.dseLogPath.c_str(), "w");

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "telemetry/registry.h"
+#include "telemetry/timeline.h"
 #include "telemetry/trace.h"
 
 namespace overgen::telemetry {
@@ -44,6 +45,12 @@ struct SinkOptions
     bool traceDetail = false;
     /** Cycles between periodic counter samples in the trace. */
     uint64_t counterSampleInterval = 64;
+    /** Interval time-series JSONL output (`--stats-jsonl`); rows are
+     * kept in memory (Timeline) when empty. */
+    std::string timelinePath;
+    /** Cycles between timeline samples (`--stats-interval`); 0
+     * disables interval sampling entirely. */
+    uint64_t statsInterval = 0;
 };
 
 /** See file comment. */
@@ -70,6 +77,12 @@ class Sink
 
     TraceEmitter &trace() { return emitter; }
     const TraceEmitter &trace() const { return emitter; }
+
+    /** @return whether interval time-series sampling is on. */
+    bool timelineEnabled() const { return opts.statsInterval > 0; }
+
+    Timeline &timeline() { return series; }
+    const Timeline &timeline() const { return series; }
 
     /**
      * @return a fresh id for one traced activity (one simulate() call
@@ -102,6 +115,7 @@ class Sink
     SinkOptions opts;
     Registry reg;
     TraceEmitter emitter;
+    Timeline series;
     std::mutex dseMutex;
     std::vector<std::string> dseLog;
     std::atomic<int> lastRunId{ 0 };

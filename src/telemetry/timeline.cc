@@ -1,0 +1,89 @@
+#include "telemetry/timeline.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace overgen::telemetry {
+
+std::vector<std::string>
+TimelineRun::lines() const
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start < buf.size()) {
+        size_t end = buf.find('\n', start);
+        OG_ASSERT(end != std::string::npos,
+                  "unterminated timeline row");
+        out.push_back(buf.substr(start, end - start));
+        start = end + 1;
+    }
+    return out;
+}
+
+TimelineRun *
+Timeline::beginRun(const std::string &label)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    runs.emplace_back(label);
+    return &runs.back();
+}
+
+std::vector<const TimelineRun *>
+Timeline::sortedRuns() const
+{
+    std::vector<const TimelineRun *> order;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        for (const TimelineRun &run : runs)
+            order.push_back(&run);
+    }
+    std::sort(order.begin(), order.end(),
+              [](const TimelineRun *a, const TimelineRun *b) {
+                  if (a->label() != b->label())
+                      return a->label() < b->label();
+                  return a->bytes() < b->bytes();
+              });
+    return order;
+}
+
+size_t
+Timeline::rowCount() const
+{
+    size_t n = 0;
+    std::lock_guard<std::mutex> lock(mutex);
+    for (const TimelineRun &run : runs) {
+        const std::string &bytes = run.bytes();
+        n += static_cast<size_t>(
+            std::count(bytes.begin(), bytes.end(), '\n'));
+    }
+    return n;
+}
+
+std::vector<std::string>
+Timeline::lines() const
+{
+    std::vector<std::string> out;
+    for (const TimelineRun *run : sortedRuns()) {
+        std::vector<std::string> rows = run->lines();
+        out.insert(out.end(),
+                   std::make_move_iterator(rows.begin()),
+                   std::make_move_iterator(rows.end()));
+    }
+    return out;
+}
+
+void
+Timeline::writeTo(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    OG_ASSERT(f != nullptr, "cannot open timeline '", path, "'");
+    for (const std::string &line : lines()) {
+        std::fwrite(line.data(), 1, line.size(), f);
+        std::fputc('\n', f);
+    }
+    std::fclose(f);
+}
+
+} // namespace overgen::telemetry

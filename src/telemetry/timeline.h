@@ -1,0 +1,107 @@
+#ifndef OVERGEN_TELEMETRY_TIMELINE_H
+#define OVERGEN_TELEMETRY_TIMELINE_H
+
+/**
+ * @file
+ * Interval time-series sampling. A Timeline collects TimelineRuns —
+ * one per simulate() call — each a stream of JSONL rows snapshotting
+ * the run's CycleLedgers and key gauges every
+ * `SinkOptions::statsInterval` cycles (`--stats-interval` on the
+ * bench harnesses).
+ *
+ * Concurrency contract (mirrors Sink::logDse): beginRun() is
+ * mutex-guarded so concurrent sim::runBatch jobs can open runs in any
+ * completion order, while each TimelineRun is appended to by exactly
+ * one simulation thread (a simulation is single-threaded), so
+ * append() takes no lock. lines() and writeTo() serialize runs sorted
+ * by (label, content) — byte-identical output for every
+ * `--sim-threads` value — and require the batch to have completed
+ * (no concurrent append), like Sink::dseLines().
+ */
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace overgen::telemetry {
+
+/** The row stream of one simulated run (single-writer). Rows live in
+ * one contiguous newline-separated byte buffer: emitters format
+ * directly into it via beginRow()/endRow(), so sampling costs no
+ * per-row allocation (amortized buffer growth only — the
+ * bench/micro_sim overhead guard holds the whole instrumentation
+ * path under 3%). */
+class TimelineRun
+{
+  public:
+    explicit TimelineRun(std::string label) : tag(std::move(label)) {}
+
+    /** Run label stamped into each row ("run"). */
+    const std::string &label() const { return tag; }
+
+    /** Start one row: append the serialized JSON to the returned
+     * buffer, then call endRow(). No other beginRow() may intervene
+     * (single-writer). */
+    std::string &beginRow() { return buf; }
+
+    /** Terminate the row begun by beginRow(). */
+    void endRow() { buf += '\n'; }
+
+    /** Append one pre-serialized JSON row (no trailing newline). */
+    void
+    append(const std::string &row)
+    {
+        buf += row;
+        buf += '\n';
+    }
+
+    /** The raw newline-terminated row bytes. */
+    const std::string &bytes() const { return buf; }
+
+    /** The rows as individual lines (cold path: reports/tests). */
+    std::vector<std::string> lines() const;
+
+  private:
+    std::string tag;
+    std::string buf;
+};
+
+/** See file comment. */
+class Timeline
+{
+  public:
+    /**
+     * Open the row stream for one run. The returned pointer is stable
+     * for the Timeline's lifetime and owned by it. Safe to call
+     * concurrently (one call per runBatch job).
+     */
+    TimelineRun *beginRun(const std::string &label);
+
+    /** @return total rows sampled so far (requires no concurrent
+     * append; test/report convenience). */
+    size_t rowCount() const;
+
+    /**
+     * All rows as JSONL lines, runs ordered by (label, row content) —
+     * a pure function of the sampled data, independent of the thread
+     * count or completion order that produced it.
+     */
+    std::vector<std::string> lines() const;
+
+    /** Write lines() to @p path (one row per line). */
+    void writeTo(const std::string &path) const;
+
+  private:
+    /** Runs in sorted serialization order (see lines()). */
+    std::vector<const TimelineRun *> sortedRuns() const;
+
+    mutable std::mutex mutex;
+    /** deque: stable element addresses across beginRun() growth. */
+    std::deque<TimelineRun> runs;
+};
+
+} // namespace overgen::telemetry
+
+#endif // OVERGEN_TELEMETRY_TIMELINE_H

@@ -147,6 +147,10 @@ canonicalRecords(const std::vector<std::string> &lines)
         // The hit/miss split is observability, not trajectory (see
         // parallel_determinism_test.cc).
         record.asObject().erase("cache");
+        // Heartbeat rate fields are wall-clock-flavored too (and
+        // cache_hit_rate only exists with the cache on).
+        record.asObject().erase("candidates_per_sec");
+        record.asObject().erase("cache_hit_rate");
         out.push_back(record.dump());
     }
     return out;

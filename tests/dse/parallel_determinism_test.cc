@@ -58,6 +58,9 @@ canonicalRecords(const std::vector<std::string> &lines)
         // trajectories), so it sits outside the determinism contract
         // just like "seconds".
         record.asObject().erase("cache");
+        // Heartbeat rate fields are wall-clock-flavored too.
+        record.asObject().erase("candidates_per_sec");
+        record.asObject().erase("cache_hit_rate");
         out.push_back(record.dump());
     }
     return out;

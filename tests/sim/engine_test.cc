@@ -167,6 +167,10 @@ expectIdentical(const SimResult &a, const SimResult &b,
     EXPECT_EQ(a.memory.peakOutstandingTxns,
               b.memory.peakOutstandingTxns)
         << label;
+    // Cycle ledgers must be bit-identical across execution modes, and
+    // the taxonomy must account for every clocked cycle exactly once.
+    EXPECT_EQ(a.memory.ledger, b.memory.ledger) << label;
+    EXPECT_EQ(a.memory.ledger.total(), a.cycles) << label;
     ASSERT_EQ(a.tiles.size(), b.tiles.size()) << label;
     for (size_t t = 0; t < a.tiles.size(); ++t) {
         const TileStats &ta = a.tiles[t];
@@ -180,6 +184,8 @@ expectIdentical(const SimResult &a, const SimResult &b,
         EXPECT_EQ(ta.dmaBytes, tb.dmaBytes) << at;
         EXPECT_EQ(ta.recurrenceBytes, tb.recurrenceBytes) << at;
         EXPECT_EQ(ta.finishCycle, tb.finishCycle) << at;
+        EXPECT_EQ(ta.ledger, tb.ledger) << at;
+        EXPECT_EQ(ta.ledger.total(), a.cycles) << at;
     }
 }
 

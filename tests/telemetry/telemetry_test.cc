@@ -176,11 +176,29 @@ TEST(Dse, OneJsonlRecordPerIteration)
     dse::DseResult result =
         dse::exploreOverlay({ wl::makeAccumulate() }, options);
 
-    ASSERT_EQ(sink.dseLines().size(),
-              static_cast<size_t>(result.iterationsRun));
+    // Heartbeat progress records share the stream, marked by a
+    // "type" key; iteration records carry none.
+    std::vector<Json> iters;
+    size_t heartbeats = 0;
+    for (const std::string &line : sink.dseLines()) {
+        Json record = Json::parse(line);
+        if (record.asObject().count("type") > 0) {
+            EXPECT_EQ(record.at("type").asString(), "heartbeat");
+            EXPECT_EQ(record.at("run").asString(), "test-run");
+            EXPECT_TRUE(record.at("best_objective").asNumber() > 0.0);
+            EXPECT_TRUE(record.at("candidates_per_sec").isNumber());
+            ++heartbeats;
+            continue;
+        }
+        iters.push_back(std::move(record));
+    }
+    ASSERT_EQ(iters.size(), static_cast<size_t>(result.iterationsRun));
+    EXPECT_GE(heartbeats, 1u);
+    EXPECT_EQ(sink.registry().counter("dse/heartbeats").value(),
+              heartbeats);
     int accepted = 0;
-    for (size_t i = 0; i < sink.dseLines().size(); ++i) {
-        Json record = Json::parse(sink.dseLines()[i]);
+    for (size_t i = 0; i < iters.size(); ++i) {
+        const Json &record = iters[i];
         EXPECT_EQ(record.at("run").asString(), "test-run");
         EXPECT_EQ(record.at("iteration").asNumber(),
                   static_cast<double>(i + 1));
