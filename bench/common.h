@@ -23,6 +23,7 @@
 #include "dse/explorer.h"
 #include "hls/autodse.h"
 #include "sched/scheduler.h"
+#include "serve/wire.h"
 #include "sim/batch.h"
 #include "sim/simulate.h"
 #include "telemetry/bridge.h"
@@ -31,16 +32,49 @@
 
 namespace overgen::bench {
 
+/** Consume `--prefix=value` style flags: when @p arg starts with
+ * @p prefix, store the (non-empty) remainder in @p out. */
+inline bool
+eatFlag(const std::string &arg, const char *prefix, std::string &out)
+{
+    size_t len = std::string(prefix).size();
+    if (arg.compare(0, len, prefix) != 0)
+        return false;
+    out = arg.substr(len);
+    OG_ASSERT(!out.empty(), "empty value in '", arg, "'");
+    return true;
+}
+
 /**
- * Flag parsing + shared services for every harness.
+ * The flag set every harness shares, parsed once by
+ * parseCommonFlags(). Fields are resolved (defaults applied), so a
+ * Harness built from this is fully configured; `extra` holds
+ * harness-specific arguments the caller asked to keep (see
+ * takeExtraFlag / rejectExtraFlags).
+ */
+struct CommonFlags
+{
+    telemetry::SinkOptions sink;
+    std::string registryPath;
+    int threads = 1;
+    int simThreads = 1;
+    bool evalCache = true;
+    bool noFastForward = false;
+    /** Unrecognized arguments, in order (allowExtra mode only). */
+    std::vector<std::string> extra;
+};
+
+/**
+ * Parse the common harness flags:
  *
  * Parallelism: `--threads N` (or `--threads=N`) sizes the work pool
- * used for both the DSE's speculative candidate evaluation
- * (`dseOptions().threads`) and the harness-level fan-out of
- * independent explorations/simulations (`pool()`). The default is
- * the hardware concurrency; `--threads 1` is the legacy serial path.
- * Results are identical for every thread count — only wall-clock
- * changes (see DESIGN.md "Determinism under parallelism").
+ * used for both the DSE's speculative candidate evaluation and the
+ * harness-level fan-out of independent explorations/simulations. The
+ * default is the hardware concurrency; `--threads 1` is the legacy
+ * serial path. Results are identical for every thread count — only
+ * wall-clock changes (see DESIGN.md "Determinism under parallelism").
+ * `--sim-threads[=]N` independently sizes batched simulation
+ * (sim::runBatch), defaulting to `--threads`.
  *
  * Telemetry: `--trace=<path>` records a Chrome trace_event file of
  * every simulation the harness runs (open in chrome://tracing or
@@ -52,85 +86,139 @@ namespace overgen::bench {
  * key stats every N cycles into an interval time-series, written as
  * JSONL to `--stats-jsonl=<path>` (defaults: interval 4096 when only
  * the path is given, path "timeline.jsonl" when only the interval
- * is). Without any flag `sink()` returns null and the run is
- * telemetry-free.
+ * is).
+ *
+ * Unknown arguments are fatal unless @p allowExtra, in which case
+ * they collect in `extra` for the harness to consume (report_cycles'
+ * `--suite=`, the serve drivers' `--workers=`/`--shard-size=`/...);
+ * call rejectExtraFlags() on the leftovers so typos stay fatal.
+ */
+inline CommonFlags
+parseCommonFlags(int argc, char **argv, bool allowExtra = false)
+{
+    CommonFlags flags;
+    std::string threadsArg;
+    std::string simThreadsArg;
+    std::string statsIntervalArg;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--threads" && i + 1 < argc) {
+            threadsArg = argv[++i];
+            continue;
+        }
+        if (arg == "--sim-threads" && i + 1 < argc) {
+            simThreadsArg = argv[++i];
+            continue;
+        }
+        if (arg == "--stats-interval" && i + 1 < argc) {
+            statsIntervalArg = argv[++i];
+            continue;
+        }
+        if (!eatFlag(arg, "--trace=", flags.sink.tracePath) &&
+            !eatFlag(arg, "--dse-log=", flags.sink.dseLogPath) &&
+            !eatFlag(arg, "--telemetry-json=", flags.registryPath) &&
+            !eatFlag(arg, "--stats-jsonl=", flags.sink.timelinePath) &&
+            !eatFlag(arg, "--threads=", threadsArg) &&
+            !eatFlag(arg, "--sim-threads=", simThreadsArg) &&
+            !eatFlag(arg, "--stats-interval=", statsIntervalArg) &&
+            arg != "--trace-detail" && arg != "--no-eval-cache" &&
+            arg != "--no-fast-forward") {
+            if (allowExtra) {
+                flags.extra.push_back(arg);
+                continue;
+            }
+            OG_FATAL("unknown argument '", arg,
+                     "' (expected --threads[=]<n>, "
+                     "--sim-threads[=]<n>, --trace=<path>, "
+                     "--dse-log=<path>, --trace-detail, "
+                     "--no-eval-cache, --no-fast-forward, "
+                     "--stats-interval[=]<n>, "
+                     "--stats-jsonl=<path>, or "
+                     "--telemetry-json=<path>)");
+        }
+        if (arg == "--trace-detail")
+            flags.sink.traceDetail = true;
+        if (arg == "--no-eval-cache")
+            flags.evalCache = false;
+        if (arg == "--no-fast-forward")
+            flags.noFastForward = true;
+    }
+    if (!statsIntervalArg.empty()) {
+        int interval = std::atoi(statsIntervalArg.c_str());
+        OG_ASSERT(interval >= 1, "bad --stats-interval value '",
+                  statsIntervalArg, "'");
+        flags.sink.statsInterval = static_cast<uint64_t>(interval);
+        if (flags.sink.timelinePath.empty())
+            flags.sink.timelinePath = "timeline.jsonl";
+    } else if (!flags.sink.timelinePath.empty()) {
+        flags.sink.statsInterval = 4096;  // path given: default cadence
+    }
+    if (!threadsArg.empty()) {
+        flags.threads = std::atoi(threadsArg.c_str());
+        OG_ASSERT(flags.threads >= 1, "bad --threads value '",
+                  threadsArg, "'");
+    } else {
+        flags.threads = ThreadPool::hardwareThreads();
+    }
+    if (!simThreadsArg.empty()) {
+        flags.simThreads = std::atoi(simThreadsArg.c_str());
+        OG_ASSERT(flags.simThreads >= 1, "bad --sim-threads value '",
+                  simThreadsArg, "'");
+    } else {
+        flags.simThreads = flags.threads;
+    }
+    return flags;
+}
+
+/** Remove the first `<prefix><value>` argument from @p extra, storing
+ * the value in @p out. @return whether one was found. */
+inline bool
+takeExtraFlag(std::vector<std::string> &extra, const char *prefix,
+              std::string &out)
+{
+    for (auto it = extra.begin(); it != extra.end(); ++it) {
+        if (eatFlag(*it, prefix, out)) {
+            extra.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Fatal on any argument the harness did not consume. */
+inline void
+rejectExtraFlags(const std::vector<std::string> &extra)
+{
+    if (!extra.empty())
+        OG_FATAL("unknown argument '", extra.front(), "'");
+}
+
+/**
+ * Shared services for every harness, configured by the common flag
+ * set (see parseCommonFlags). Most harnesses construct it straight
+ * from (argc, argv); harnesses with their own flags parse with
+ * `allowExtra`, consume theirs, and hand the rest over.
  */
 class Harness
 {
   public:
     Harness(int argc, char **argv)
+        : Harness(parseCommonFlags(argc, argv))
     {
-        telemetry::SinkOptions opts;
-        std::string threadsArg;
-        std::string simThreadsArg;
-        std::string statsIntervalArg;
-        for (int i = 1; i < argc; ++i) {
-            std::string arg = argv[i];
-            if (arg == "--threads" && i + 1 < argc) {
-                threadsArg = argv[++i];
-                continue;
-            }
-            if (arg == "--sim-threads" && i + 1 < argc) {
-                simThreadsArg = argv[++i];
-                continue;
-            }
-            if (arg == "--stats-interval" && i + 1 < argc) {
-                statsIntervalArg = argv[++i];
-                continue;
-            }
-            if (!eat(arg, "--trace=", opts.tracePath) &&
-                !eat(arg, "--dse-log=", opts.dseLogPath) &&
-                !eat(arg, "--telemetry-json=", registryPath) &&
-                !eat(arg, "--stats-jsonl=", opts.timelinePath) &&
-                !eat(arg, "--threads=", threadsArg) &&
-                !eat(arg, "--sim-threads=", simThreadsArg) &&
-                !eat(arg, "--stats-interval=", statsIntervalArg) &&
-                arg != "--trace-detail" &&
-                arg != "--no-eval-cache" &&
-                arg != "--no-fast-forward") {
-                OG_FATAL("unknown argument '", arg,
-                         "' (expected --threads[=]<n>, "
-                         "--sim-threads[=]<n>, --trace=<path>, "
-                         "--dse-log=<path>, --trace-detail, "
-                         "--no-eval-cache, --no-fast-forward, "
-                         "--stats-interval[=]<n>, "
-                         "--stats-jsonl=<path>, or "
-                         "--telemetry-json=<path>)");
-            }
-            if (arg == "--trace-detail")
-                opts.traceDetail = true;
-            if (arg == "--no-eval-cache")
-                useEvalCache = false;
-            if (arg == "--no-fast-forward")
-                noFastForward = true;
-        }
-        if (!statsIntervalArg.empty()) {
-            int interval = std::atoi(statsIntervalArg.c_str());
-            OG_ASSERT(interval >= 1, "bad --stats-interval value '",
-                      statsIntervalArg, "'");
-            opts.statsInterval = static_cast<uint64_t>(interval);
-            if (opts.timelinePath.empty())
-                opts.timelinePath = "timeline.jsonl";
-        } else if (!opts.timelinePath.empty()) {
-            opts.statsInterval = 4096;  // path given: default cadence
-        }
-        if (!threadsArg.empty()) {
-            numThreads = std::atoi(threadsArg.c_str());
-            OG_ASSERT(numThreads >= 1, "bad --threads value '",
-                      threadsArg, "'");
-        } else {
-            numThreads = ThreadPool::hardwareThreads();
-        }
-        if (!simThreadsArg.empty()) {
-            numSimThreads = std::atoi(simThreadsArg.c_str());
-            OG_ASSERT(numSimThreads >= 1, "bad --sim-threads value '",
-                      simThreadsArg, "'");
-        } else {
-            numSimThreads = numThreads;
-        }
-        if (!opts.tracePath.empty() || !opts.dseLogPath.empty() ||
-            !registryPath.empty() || opts.statsInterval > 0) {
-            live = std::make_unique<telemetry::Sink>(opts);
+    }
+
+    explicit Harness(const CommonFlags &flags)
+        : registryPath(flags.registryPath),
+          numThreads(flags.threads),
+          numSimThreads(flags.simThreads),
+          useEvalCache(flags.evalCache),
+          noFastForward(flags.noFastForward)
+    {
+        rejectExtraFlags(flags.extra);
+        if (!flags.sink.tracePath.empty() ||
+            !flags.sink.dseLogPath.empty() ||
+            !registryPath.empty() || flags.sink.statsInterval > 0) {
+            live = std::make_unique<telemetry::Sink>(flags.sink);
         }
     }
 
@@ -239,17 +327,6 @@ class Harness
     }
 
   private:
-    static bool
-    eat(const std::string &arg, const char *prefix, std::string &out)
-    {
-        size_t len = std::string(prefix).size();
-        if (arg.compare(0, len, prefix) != 0)
-            return false;
-        out = arg.substr(len);
-        OG_ASSERT(!out.empty(), "empty value in '", arg, "'");
-        return true;
-    }
-
     std::unique_ptr<telemetry::Sink> live;
     std::unique_ptr<ThreadPool> workPool;
     std::string registryPath;
@@ -376,28 +453,47 @@ runMapped(const wl::KernelSpec &spec, const dse::DseResult &dse,
  * once with runPreparedBatch — the sim::runBatch fan-out across
  * `--sim-threads` workers. `ok == false` marks an unschedulable
  * kernel; it flows through the batch as a skipped row.
+ *
+ * The design is shared, not owned: a 19-kernel suite on one overlay
+ * holds one SysAdg, not 19 copies (share with shareDesign() and pass
+ * the same pointer to every prepare call). The simulator only reads
+ * it, so sharing is safe across sim threads too.
  */
 struct PreparedSim
 {
     bool ok = false;
     const wl::KernelSpec *spec = nullptr;  //!< caller-owned, stable
-    adg::SysAdg design;
+    std::shared_ptr<const adg::SysAdg> design;
     dfg::Mdfg mdfg;
     sched::Schedule schedule;
+    /** Per-entry SimConfig overrides (0 / -1 = harness default). The
+     * serve workers and the watchdog tests use these to tighten one
+     * row's memory system without touching its batch siblings. */
+    int dramLatency = 0;
+    int64_t deadlockCycles = -1;
 };
+
+/** Promote a design to the shared form PreparedSim stores. */
+inline std::shared_ptr<const adg::SysAdg>
+shareDesign(adg::SysAdg design)
+{
+    return std::make_shared<const adg::SysAdg>(std::move(design));
+}
 
 /** Compile/schedule @p spec on @p design (first-fit variant). */
 inline PreparedSim
-prepareOverlayRun(const wl::KernelSpec &spec, const adg::SysAdg &design,
+prepareOverlayRun(const wl::KernelSpec &spec,
+                  std::shared_ptr<const adg::SysAdg> design,
                   bool apply_tuning = false)
 {
+    OG_ASSERT(design != nullptr, "prepareOverlayRun: null design");
     PreparedSim prepared;
     prepared.spec = &spec;
-    prepared.design = design;
+    prepared.design = std::move(design);
     compiler::CompileOptions copts;
     copts.applyTuning = apply_tuning;
     auto variants = compiler::compileVariants(spec, copts);
-    sched::SpatialScheduler scheduler(prepared.design.adg);
+    sched::SpatialScheduler scheduler(prepared.design->adg);
     auto fit = scheduler.scheduleFirstFit(variants);
     if (!fit)
         return prepared;
@@ -407,18 +503,38 @@ prepareOverlayRun(const wl::KernelSpec &spec, const adg::SysAdg &design,
     return prepared;
 }
 
-/** Pair @p spec with the schedule a DSE result chose for it. */
+/** Convenience overload copying @p design once (prefer the shared
+ * overload when preparing many kernels on one design). */
+inline PreparedSim
+prepareOverlayRun(const wl::KernelSpec &spec, const adg::SysAdg &design,
+                  bool apply_tuning = false)
+{
+    return prepareOverlayRun(spec, shareDesign(design), apply_tuning);
+}
+
+/** Pair @p spec with the schedule a DSE result chose for it; @p design
+ * must be the shared form of `dse.design` (shared by the caller so N
+ * kernels of one DSE result hold one copy). */
+inline PreparedSim
+prepareMapped(const wl::KernelSpec &spec, const dse::DseResult &dse,
+              size_t index, std::shared_ptr<const adg::SysAdg> design)
+{
+    OG_ASSERT(design != nullptr, "prepareMapped: null design");
+    PreparedSim prepared;
+    prepared.ok = true;
+    prepared.spec = &spec;
+    prepared.design = std::move(design);
+    prepared.mdfg = dse.mdfgs[index];
+    prepared.schedule = dse.schedules[index];
+    return prepared;
+}
+
+/** Convenience overload copying `dse.design` once per call. */
 inline PreparedSim
 prepareMapped(const wl::KernelSpec &spec, const dse::DseResult &dse,
               size_t index)
 {
-    PreparedSim prepared;
-    prepared.ok = true;
-    prepared.spec = &spec;
-    prepared.design = dse.design;
-    prepared.mdfg = dse.mdfgs[index];
-    prepared.schedule = dse.schedules[index];
-    return prepared;
+    return prepareMapped(spec, dse, index, shareDesign(dse.design));
 }
 
 /**
@@ -435,12 +551,18 @@ runPreparedBatch(const std::vector<PreparedSim> &prepared,
     for (size_t i = 0; i < prepared.size(); ++i) {
         if (!prepared[i].ok)
             continue;
+        OG_ASSERT(prepared[i].design != nullptr,
+                  "prepared entry ", i, " has no design");
         sim::SimJob job;
         job.spec = prepared[i].spec;
         job.mdfg = &prepared[i].mdfg;
         job.schedule = &prepared[i].schedule;
-        job.design = &prepared[i].design;
+        job.design = prepared[i].design.get();
         job.config = harness.simConfig();
+        if (prepared[i].dramLatency > 0)
+            job.config.dramLatency = prepared[i].dramLatency;
+        if (prepared[i].deadlockCycles >= 0)
+            job.config.deadlockCycles = prepared[i].deadlockCycles;
         // Unique per-job timeline label so `--stats-jsonl` output is
         // byte-identical for every --sim-threads value (the timeline
         // sorts runs by label at write time).
@@ -466,6 +588,39 @@ runPreparedBatch(const std::vector<PreparedSim> &prepared,
         }
     }
     return rows;
+}
+
+/** Build the serve-layer job set: every @p specs kernel on one shared
+ * @p design (interned once in the set's design table, referenced by
+ * id from every job). */
+inline serve::JobSet
+makeJobSet(const std::vector<wl::KernelSpec> &specs,
+           const adg::SysAdg &design, bool apply_tuning = false,
+           bool small_size = false)
+{
+    serve::JobSet set;
+    int designId = set.addDesign(design);
+    for (const auto &spec : specs)
+        set.addJob(spec.name, designId, apply_tuning, small_size);
+    return set;
+}
+
+/** Convert a serve-layer result row into the harness OverlayRun shape
+ * (seconds derived from the overlay clock; the wire row carries no
+ * per-component stats). */
+inline OverlayRun
+fromResultRow(const serve::ResultRow &row)
+{
+    OverlayRun run;
+    run.ok = row.ok;
+    run.deadlocked = row.deadlocked;
+    run.diagnostic = row.diagnostic;
+    run.cycles = row.cycles;
+    run.seconds =
+        static_cast<double>(row.cycles) / (overlayClockMhz * 1e6);
+    run.ipc = row.ipc;
+    run.variant = row.variant;
+    return run;
 }
 
 /** Geometric mean helper over positive values. */

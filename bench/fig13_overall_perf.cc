@@ -52,7 +52,9 @@ main(int argc, char **argv)
                   "overall performance vs AutoDSE (speedup > 1 means "
                   "OverGen is faster)");
     int iters = bench::benchIterations();
-    adg::SysAdg general = bench::generalOverlay();
+    // One shared copy of the general overlay serves every kernel's
+    // prepared mapping (PreparedSim shares designs, not copies them).
+    auto general = bench::shareDesign(bench::generalOverlay());
 
     std::printf("%-12s %9s %9s %10s %9s %9s\n", "workload",
                 "AD(s)", "tuned-AD", "general-OG", "suite-OG",
@@ -74,6 +76,7 @@ main(int argc, char **argv)
         options.applyTuning = true;
         dse::DseResult suite_dse =
             dse::exploreOverlay(suites[s], options);
+        auto suite_design = bench::shareDesign(suite_dse.design);
 
         // Phase 1 (harness pool): per-kernel AutoDSE baselines,
         // per-workload exploration, and compile/schedule of the three
@@ -87,8 +90,8 @@ main(int argc, char **argv)
 
                 prep.onGeneral =
                     bench::prepareOverlayRun(spec, general, true);
-                prep.onSuite =
-                    bench::prepareMapped(spec, suite_dse, k);
+                prep.onSuite = bench::prepareMapped(spec, suite_dse,
+                                                    k, suite_design);
 
                 dse::DseOptions wl_options = harness.dseOptions(
                     iters, 100 + k, spec.name + "-wl");

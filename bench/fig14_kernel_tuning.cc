@@ -17,7 +17,7 @@ main(int argc, char **argv)
 {
     bench::Harness harness(argc, argv);
     bench::banner("Figure 14", "impact of kernel tuning");
-    adg::SysAdg general = bench::generalOverlay();
+    auto general = bench::shareDesign(bench::generalOverlay());
 
     const char *workloads[] = { "cholesky", "fft",      "stencil-3d",
                                 "crs",      "gemm",     "stencil-2d",

@@ -54,6 +54,7 @@ main(int argc, char **argv)
     dse::DseOptions options =
         harness.dseOptions(iters, 77, "full-suite");
     dse::DseResult full = dse::exploreOverlay(suite, options);
+    auto full_design = bench::shareDesign(full.design);
 
     // Phase 1 (harness pool): the five leave-one-out explorations and
     // held-out compile/schedule steps, timed individually.
@@ -98,10 +99,11 @@ main(int argc, char **argv)
 
             prep.onLoo.ok = true;
             prep.onLoo.spec = &suite[held];
-            prep.onLoo.design = loo.design;
+            prep.onLoo.design = bench::shareDesign(loo.design);
             prep.onLoo.mdfg = std::move(variants[fit->second]);
             prep.onLoo.schedule = std::move(fit->first);
-            prep.onFull = bench::prepareMapped(suite[held], full, held);
+            prep.onFull = bench::prepareMapped(suite[held], full, held,
+                                               full_design);
             return prep;
         });
 

@@ -66,14 +66,23 @@ main(int argc, char **argv)
             return row;
         });
 
-    std::vector<bench::PreparedSim> prepared;
+    // One shared design per channel count; every workload's points
+    // reference these three instead of carrying 57 SysAdg copies.
     const int channel_counts[] = { 1, 2, 4 };
+    std::vector<std::shared_ptr<const adg::SysAdg>> channel_designs;
+    for (int channels : channel_counts) {
+        adg::SysAdg design = base;
+        design.sys.dramChannels = channels;
+        channel_designs.push_back(
+            bench::shareDesign(std::move(design)));
+    }
+    std::vector<bench::PreparedSim> prepared;
     for (const wl::KernelSpec &k : workloads) {
         bench::PreparedSim mapping =
-            bench::prepareOverlayRun(k, base, true);
-        for (int channels : channel_counts) {
+            bench::prepareOverlayRun(k, channel_designs[0], true);
+        for (size_t c = 0; c < channel_designs.size(); ++c) {
             bench::PreparedSim point = mapping;
-            point.design.sys.dramChannels = channels;
+            point.design = channel_designs[c];
             prepared.push_back(std::move(point));
         }
     }

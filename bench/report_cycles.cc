@@ -68,18 +68,13 @@ printLedgerRow(const char *component,
 int
 main(int argc, char **argv)
 {
-    // Pre-parse --suite= (harness flags pass through untouched).
+    // Common flags plus our own --suite= (anything else stays fatal
+    // via the Harness's rejectExtraFlags).
+    bench::CommonFlags flags =
+        bench::parseCommonFlags(argc, argv, /*allowExtra=*/true);
     std::string suite_name = "dsp";
-    std::vector<char *> passthrough;
-    passthrough.push_back(argv[0]);
-    for (int i = 1; i < argc; ++i) {
-        if (std::strncmp(argv[i], "--suite=", 8) == 0)
-            suite_name = argv[i] + 8;
-        else
-            passthrough.push_back(argv[i]);
-    }
-    bench::Harness harness(static_cast<int>(passthrough.size()),
-                           passthrough.data());
+    bench::takeExtraFlag(flags.extra, "--suite=", suite_name);
+    bench::Harness harness(flags);
 
     std::vector<wl::KernelSpec> workloads;
     if (suite_name == "dsp")
@@ -99,7 +94,7 @@ main(int argc, char **argv)
     std::printf("suite: %s (%zu workloads)\n\n", suite_name.c_str(),
                 workloads.size());
 
-    adg::SysAdg design = bench::generalOverlay();
+    auto design = bench::shareDesign(bench::generalOverlay());
     std::vector<bench::PreparedSim> prepared;
     for (const wl::KernelSpec &spec : workloads)
         prepared.push_back(bench::prepareOverlayRun(spec, design));

@@ -1,0 +1,117 @@
+#ifndef OVERGEN_SERVE_COORDINATOR_H
+#define OVERGEN_SERVE_COORDINATOR_H
+
+/**
+ * @file
+ * The coordinator side of the overlay-generation job server: shard a
+ * JobSet across a pool of forked worker processes, stream result rows
+ * back over pipes, and survive stragglers and crashes (see DESIGN.md
+ * "Serving layer" for the retry/timeout state machine).
+ *
+ * Robustness:
+ *  - worker crash (pipe EOF / SIGCHLD reap): the in-flight shard is
+ *    re-queued with bounded backoff and a replacement worker forked;
+ *  - straggler (no heartbeat/result within `deadlineMs`): a duplicate
+ *    attempt is dispatched to another worker — first result per job
+ *    wins, late duplicates are counted and dropped;
+ *  - attempts are capped at `maxAttempts` per shard; exhausted shards
+ *    surface as not-ok rows with an "abandoned" diagnostic instead of
+ *    hanging the batch.
+ *
+ * Determinism: rows are stored by job index and serialized in index
+ * order; row content is a pure function of the job descriptor, so
+ * mergedJsonl() is byte-identical for any worker count and shard size
+ * (tests/serve/coordinator_test.cc pins this).
+ *
+ * Threading: the coordinator is strictly single-threaded (one poll()
+ * loop), which keeps fork() safe — no locks can be held at fork time.
+ * Call it before creating harness thread pools, or from a thread that
+ * owns no pool.
+ */
+
+#include <functional>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+#include "serve/wire.h"
+
+namespace overgen::telemetry {
+class Sink;
+} // namespace overgen::telemetry
+
+namespace overgen::serve {
+
+/** Coordinator knobs. */
+struct CoordinatorOptions
+{
+    /** Worker processes to fork (clamped to the shard count). */
+    int workers = 2;
+    /** Jobs per shard (0 = the whole set as one shard). */
+    size_t shardSize = 1;
+    /** sim::runBatch threads inside each worker (1 = serial). */
+    int simThreadsPerWorker = 1;
+    /** Straggler deadline: re-dispatch a shard whose attempt shows no
+     * heartbeat or result for this long (0 disables). */
+    int deadlineMs = 0;
+    /** Total attempts per shard before it is abandoned. */
+    int maxAttempts = 3;
+    /** Backoff base: a re-queued shard waits attempts * backoffMs
+     * before re-dispatch. */
+    int backoffMs = 25;
+    /** Fork a replacement when a worker dies (bounded; see
+     * ServeSummary::respawns). */
+    bool respawnWorkers = true;
+    /** Orderly-shutdown grace before SIGKILLing lingering workers. */
+    int shutdownGraceMs = 2000;
+    /** Telemetry sink: serve/... counters land in its registry. */
+    telemetry::Sink *sink = nullptr;
+    /**
+     * Test/observability hook: called for every record a worker sends,
+     * with the worker's pool index and pid. The robustness tests use
+     * it to SIGKILL/SIGSTOP a worker mid-run; it must not write to
+     * coordinator state.
+     */
+    std::function<void(const Json &record, int worker, pid_t pid)>
+        onRecord;
+};
+
+/** Drop/retry accounting for one serveJobs() call — the payload of
+ * the final summary record. */
+struct ServeSummary
+{
+    uint64_t jobs = 0;
+    uint64_t shards = 0;
+    uint64_t workersSpawned = 0;  //!< initial forks + respawns
+    uint64_t respawns = 0;
+    uint64_t retries = 0;     //!< re-dispatches (crash + straggler)
+    uint64_t timeouts = 0;    //!< straggler deadlines that fired
+    uint64_t crashes = 0;     //!< workers that died with work in flight
+    uint64_t duplicates = 0;  //!< late duplicate rows dropped
+    uint64_t heartbeats = 0;
+    uint64_t abandoned = 0;   //!< jobs failed after maxAttempts
+    bool ok = false;          //!< every job produced a real row
+};
+
+/** Everything serveJobs() produces. */
+struct ServeOutcome
+{
+    /** One row per job, index-ordered (rows[i] is jobs[i]). */
+    std::vector<ResultRow> rows;
+    ServeSummary summary;
+
+    /** The summary as a JSONL-ready record. */
+    Json summaryJson() const;
+};
+
+/**
+ * Run every job of @p set across a pool of forked workers and return
+ * the index-ordered rows plus the retry/drop accounting. Blocks until
+ * every job has a row (real or abandoned) and every worker is reaped.
+ */
+ServeOutcome serveJobs(const JobSet &set,
+                       const CoordinatorOptions &options = {});
+
+} // namespace overgen::serve
+
+#endif // OVERGEN_SERVE_COORDINATOR_H

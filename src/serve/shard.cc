@@ -1,0 +1,23 @@
+#include "serve/shard.h"
+
+namespace overgen::serve {
+
+std::vector<Shard>
+planShards(size_t jobCount, size_t shardSize)
+{
+    std::vector<Shard> shards;
+    if (jobCount == 0)
+        return shards;
+    if (shardSize == 0)
+        shardSize = jobCount;
+    for (size_t first = 0; first < jobCount; first += shardSize) {
+        Shard shard;
+        shard.id = static_cast<int>(shards.size());
+        shard.first = first;
+        shard.count = std::min(shardSize, jobCount - first);
+        shards.push_back(shard);
+    }
+    return shards;
+}
+
+} // namespace overgen::serve

@@ -1,0 +1,35 @@
+#ifndef OVERGEN_SERVE_SHARD_H
+#define OVERGEN_SERVE_SHARD_H
+
+/**
+ * @file
+ * Shard planning for the job server: split a JobSet into contiguous
+ * shards — the unit of dispatch, heartbeating, retry, and
+ * re-dispatch. Planning is a pure function of (job count, shard
+ * size); the coordinator dispatches shards to whichever worker is
+ * idle, and the merged output stays byte-identical because rows are
+ * keyed by job index, never by shard or worker.
+ */
+
+#include <cstddef>
+#include <vector>
+
+namespace overgen::serve {
+
+/** One dispatch unit: a contiguous job-index range. */
+struct Shard
+{
+    int id = 0;
+    size_t first = 0;  //!< first job index
+    size_t count = 0;  //!< number of jobs
+};
+
+/**
+ * Split @p jobCount jobs into shards of @p shardSize (the last shard
+ * takes the remainder; 0 means one shard holding everything).
+ */
+std::vector<Shard> planShards(size_t jobCount, size_t shardSize);
+
+} // namespace overgen::serve
+
+#endif // OVERGEN_SERVE_SHARD_H

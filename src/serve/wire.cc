@@ -1,0 +1,195 @@
+#include "serve/wire.h"
+
+#include <cerrno>
+#include <unistd.h>
+
+#include "common/logging.h"
+
+namespace overgen::serve {
+
+int
+JobSet::addDesign(const adg::SysAdg &design)
+{
+    Json json = design.toJson();
+    std::string key = json.dump();
+    auto it = designIds.find(key);
+    if (it != designIds.end())
+        return it->second;
+    int id = static_cast<int>(designs.size());
+    designs.push_back(std::move(json));
+    designIds.emplace(std::move(key), id);
+    return id;
+}
+
+uint64_t
+JobSet::addJob(const std::string &workload, int designId,
+               bool applyTuning, bool smallSize)
+{
+    OG_ASSERT(designId >= 0 &&
+                  designId < static_cast<int>(designs.size()),
+              "job references unknown design id ", designId);
+    JobSpec job;
+    job.index = jobs.size();
+    job.workload = workload;
+    job.designId = designId;
+    job.applyTuning = applyTuning;
+    job.smallSize = smallSize;
+    jobs.push_back(std::move(job));
+    return jobs.back().index;
+}
+
+Json
+jobToJson(const JobSpec &job)
+{
+    Json obj = Json::makeObject();
+    obj.set("index", Json(job.index));
+    obj.set("workload", Json(job.workload));
+    obj.set("design", Json(job.designId));
+    if (job.smallSize)
+        obj.set("small", Json(true));
+    if (job.applyTuning)
+        obj.set("tuning", Json(true));
+    if (job.dramLatency > 0)
+        obj.set("dram_latency", Json(job.dramLatency));
+    if (job.deadlockCycles >= 0)
+        obj.set("deadlock_cycles", Json(job.deadlockCycles));
+    return obj;
+}
+
+JobSpec
+jobFromJson(const Json &json)
+{
+    JobSpec job;
+    job.index = static_cast<uint64_t>(json.at("index").asInt());
+    job.workload = json.at("workload").asString();
+    job.designId = static_cast<int>(json.at("design").asInt());
+    if (json.contains("small"))
+        job.smallSize = json.at("small").asBool();
+    if (json.contains("tuning"))
+        job.applyTuning = json.at("tuning").asBool();
+    if (json.contains("dram_latency"))
+        job.dramLatency =
+            static_cast<int>(json.at("dram_latency").asInt());
+    if (json.contains("deadlock_cycles"))
+        job.deadlockCycles = json.at("deadlock_cycles").asInt();
+    return job;
+}
+
+Json
+resultToJson(const ResultRow &row)
+{
+    Json obj = Json::makeObject();
+    obj.set("ok", Json(row.ok));
+    obj.set("deadlocked", Json(row.deadlocked));
+    if (!row.diagnostic.empty())
+        obj.set("diagnostic", Json(row.diagnostic));
+    obj.set("variant", Json(row.variant));
+    obj.set("cycles", Json(row.cycles));
+    obj.set("ipc", Json(row.ipc));
+    return obj;
+}
+
+ResultRow
+resultFromJson(const Json &json)
+{
+    ResultRow row;
+    row.ok = json.at("ok").asBool();
+    row.deadlocked = json.at("deadlocked").asBool();
+    if (json.contains("diagnostic"))
+        row.diagnostic = json.at("diagnostic").asString();
+    row.variant = json.at("variant").asString();
+    row.cycles = static_cast<uint64_t>(json.at("cycles").asInt());
+    row.ipc = json.at("ipc").asNumber();
+    return row;
+}
+
+std::string
+mergedLine(const JobSpec &job, const ResultRow &row)
+{
+    // Object keys serialize map-sorted, and doubles print as %.17g
+    // (exact round-trip through parse), so this line is a pure
+    // function of the job and the deterministic simulation.
+    Json obj = resultToJson(row);
+    obj.set("index", Json(job.index));
+    obj.set("workload", Json(job.workload));
+    return obj.dump();
+}
+
+std::string
+mergedJsonl(const JobSet &set, const std::vector<ResultRow> &rows)
+{
+    OG_ASSERT(rows.size() == set.jobs.size(),
+              "result rows (", rows.size(), ") do not cover the job "
+              "set (", set.jobs.size(), ")");
+    std::string out;
+    for (size_t i = 0; i < set.jobs.size(); ++i) {
+        out += mergedLine(set.jobs[i], rows[i]);
+        out += '\n';
+    }
+    return out;
+}
+
+bool
+writeLine(int fd, const std::string &line)
+{
+    std::string framed = line;
+    framed += '\n';
+    size_t off = 0;
+    while (off < framed.size()) {
+        ssize_t n =
+            ::write(fd, framed.data() + off, framed.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;  // EPIPE: peer exited
+        }
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+LineReader::Fill
+LineReader::fill(int fd)
+{
+    char chunk[4096];
+    while (true) {
+        ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n > 0) {
+            buf.append(chunk, static_cast<size_t>(n));
+            return Fill::Data;
+        }
+        if (n == 0)
+            return Fill::Eof;
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return Fill::WouldBlock;
+        return Fill::Eof;  // treat hard errors as a dead peer
+    }
+}
+
+bool
+LineReader::next(std::string &line)
+{
+    size_t pos = buf.find('\n', scanned);
+    if (pos == std::string::npos) {
+        scanned = buf.size();
+        return false;
+    }
+    line.assign(buf, 0, pos);
+    buf.erase(0, pos + 1);
+    scanned = 0;
+    return true;
+}
+
+bool
+readLineBlocking(int fd, LineReader &reader, std::string &line)
+{
+    while (!reader.next(line)) {
+        if (reader.fill(fd) == LineReader::Fill::Eof)
+            return reader.next(line);
+    }
+    return true;
+}
+
+} // namespace overgen::serve

@@ -1,0 +1,152 @@
+#ifndef OVERGEN_SERVE_WIRE_H
+#define OVERGEN_SERVE_WIRE_H
+
+/**
+ * @file
+ * Wire protocol of the overlay-generation job server: newline-
+ * delimited JSON records exchanged between the coordinator and its
+ * worker processes over pipes (see DESIGN.md "Serving layer").
+ *
+ * Record types (every record is one line, discriminated by "t"):
+ *
+ *   coordinator -> worker
+ *     {"t":"designs","designs":[<sysadg json>, ...]}   design table
+ *     {"t":"shard","shard":K,"jobs":[<job>, ...]}      work assignment
+ *     {"t":"bye"}                                      orderly shutdown
+ *
+ *   worker -> coordinator
+ *     {"t":"hello","pid":P}                            post-fork handshake
+ *     {"t":"hb","shard":K,"done":D,"total":N}          progress heartbeat
+ *     {"t":"result","job":J,"row":{...}}               one OverlayRun row
+ *     {"t":"done","shard":K}                           shard complete
+ *
+ * Determinism contract: a job's result row is a pure function of the
+ * job descriptor (the simulator is single-threaded-deterministic), and
+ * rows carry no wall-clock, pid, or worker-identity fields — so the
+ * merged, index-ordered output is byte-identical for any worker count
+ * and shard size. Progress and identity live only in heartbeat
+ * records and the final summary, which are not part of the merged
+ * stream.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "adg/adg.h"
+#include "common/json.h"
+
+namespace overgen::serve {
+
+/** One (design, workload) simulation job, the unit of retry and of
+ * the merged output ordering. */
+struct JobSpec
+{
+    /** Position of this job's row in the merged output. */
+    uint64_t index = 0;
+    /** Workload name (wl::workloadByName / smallWorkloadByName key). */
+    std::string workload;
+    /** Run the shrunken test-size instance instead of the paper size. */
+    bool smallSize = false;
+    /** Index into the JobSet design table. */
+    int designId = 0;
+    /** Compile with OverGen's source tuning (fig13/17 convention). */
+    bool applyTuning = false;
+    /** @name SimConfig overrides (defaults keep the stock values) */
+    /// @{
+    int dramLatency = 0;          //!< 0 keeps SimConfig::dramLatency
+    int64_t deadlockCycles = -1;  //!< -1 keeps SimConfig::deadlockCycles
+    /// @}
+};
+
+/**
+ * A batch of jobs plus the interned design table they reference.
+ * Designs are deduplicated by serialized content, so the fig13/17/19
+ * pattern — every job on one shared design — serializes the design
+ * once, not once per job.
+ */
+struct JobSet
+{
+    std::vector<Json> designs;
+    std::vector<JobSpec> jobs;
+
+    /** Intern @p design, returning its table id (existing on dedup). */
+    int addDesign(const adg::SysAdg &design);
+
+    /** Append a job for @p workload on design @p designId; @return its
+     * merged-output index. */
+    uint64_t addJob(const std::string &workload, int designId,
+                    bool applyTuning = false, bool smallSize = false);
+
+  private:
+    std::map<std::string, int> designIds;  //!< dump() -> table id
+};
+
+/** One result row: the scalar OverlayRun fields (per-component stats
+ * stay in-process; see DESIGN.md "Serving layer"). */
+struct ResultRow
+{
+    bool ok = false;
+    bool deadlocked = false;
+    /** Watchdog diagnostic / abandonment reason (empty when ok). */
+    std::string diagnostic;
+    std::string variant;
+    uint64_t cycles = 0;
+    double ipc = 0.0;
+};
+
+/** @name Record codecs */
+/// @{
+Json jobToJson(const JobSpec &job);
+JobSpec jobFromJson(const Json &json);
+Json resultToJson(const ResultRow &row);
+ResultRow resultFromJson(const Json &json);
+
+/** The canonical merged-output line for job @p job with result
+ * @p row (no trailing newline). */
+std::string mergedLine(const JobSpec &job, const ResultRow &row);
+
+/** The full merged JSONL stream: one mergedLine per job, in job-index
+ * order — byte-identical for every worker count and shard size. */
+std::string mergedJsonl(const JobSet &set,
+                        const std::vector<ResultRow> &rows);
+/// @}
+
+/** @name Line framing over pipes */
+/// @{
+
+/** Write @p line plus a newline to @p fd, retrying short writes and
+ * EINTR. @return false on EPIPE/other errors (peer gone). */
+bool writeLine(int fd, const std::string &line);
+
+/** Incremental line splitter over a pipe fd. fill() pulls whatever
+ * the fd has; next() pops complete lines in arrival order. */
+class LineReader
+{
+  public:
+    enum class Fill
+    {
+        Data,        //!< read at least one byte
+        WouldBlock,  //!< nonblocking fd had nothing
+        Eof,         //!< peer closed (or unrecoverable error)
+    };
+
+    /** Read once from @p fd into the buffer. */
+    Fill fill(int fd);
+
+    /** Pop the next complete line into @p line. */
+    bool next(std::string &line);
+
+  private:
+    std::string buf;
+    size_t scanned = 0;  //!< prefix of buf known to hold no newline
+};
+
+/** Blocking convenience: fill from @p fd until a full line or EOF. */
+bool readLineBlocking(int fd, LineReader &reader, std::string &line);
+/// @}
+
+} // namespace overgen::serve
+
+#endif // OVERGEN_SERVE_WIRE_H

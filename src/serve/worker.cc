@@ -1,0 +1,193 @@
+#include "serve/worker.h"
+
+#include <unistd.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "compiler/compile.h"
+#include "sched/scheduler.h"
+#include "sim/batch.h"
+#include "workloads/suites.h"
+
+namespace overgen::serve {
+
+namespace {
+
+/** One shard job readied for sim::runBatch. */
+struct PreparedJob
+{
+    bool ok = false;
+    wl::KernelSpec spec;
+    std::shared_ptr<const adg::SysAdg> design;
+    dfg::Mdfg mdfg;
+    sched::Schedule schedule;
+};
+
+sim::SimConfig
+configFor(const JobSpec &job, telemetry::Sink *sink)
+{
+    sim::SimConfig config;
+    config.sink = sink;
+    if (job.dramLatency > 0)
+        config.dramLatency = job.dramLatency;
+    if (job.deadlockCycles >= 0)
+        config.deadlockCycles =
+            static_cast<uint64_t>(job.deadlockCycles);
+    return config;
+}
+
+PreparedJob
+prepare(const JobSpec &job,
+        const std::shared_ptr<const adg::SysAdg> &design)
+{
+    PreparedJob prepared;
+    prepared.spec = job.smallSize
+                        ? wl::smallWorkloadByName(job.workload)
+                        : wl::workloadByName(job.workload);
+    prepared.design = design;
+    compiler::CompileOptions copts;
+    copts.applyTuning = job.applyTuning;
+    auto variants = compiler::compileVariants(prepared.spec, copts);
+    sched::SpatialScheduler scheduler(design->adg);
+    auto fit = scheduler.scheduleFirstFit(variants);
+    if (!fit)
+        return prepared;
+    prepared.ok = true;
+    prepared.mdfg = std::move(variants[fit->second]);
+    prepared.schedule = std::move(fit->first);
+    return prepared;
+}
+
+ResultRow
+rowFrom(const PreparedJob &prepared, const sim::SimResult &result)
+{
+    ResultRow row;
+    row.ok = result.completed;
+    row.deadlocked = result.deadlocked;
+    row.diagnostic = result.diagnostic;
+    row.cycles = result.cycles;
+    row.ipc = result.ipc;
+    row.variant = prepared.mdfg.name;
+    return row;
+}
+
+} // namespace
+
+ResultRow
+runJob(const JobSpec &job, const adg::SysAdg &design,
+       const WorkerOptions &options)
+{
+    // Aliasing constructor: borrow the caller's design without a copy.
+    PreparedJob prepared = prepare(
+        job, std::shared_ptr<const adg::SysAdg>(
+                 std::shared_ptr<const adg::SysAdg>(), &design));
+    if (!prepared.ok)
+        return {};
+    wl::Memory memory;
+    memory.init(prepared.spec);
+    sim::SimResult result =
+        sim::simulate(prepared.spec, prepared.mdfg, prepared.schedule,
+                      design, memory, configFor(job, options.sink));
+    return rowFrom(prepared, result);
+}
+
+int
+workerLoop(int inFd, int outFd, const WorkerOptions &options)
+{
+    std::vector<std::shared_ptr<const adg::SysAdg>> designs;
+    LineReader reader;
+    std::string line;
+
+    Json hello = Json::makeObject();
+    hello.set("t", Json("hello"));
+    hello.set("pid", Json(static_cast<int64_t>(::getpid())));
+    if (!writeLine(outFd, hello.dump()))
+        return 1;
+
+    while (readLineBlocking(inFd, reader, line)) {
+        Json record = Json::parse(line);
+        const std::string &type = record.at("t").asString();
+        if (type == "bye")
+            return 0;
+        if (type == "designs") {
+            designs.clear();
+            for (const Json &json : record.at("designs").asArray()) {
+                designs.push_back(std::make_shared<const adg::SysAdg>(
+                    adg::SysAdg::fromJson(json)));
+            }
+            continue;
+        }
+        OG_ASSERT(type == "shard", "worker got unexpected record '",
+                  type, "'");
+        int shard = static_cast<int>(record.at("shard").asInt());
+        const Json::Array &jobJsons = record.at("jobs").asArray();
+
+        // Prepare phase: compile + schedule each job, heartbeating so
+        // the coordinator's straggler clock sees forward progress.
+        std::vector<JobSpec> specs;
+        std::vector<PreparedJob> prepared;
+        for (size_t i = 0; i < jobJsons.size(); ++i) {
+            JobSpec job = jobFromJson(jobJsons[i]);
+            OG_ASSERT(job.designId >= 0 &&
+                          job.designId <
+                              static_cast<int>(designs.size()),
+                      "shard ", shard, " references unknown design ",
+                      job.designId);
+            Json hb = Json::makeObject();
+            hb.set("t", Json("hb"));
+            hb.set("shard", Json(shard));
+            hb.set("done", Json(static_cast<uint64_t>(i)));
+            hb.set("total",
+                   Json(static_cast<uint64_t>(jobJsons.size())));
+            if (!writeLine(outFd, hb.dump()))
+                return 1;
+            prepared.push_back(prepare(job, designs[job.designId]));
+            specs.push_back(std::move(job));
+        }
+
+        // Execute phase: the whole shard as one sim::runBatch.
+        std::vector<sim::SimJob> batch;
+        std::vector<size_t> batchOf;
+        for (size_t i = 0; i < prepared.size(); ++i) {
+            if (!prepared[i].ok)
+                continue;
+            sim::SimJob job;
+            job.spec = &prepared[i].spec;
+            job.mdfg = &prepared[i].mdfg;
+            job.schedule = &prepared[i].schedule;
+            job.design = prepared[i].design.get();
+            job.config = configFor(specs[i], options.sink);
+            batch.push_back(job);
+            batchOf.push_back(i);
+        }
+        sim::BatchOptions batchOptions;
+        batchOptions.threads = options.simThreads;
+        std::vector<sim::SimResult> results =
+            sim::runBatch(batch, batchOptions);
+
+        // Stream phase: one result record per job, in job order.
+        std::vector<ResultRow> rows(prepared.size());
+        for (size_t j = 0; j < results.size(); ++j)
+            rows[batchOf[j]] = rowFrom(prepared[batchOf[j]],
+                                       results[j]);
+        for (size_t i = 0; i < rows.size(); ++i) {
+            Json out = Json::makeObject();
+            out.set("t", Json("result"));
+            out.set("job", Json(specs[i].index));
+            out.set("row", resultToJson(rows[i]));
+            if (!writeLine(outFd, out.dump()))
+                return 1;
+        }
+        Json done = Json::makeObject();
+        done.set("t", Json("done"));
+        done.set("shard", Json(shard));
+        if (!writeLine(outFd, done.dump()))
+            return 1;
+    }
+    return 0;  // coordinator closed the pipe: orderly EOF
+}
+
+} // namespace overgen::serve

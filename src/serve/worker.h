@@ -1,0 +1,53 @@
+#ifndef OVERGEN_SERVE_WORKER_H
+#define OVERGEN_SERVE_WORKER_H
+
+/**
+ * @file
+ * The worker side of the job server: a blocking read-execute-stream
+ * loop a forked child runs over its coordinator pipes. Each shard
+ * goes through the existing prepare -> sim::runBatch pipeline —
+ * compile + first-fit schedule per job (cheap, serial, heartbeat per
+ * job), then one batched simulation pass — and streams back one
+ * result record per job, in job order, followed by a shard-done
+ * record (see serve/wire.h for the record grammar).
+ */
+
+#include "serve/wire.h"
+
+namespace overgen::telemetry {
+class Sink;
+} // namespace overgen::telemetry
+
+namespace overgen::serve {
+
+/** Worker execution knobs. */
+struct WorkerOptions
+{
+    /** sim::runBatch worker threads inside this process (1 = inline
+     * serial; the coordinator's process pool is the primary
+     * parallelism, so the default keeps workers single-threaded). */
+    int simThreads = 1;
+    /** Telemetry sink for the simulations this worker runs (local to
+     * the worker process; null = telemetry-free). */
+    telemetry::Sink *sink = nullptr;
+};
+
+/**
+ * Execute one job against @p design (compile, first-fit schedule,
+ * simulate). Exposed for in-process reference runs: the coordinator
+ * tests compare serveJobs() output against a loop of runJob() calls.
+ */
+ResultRow runJob(const JobSpec &job, const adg::SysAdg &design,
+                 const WorkerOptions &options = {});
+
+/**
+ * Serve shards from @p inFd until a "bye" record or EOF, writing
+ * results to @p outFd. @return the process exit code. The caller
+ * (a forked child) must _exit() with it rather than return through
+ * the parent's stack.
+ */
+int workerLoop(int inFd, int outFd, const WorkerOptions &options = {});
+
+} // namespace overgen::serve
+
+#endif // OVERGEN_SERVE_WORKER_H

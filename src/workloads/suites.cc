@@ -730,6 +730,50 @@ workloadByName(const std::string &name)
 }
 
 KernelSpec
+smallWorkloadByName(const std::string &name)
+{
+    if (name == "fir")
+        return makeFir(128, 16);
+    if (name == "mm")
+        return makeMm(8);
+    if (name == "cholesky")
+        return makeCholesky(16);
+    if (name == "solver")
+        return makeSolver(16);
+    if (name == "fft")
+        return makeFft(7);
+    if (name == "stencil-3d")
+        return makeStencil3d(8, 2);
+    if (name == "crs")
+        return makeCrs(32, 4);
+    if (name == "gemm")
+        return makeGemm(8);
+    if (name == "stencil-2d")
+        return makeStencil2d(8, 2);
+    if (name == "ellpack")
+        return makeEllpack(32, 4);
+    if (name == "channel-ext")
+        return makeChannelExtract(16);
+    if (name == "bgr2grey")
+        return makeBgr2Grey(16);
+    if (name == "blur")
+        return makeBlur(16);
+    if (name == "accumulate")
+        return makeAccumulate(16);
+    if (name == "acc-sqr")
+        return makeAccSqr(16);
+    if (name == "vecmax")
+        return makeVecMax(16);
+    if (name == "acc-weight")
+        return makeAccWeight(16);
+    if (name == "convert-bit")
+        return makeConvertBit(16);
+    if (name == "derivative")
+        return makeDerivative(18);
+    OG_FATAL("unknown workload '", name, "'");
+}
+
+KernelSpec
 hlsTunedVariant(const KernelSpec &spec)
 {
     KernelSpec tuned = spec;

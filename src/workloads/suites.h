@@ -62,6 +62,14 @@ std::vector<KernelSpec> suiteWorkloads(Suite suite);
 KernelSpec workloadByName(const std::string &name);
 
 /**
+ * @return workload by name at a shrunken test size (the golden-test
+ * small-workload table: every kernel finishes in milliseconds); fatal
+ * when unknown. The serve wire protocol's `smallSize` jobs resolve
+ * through this, so multi-process tests stay fast.
+ */
+KernelSpec smallWorkloadByName(const std::string &name);
+
+/**
  * @return the manually kernel-tuned HLS variant (paper Q2): variable
  * trip counts replaced by guarded max-trip loops, strided accesses
  * strength-reduced. Identity for workloads with no HLS tuning headroom.

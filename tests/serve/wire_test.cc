@@ -1,0 +1,175 @@
+#include "serve/wire.h"
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "adg/builders.h"
+#include "serve/shard.h"
+
+using namespace overgen;
+using namespace overgen::serve;
+
+namespace {
+
+adg::SysAdg
+testDesign(int tiles = 4)
+{
+    adg::SysAdg design;
+    design.adg = adg::buildGeneralOverlayTile();
+    design.sys.numTiles = tiles;
+    design.sys.l2Banks = 4;
+    design.sys.l2CapacityKiB = 512;
+    design.sys.nocBytes = 32;
+    return design;
+}
+
+} // namespace
+
+TEST(Wire, JobSpecRoundTrips)
+{
+    JobSpec job;
+    job.index = 42;
+    job.workload = "stencil-2d";
+    job.smallSize = true;
+    job.designId = 3;
+    job.applyTuning = true;
+    job.dramLatency = 2000;
+    job.deadlockCycles = 500;
+
+    JobSpec back = jobFromJson(jobToJson(job));
+    EXPECT_EQ(back.index, job.index);
+    EXPECT_EQ(back.workload, job.workload);
+    EXPECT_EQ(back.smallSize, job.smallSize);
+    EXPECT_EQ(back.designId, job.designId);
+    EXPECT_EQ(back.applyTuning, job.applyTuning);
+    EXPECT_EQ(back.dramLatency, job.dramLatency);
+    EXPECT_EQ(back.deadlockCycles, job.deadlockCycles);
+    // The codec must be byte-stable: decode(encode(x)) re-encodes to
+    // the identical line (the determinism contract rests on this).
+    EXPECT_EQ(jobToJson(back).dump(), jobToJson(job).dump());
+}
+
+TEST(Wire, ResultRowRoundTripsWithDiagnostic)
+{
+    ResultRow row;
+    row.ok = false;
+    row.deadlocked = true;
+    row.diagnostic = "tile0: waiting on \"dram\"\n  rob full";
+    row.variant = "accumulate/unroll4";
+    row.cycles = 123456789ull;
+    row.ipc = 0.3217;
+
+    ResultRow back = resultFromJson(resultToJson(row));
+    EXPECT_EQ(back.ok, row.ok);
+    EXPECT_EQ(back.deadlocked, row.deadlocked);
+    EXPECT_EQ(back.diagnostic, row.diagnostic);
+    EXPECT_EQ(back.variant, row.variant);
+    EXPECT_EQ(back.cycles, row.cycles);
+    EXPECT_EQ(back.ipc, row.ipc);
+    EXPECT_EQ(resultToJson(back).dump(), resultToJson(row).dump());
+}
+
+TEST(Wire, JobSetInternsDesigns)
+{
+    JobSet set;
+    adg::SysAdg a = testDesign(4);
+    adg::SysAdg b = testDesign(10);
+    int ida = set.addDesign(a);
+    EXPECT_EQ(set.addDesign(a), ida);  // dedup by content
+    int idb = set.addDesign(b);
+    EXPECT_NE(idb, ida);
+    EXPECT_EQ(set.designs.size(), 2u);
+
+    EXPECT_EQ(set.addJob("fir", ida), 0u);
+    EXPECT_EQ(set.addJob("mm", idb, true, true), 1u);
+    EXPECT_EQ(set.jobs[1].designId, idb);
+    EXPECT_TRUE(set.jobs[1].applyTuning);
+    EXPECT_TRUE(set.jobs[1].smallSize);
+}
+
+TEST(Wire, MergedJsonlIsIndexOrdered)
+{
+    JobSet set;
+    int id = set.addDesign(testDesign());
+    set.addJob("fir", id);
+    set.addJob("mm", id);
+    std::vector<ResultRow> rows(2);
+    rows[0].ok = true;
+    rows[0].cycles = 10;
+    rows[1].ok = true;
+    rows[1].cycles = 20;
+
+    std::string merged = mergedJsonl(set, rows);
+    size_t fir = merged.find("\"fir\"");
+    size_t mm = merged.find("\"mm\"");
+    ASSERT_NE(fir, std::string::npos);
+    ASSERT_NE(mm, std::string::npos);
+    EXPECT_LT(fir, mm);
+    // One line per job, each ending in newline.
+    EXPECT_EQ(std::count(merged.begin(), merged.end(), '\n'), 2);
+    EXPECT_EQ(merged, mergedLine(set.jobs[0], rows[0]) + "\n" +
+                          mergedLine(set.jobs[1], rows[1]) + "\n");
+}
+
+TEST(Shards, PlanCoversEveryJobExactlyOnce)
+{
+    std::vector<Shard> shards = planShards(10, 3);
+    ASSERT_EQ(shards.size(), 4u);
+    size_t next = 0;
+    for (size_t i = 0; i < shards.size(); ++i) {
+        EXPECT_EQ(shards[i].id, static_cast<int>(i));
+        EXPECT_EQ(shards[i].first, next);
+        next += shards[i].count;
+    }
+    EXPECT_EQ(next, 10u);
+    EXPECT_EQ(shards.back().count, 1u);  // the remainder shard
+}
+
+TEST(Shards, ZeroShardSizeMeansOneShard)
+{
+    std::vector<Shard> shards = planShards(5, 0);
+    ASSERT_EQ(shards.size(), 1u);
+    EXPECT_EQ(shards[0].first, 0u);
+    EXPECT_EQ(shards[0].count, 5u);
+    EXPECT_TRUE(planShards(0, 4).empty());
+}
+
+TEST(Wire, LineReaderReassemblesSplitLines)
+{
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    LineReader reader;
+    std::string line;
+
+    ASSERT_EQ(::write(fds[1], "alpha\nbe", 8), 8);
+    EXPECT_EQ(reader.fill(fds[0]), LineReader::Fill::Data);
+    ASSERT_TRUE(reader.next(line));
+    EXPECT_EQ(line, "alpha");
+    EXPECT_FALSE(reader.next(line));  // "be" is incomplete
+
+    ASSERT_EQ(::write(fds[1], "ta\n\n", 4), 4);
+    EXPECT_EQ(reader.fill(fds[0]), LineReader::Fill::Data);
+    ASSERT_TRUE(reader.next(line));
+    EXPECT_EQ(line, "beta");
+    ASSERT_TRUE(reader.next(line));
+    EXPECT_EQ(line, "");  // empty line is still a line
+
+    ::close(fds[1]);
+    EXPECT_EQ(reader.fill(fds[0]), LineReader::Fill::Eof);
+    ::close(fds[0]);
+}
+
+TEST(Wire, WriteLineReportsClosedPipe)
+{
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    EXPECT_TRUE(writeLine(fds[1], "hello"));
+    ::close(fds[0]);
+    // SIGPIPE is ignored under the coordinator; the test harness must
+    // not die either.
+    signal(SIGPIPE, SIG_IGN);
+    EXPECT_FALSE(writeLine(fds[1], "into the void"));
+    signal(SIGPIPE, SIG_DFL);
+    ::close(fds[1]);
+}
