@@ -92,6 +92,10 @@ struct CommonFlags
  * they collect in `extra` for the harness to consume (report_cycles'
  * `--suite=`, the serve drivers' `--workers=`/`--shard-size=`/...);
  * call rejectExtraFlags() on the leftovers so typos stay fatal.
+ *
+ * Repeating a flag is fatal: the second occurrence would silently
+ * win, which reads like both took effect. Both spellings count as
+ * one flag (`--threads 2 --threads=4` is a repeat), booleans too.
  */
 inline CommonFlags
 parseCommonFlags(int argc, char **argv, bool allowExtra = false)
@@ -100,48 +104,85 @@ parseCommonFlags(int argc, char **argv, bool allowExtra = false)
     std::string threadsArg;
     std::string simThreadsArg;
     std::string statsIntervalArg;
+    std::vector<std::string> seenFlags;
+    auto once = [&seenFlags](const char *name) {
+        for (const std::string &seen : seenFlags)
+            if (seen == name)
+                OG_FATAL("flag '", name, "' given twice");
+        seenFlags.push_back(name);
+    };
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--threads" && i + 1 < argc) {
+            once("--threads");
             threadsArg = argv[++i];
             continue;
         }
         if (arg == "--sim-threads" && i + 1 < argc) {
+            once("--sim-threads");
             simThreadsArg = argv[++i];
             continue;
         }
         if (arg == "--stats-interval" && i + 1 < argc) {
+            once("--stats-interval");
             statsIntervalArg = argv[++i];
             continue;
         }
-        if (!eatFlag(arg, "--trace=", flags.sink.tracePath) &&
-            !eatFlag(arg, "--dse-log=", flags.sink.dseLogPath) &&
-            !eatFlag(arg, "--telemetry-json=", flags.registryPath) &&
-            !eatFlag(arg, "--stats-jsonl=", flags.sink.timelinePath) &&
-            !eatFlag(arg, "--threads=", threadsArg) &&
-            !eatFlag(arg, "--sim-threads=", simThreadsArg) &&
-            !eatFlag(arg, "--stats-interval=", statsIntervalArg) &&
-            arg != "--trace-detail" && arg != "--no-eval-cache" &&
-            arg != "--no-fast-forward") {
-            if (allowExtra) {
-                flags.extra.push_back(arg);
-                continue;
-            }
-            OG_FATAL("unknown argument '", arg,
-                     "' (expected --threads[=]<n>, "
-                     "--sim-threads[=]<n>, --trace=<path>, "
-                     "--dse-log=<path>, --trace-detail, "
-                     "--no-eval-cache, --no-fast-forward, "
-                     "--stats-interval[=]<n>, "
-                     "--stats-jsonl=<path>, or "
-                     "--telemetry-json=<path>)");
+        if (eatFlag(arg, "--trace=", flags.sink.tracePath)) {
+            once("--trace");
+            continue;
         }
-        if (arg == "--trace-detail")
+        if (eatFlag(arg, "--dse-log=", flags.sink.dseLogPath)) {
+            once("--dse-log");
+            continue;
+        }
+        if (eatFlag(arg, "--telemetry-json=", flags.registryPath)) {
+            once("--telemetry-json");
+            continue;
+        }
+        if (eatFlag(arg, "--stats-jsonl=", flags.sink.timelinePath)) {
+            once("--stats-jsonl");
+            continue;
+        }
+        if (eatFlag(arg, "--threads=", threadsArg)) {
+            once("--threads");
+            continue;
+        }
+        if (eatFlag(arg, "--sim-threads=", simThreadsArg)) {
+            once("--sim-threads");
+            continue;
+        }
+        if (eatFlag(arg, "--stats-interval=", statsIntervalArg)) {
+            once("--stats-interval");
+            continue;
+        }
+        if (arg == "--trace-detail") {
+            once("--trace-detail");
             flags.sink.traceDetail = true;
-        if (arg == "--no-eval-cache")
+            continue;
+        }
+        if (arg == "--no-eval-cache") {
+            once("--no-eval-cache");
             flags.evalCache = false;
-        if (arg == "--no-fast-forward")
+            continue;
+        }
+        if (arg == "--no-fast-forward") {
+            once("--no-fast-forward");
             flags.noFastForward = true;
+            continue;
+        }
+        if (allowExtra) {
+            flags.extra.push_back(arg);
+            continue;
+        }
+        OG_FATAL("unknown argument '", arg,
+                 "' (expected --threads[=]<n>, "
+                 "--sim-threads[=]<n>, --trace=<path>, "
+                 "--dse-log=<path>, --trace-detail, "
+                 "--no-eval-cache, --no-fast-forward, "
+                 "--stats-interval[=]<n>, "
+                 "--stats-jsonl=<path>, or "
+                 "--telemetry-json=<path>)");
     }
     if (!statsIntervalArg.empty()) {
         int interval = std::atoi(statsIntervalArg.c_str());

@@ -234,6 +234,12 @@ Json::dump(int indent) const
 
 namespace {
 
+/** Syntax error thrown by the parser; tryParse() catches it. */
+struct ParseError
+{
+    std::string message;
+};
+
 /** Recursive-descent JSON parser over a string. */
 class Parser
 {
@@ -245,12 +251,20 @@ class Parser
     {
         Json result = parseValue();
         skipWhitespace();
-        OG_ASSERT(pos == text.size(), "trailing characters in JSON at ",
-                  pos);
+        if (pos != text.size())
+            fail("trailing characters in JSON at ", pos);
         return result;
     }
 
   private:
+    template <typename... Args>
+    [[noreturn]] void
+    fail(Args &&...args)
+    {
+        throw ParseError{ detail::concat(
+            std::forward<Args>(args)...) };
+    }
+
     void
     skipWhitespace()
     {
@@ -263,15 +277,18 @@ class Parser
     char
     peek()
     {
-        OG_ASSERT(pos < text.size(), "unexpected end of JSON");
+        if (pos >= text.size())
+            fail("unexpected end of JSON");
         return text[pos];
     }
 
     void
     expect(char c)
     {
-        OG_ASSERT(peek() == c, "expected '", c, "' at position ", pos,
-                  ", got '", text[pos], "'");
+        if (peek() != c) {
+            fail("expected '", c, "' at position ", pos, ", got '",
+                 text[pos], "'");
+        }
         ++pos;
     }
 
@@ -312,12 +329,14 @@ class Parser
         expect('"');
         std::string out;
         while (true) {
-            OG_ASSERT(pos < text.size(), "unterminated JSON string");
+            if (pos >= text.size())
+                fail("unterminated JSON string");
             char c = text[pos++];
             if (c == '"')
                 break;
             if (c == '\\') {
-                OG_ASSERT(pos < text.size(), "bad escape");
+                if (pos >= text.size())
+                    fail("bad escape");
                 char esc = text[pos++];
                 switch (esc) {
                   case 'n':
@@ -336,7 +355,8 @@ class Parser
                     out += '\f';
                     break;
                   case 'u': {
-                    OG_ASSERT(pos + 4 <= text.size(), "bad \\u escape");
+                    if (pos + 4 > text.size())
+                        fail("bad \\u escape");
                     unsigned code = 0;
                     for (int i = 0; i < 4; ++i) {
                         char h = text[pos++];
@@ -348,7 +368,7 @@ class Parser
                         else if (h >= 'A' && h <= 'F')
                             code |= h - 'A' + 10;
                         else
-                            OG_FATAL("bad \\u escape digit");
+                            fail("bad \\u escape digit");
                     }
                     // UTF-8 encode the code point (BMP only; this
                     // writer never emits surrogate pairs).
@@ -387,8 +407,13 @@ class Parser
                 text[pos] == 'e' || text[pos] == 'E')) {
             ++pos;
         }
-        OG_ASSERT(pos > start, "invalid JSON number at ", start);
-        return Json(std::stod(text.substr(start, pos - start)));
+        if (pos == start)
+            fail("invalid JSON number at ", start);
+        try {
+            return Json(std::stod(text.substr(start, pos - start)));
+        } catch (const std::exception &) {
+            fail("invalid JSON number at ", start);
+        }
     }
 
     Json
@@ -450,8 +475,24 @@ class Parser
 Json
 Json::parse(const std::string &text)
 {
+    std::string error;
+    std::optional<Json> result = tryParse(text, &error);
+    if (!result)
+        OG_FATAL("JSON parse error: ", error);
+    return std::move(*result);
+}
+
+std::optional<Json>
+Json::tryParse(const std::string &text, std::string *error)
+{
     Parser parser(text);
-    return parser.parse();
+    try {
+        return parser.parse();
+    } catch (const ParseError &e) {
+        if (error != nullptr)
+            *error = e.message;
+        return std::nullopt;
+    }
 }
 
 } // namespace overgen

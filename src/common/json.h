@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <variant>
 #include <vector>
@@ -82,6 +83,15 @@ class Json
 
     /** Parse @p text; fatal on malformed input. */
     static Json parse(const std::string &text);
+
+    /**
+     * Parse @p text, returning nullopt instead of dying on malformed
+     * input. When @p error is non-null it receives a description of
+     * the first syntax violation. The overlay library uses this to
+     * skip corrupted entries with a diagnostic rather than aborting.
+     */
+    static std::optional<Json> tryParse(const std::string &text,
+                                        std::string *error = nullptr);
 
   private:
     void dumpTo(std::string &out, int indent, int depth) const;

@@ -1,0 +1,87 @@
+#ifndef OVERGEN_LIBRARY_MATCHER_H
+#define OVERGEN_LIBRARY_MATCHER_H
+
+/**
+ * @file
+ * Routing an incoming KernelSpec to the best feasible stored overlay.
+ *
+ * Scoring reuses the pieces that are already cheap: schedule
+ * feasibility via the first-fit variant walk (paper Fig. 3's "relax
+ * DFG complexity" loop) and the split performance model
+ * (precomputeTilePerf + combineSystemPerf, bit-identical to
+ * estimateIpc). The score is the model IPC derated by the schedule's
+ * pipeline-imbalance throughput factor — exactly the per-kernel
+ * quantity the DSE objective aggregates, so the matcher's ranking
+ * agrees with what the explorer optimizes for.
+ *
+ * Determinism: per-entry scores are pure functions of (entry,
+ * kernel); parallel evaluation stores results index-ordered
+ * (ThreadPool::parallelMap) and the argmax scan is sequential with a
+ * lowest-index tie break, so the pick is bit-identical for every
+ * thread count (tests/library/matcher_test.cc pins this against an
+ * exhaustive oracle scan).
+ */
+
+#include "library/store.h"
+#include "model/perf.h"
+#include "workloads/kernelspec.h"
+
+namespace overgen::library {
+
+/** Matcher knobs. */
+struct MatchOptions
+{
+    /** Compile variants with OverGen source tuning. */
+    bool applyTuning = false;
+    /** Worker threads for scoring entries that have no memoized
+     * record yet (1 = inline serial; the pick is identical for every
+     * value). */
+    int threads = 1;
+    model::PerfConfig perf;
+};
+
+/** The matcher's verdict for one request. */
+struct MatchResult
+{
+    /** Index of the winning library entry; -1 on miss (no feasible
+     * entry, or an empty library). */
+    int entryIndex = -1;
+    /** The winning entry's score record (default-initialized on
+     * miss). */
+    KernelRecord record;
+
+    bool hit() const { return entryIndex >= 0; }
+};
+
+/**
+ * Score one kernel against one stored design: compile the variant
+ * family, first-fit schedule it, and evaluate the split perf model
+ * with the schedule-implied stream backings. Infeasible (no variant
+ * schedules) yields feasible=false, score 0.
+ */
+KernelRecord scoreKernelOnDesign(const wl::KernelSpec &spec,
+                                 const adg::SysAdg &design,
+                                 const MatchOptions &options = {});
+
+/**
+ * Route @p spec to the best feasible entry of @p lib. Entries with a
+ * memoized record for this kernel cost a lookup; the rest are scored
+ * (in parallel across options.threads) without mutating the library.
+ */
+MatchResult matchKernel(const OverlayLibrary &lib,
+                        const wl::KernelSpec &spec,
+                        const MatchOptions &options = {});
+
+/**
+ * matchKernel, but newly computed scores are memoized into the
+ * entries' record lists — the persistent per-kernel perf records the
+ * library stores. Record content is identical to what matchKernel
+ * computes, so warming the records never changes a future pick.
+ */
+MatchResult matchAndRecord(OverlayLibrary &lib,
+                           const wl::KernelSpec &spec,
+                           const MatchOptions &options = {});
+
+} // namespace overgen::library
+
+#endif // OVERGEN_LIBRARY_MATCHER_H

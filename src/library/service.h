@@ -1,0 +1,147 @@
+#ifndef OVERGEN_LIBRARY_SERVICE_H
+#define OVERGEN_LIBRARY_SERVICE_H
+
+/**
+ * @file
+ * The request-serving layer over the overlay library: admit a batch
+ * of kernel requests, match each against the library
+ * (library/matcher.h), warm the library with a bounded DSE run per
+ * distinct miss, and re-match the misses against the grown library.
+ *
+ * Batched-admission determinism contract: the library file produced
+ * by replaying a request trace is a pure function of the trace —
+ * independent of worker count, in-process vs server execution, and
+ * crash/retry scheduling. The pieces that make that true:
+ *  - warm DSE seeds are a pure function of the workload name
+ *    (warmSeedFor), and the DSE trajectory is thread-count-invariant;
+ *  - new entries are inserted in first-miss order (job order), never
+ *    completion order;
+ *  - per-kernel records are memoized values of pure scoring functions
+ *    and kept name-sorted inside each entry, so the record *set* —
+ *    not the computation schedule — determines the bytes;
+ *  - serve-layer rows are pure functions of their JobSpec, so
+ *    straggler duplicates and crash retries reproduce the same row.
+ *
+ * Server mode (ServiceOptions::useServer) routes Match and Warm jobs
+ * through the serve coordinator (forked workers, crash recovery,
+ * straggler duplication); the library job handler is installed via
+ * CoordinatorOptions::handler, keeping serve free of any library
+ * dependency. Rows that fail server-side (abandoned after repeated
+ * crashes) are backfilled in-process with the same pure functions, so
+ * even a degraded run converges to identical library bytes.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "library/matcher.h"
+#include "serve/coordinator.h"
+
+namespace overgen::library {
+
+/** Service knobs. */
+struct ServiceOptions
+{
+    MatchOptions match;
+    /** DSE iteration budget of one warm run. */
+    int warmIterations = 8;
+    /** Salt mixed into warmSeedFor so deployments can shift the whole
+     * seed space without touching per-workload determinism. */
+    uint64_t warmSeedSalt = 0x5eedf00dcafe2026ull;
+    /** Use the shrunken test-size workload table (serve smallSize
+     * convention; scoring and DSE never simulate, so this mostly
+     * affects compile/variant shapes). */
+    bool smallSize = false;
+    /** Route Match/Warm jobs through the serve coordinator (forked
+     * workers) instead of running them in-process. */
+    bool useServer = false;
+    /** Coordinator knobs for server mode (handler is installed by the
+     * service; anything set here is preserved). */
+    serve::CoordinatorOptions serve;
+};
+
+/** Per-request outcome of one processBatch call. */
+struct RequestOutcome
+{
+    std::string workload;
+    /** The request matched an existing entry at admission time. */
+    bool hit = false;
+    /** The request's workload was warmed by this batch (every
+     * request of a missed workload in the batch shares the warm). */
+    bool warmed = false;
+    /** Final routing: the library entry serving this request (-1 when
+     * even the warmed overlay cannot schedule the kernel). */
+    int entryIndex = -1;
+    KernelRecord record;
+};
+
+/**
+ * The DSE fallback of one miss: explore an overlay for @p workload
+ * with a fixed (seed, iterations) budget and package the result as a
+ * library entry (canonical design, fingerprints, resource footprint,
+ * and the kernel's own score record). Pure: identical arguments give
+ * identical entries, in any process.
+ */
+LibraryEntry warmOverlay(const std::string &workload, bool smallSize,
+                         bool applyTuning, uint64_t seed,
+                         int iterations,
+                         const MatchOptions &options = {});
+
+/**
+ * The serve-layer executor for library jobs: scores Match jobs
+ * against the shard's design table and runs warmOverlay for Warm
+ * jobs (payload = the entry's JSON). Install on
+ * CoordinatorOptions::handler / WorkerOptions::handler.
+ */
+serve::JobHandler makeLibraryHandler(MatchOptions options = {});
+
+/** A long-lived library + matcher + warmer (see file comment). */
+class LibraryService
+{
+  public:
+    explicit LibraryService(ServiceOptions options = {},
+                            OverlayLibrary lib = {});
+
+    /**
+     * Admit a batch of requests (workload names, duplicates allowed):
+     * match all, warm distinct misses in first-miss order, re-match
+     * the misses, and return one outcome per request (input order).
+     */
+    std::vector<RequestOutcome>
+    processBatch(const std::vector<std::string> &workloads);
+
+    OverlayLibrary &library() { return lib; }
+    const OverlayLibrary &library() const { return lib; }
+
+    /** One summary per serveJobs call made in server mode. */
+    const std::vector<serve::ServeSummary> &
+    serveSummaries() const
+    {
+        return summaries;
+    }
+
+    /** Concatenated merged JSONL of every serve call (byte-stable
+     * across worker counts; the warming tests compare it). */
+    const std::string &serveLog() const { return mergedLog; }
+
+    /** The warm DSE seed of @p workload: a pure function of the name
+     * (FNV-1a) mixed with @p salt, so replays and retries agree. */
+    static uint64_t warmSeedFor(const std::string &workload,
+                                uint64_t salt);
+
+  private:
+    void serveMatch(const std::vector<std::string> &distinct);
+    void serveWarm(const std::vector<std::string> &misses);
+    wl::KernelSpec specFor(const std::string &workload) const;
+    serve::CoordinatorOptions serveOptions() const;
+
+    OverlayLibrary lib;
+    ServiceOptions options;
+    std::vector<serve::ServeSummary> summaries;
+    std::string mergedLog;
+};
+
+} // namespace overgen::library
+
+#endif // OVERGEN_LIBRARY_SERVICE_H

@@ -150,6 +150,7 @@ class Coordinator
             }
             WorkerOptions wopts;
             wopts.simThreads = options.simThreadsPerWorker;
+            wopts.handler = options.handler;
             ::_exit(workerLoop(toChild[0], fromChild[1], wopts));
         }
         ::close(toChild[0]);

@@ -66,6 +66,11 @@ struct CoordinatorOptions
     int shutdownGraceMs = 2000;
     /** Telemetry sink: serve/... counters land in its registry. */
     telemetry::Sink *sink = nullptr;
+    /** Executor for Match/Warm jobs, inherited by every forked worker
+     * (see serve::JobHandler). Fork preserves the closure, so install
+     * it before serveJobs(); it must be fork-safe (no locks held, no
+     * thread pools captured). */
+    JobHandler handler;
     /**
      * Test/observability hook: called for every record a worker sends,
      * with the worker's pool index and pid. The robustness tests use

@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <unistd.h>
 
+#include "common/hex.h"
 #include "common/logging.h"
 
 namespace overgen::serve {
@@ -10,13 +11,18 @@ namespace overgen::serve {
 int
 JobSet::addDesign(const adg::SysAdg &design)
 {
-    Json json = design.toJson();
-    std::string key = json.dump();
+    return addDesignJson(design.toJson());
+}
+
+int
+JobSet::addDesignJson(Json design)
+{
+    std::string key = design.dump();
     auto it = designIds.find(key);
     if (it != designIds.end())
         return it->second;
     int id = static_cast<int>(designs.size());
-    designs.push_back(std::move(json));
+    designs.push_back(std::move(design));
     designIds.emplace(std::move(key), id);
     return id;
 }
@@ -38,6 +44,42 @@ JobSet::addJob(const std::string &workload, int designId,
     return jobs.back().index;
 }
 
+uint64_t
+JobSet::addMatchJob(const std::string &workload,
+                    std::vector<int> designIds, bool applyTuning,
+                    bool smallSize)
+{
+    for (int id : designIds) {
+        OG_ASSERT(id >= 0 && id < static_cast<int>(designs.size()),
+                  "match job references unknown design id ", id);
+    }
+    JobSpec job;
+    job.index = jobs.size();
+    job.kind = JobKind::Match;
+    job.workload = workload;
+    job.matchDesigns = std::move(designIds);
+    job.applyTuning = applyTuning;
+    job.smallSize = smallSize;
+    jobs.push_back(std::move(job));
+    return jobs.back().index;
+}
+
+uint64_t
+JobSet::addWarmJob(const std::string &workload, uint64_t seed,
+                   int iterations, bool applyTuning, bool smallSize)
+{
+    JobSpec job;
+    job.index = jobs.size();
+    job.kind = JobKind::Warm;
+    job.workload = workload;
+    job.warmSeed = seed;
+    job.warmIterations = iterations;
+    job.applyTuning = applyTuning;
+    job.smallSize = smallSize;
+    jobs.push_back(std::move(job));
+    return jobs.back().index;
+}
+
 Json
 jobToJson(const JobSpec &job)
 {
@@ -53,6 +95,20 @@ jobToJson(const JobSpec &job)
         obj.set("dram_latency", Json(job.dramLatency));
     if (job.deadlockCycles >= 0)
         obj.set("deadlock_cycles", Json(job.deadlockCycles));
+    if (job.kind == JobKind::Match)
+        obj.set("kind", Json("match"));
+    else if (job.kind == JobKind::Warm)
+        obj.set("kind", Json("warm"));
+    if (!job.matchDesigns.empty()) {
+        Json ids = Json::makeArray();
+        for (int id : job.matchDesigns)
+            ids.push(Json(id));
+        obj.set("match_designs", std::move(ids));
+    }
+    if (job.kind == JobKind::Warm) {
+        obj.set("warm_seed", Json(hexU64(job.warmSeed)));
+        obj.set("warm_iters", Json(job.warmIterations));
+    }
     return obj;
 }
 
@@ -72,7 +128,56 @@ jobFromJson(const Json &json)
             static_cast<int>(json.at("dram_latency").asInt());
     if (json.contains("deadlock_cycles"))
         job.deadlockCycles = json.at("deadlock_cycles").asInt();
+    if (json.contains("kind")) {
+        const std::string &kind = json.at("kind").asString();
+        if (kind == "match")
+            job.kind = JobKind::Match;
+        else if (kind == "warm")
+            job.kind = JobKind::Warm;
+        else
+            OG_FATAL("unknown job kind '", kind, "' on the wire");
+    }
+    if (json.contains("match_designs")) {
+        for (const Json &id : json.at("match_designs").asArray())
+            job.matchDesigns.push_back(
+                static_cast<int>(id.asInt()));
+    }
+    if (json.contains("warm_seed"))
+        job.warmSeed = parseHexU64(json.at("warm_seed").asString());
+    if (json.contains("warm_iters"))
+        job.warmIterations =
+            static_cast<int>(json.at("warm_iters").asInt());
     return job;
+}
+
+Json
+scoreToJson(const WireScore &score)
+{
+    Json obj = Json::makeObject();
+    obj.set("design", Json(score.design));
+    obj.set("feasible", Json(score.feasible));
+    obj.set("score", Json(score.score));
+    obj.set("ipc", Json(score.ipc));
+    if (!score.variant.empty())
+        obj.set("variant", Json(score.variant));
+    if (!score.bottleneck.empty())
+        obj.set("bottleneck", Json(score.bottleneck));
+    return obj;
+}
+
+WireScore
+scoreFromJson(const Json &json)
+{
+    WireScore score;
+    score.design = static_cast<int>(json.at("design").asInt());
+    score.feasible = json.at("feasible").asBool();
+    score.score = json.at("score").asNumber();
+    score.ipc = json.at("ipc").asNumber();
+    if (json.contains("variant"))
+        score.variant = json.at("variant").asString();
+    if (json.contains("bottleneck"))
+        score.bottleneck = json.at("bottleneck").asString();
+    return score;
 }
 
 Json
@@ -86,6 +191,14 @@ resultToJson(const ResultRow &row)
     obj.set("variant", Json(row.variant));
     obj.set("cycles", Json(row.cycles));
     obj.set("ipc", Json(row.ipc));
+    if (!row.scores.empty()) {
+        Json scores = Json::makeArray();
+        for (const WireScore &score : row.scores)
+            scores.push(scoreToJson(score));
+        obj.set("scores", std::move(scores));
+    }
+    if (!row.payload.isNull())
+        obj.set("payload", row.payload);
     return obj;
 }
 
@@ -100,6 +213,12 @@ resultFromJson(const Json &json)
     row.variant = json.at("variant").asString();
     row.cycles = static_cast<uint64_t>(json.at("cycles").asInt());
     row.ipc = json.at("ipc").asNumber();
+    if (json.contains("scores")) {
+        for (const Json &score : json.at("scores").asArray())
+            row.scores.push_back(scoreFromJson(score));
+    }
+    if (json.contains("payload"))
+        row.payload = json.at("payload");
     return row;
 }
 

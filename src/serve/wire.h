@@ -30,7 +30,9 @@
  */
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -38,6 +40,19 @@
 #include "common/json.h"
 
 namespace overgen::serve {
+
+/**
+ * What a job asks the worker to do. Generate is the original serve
+ * contract (compile + schedule + simulate one workload on one
+ * design). Match and Warm are the overlay-library job types
+ * (src/library/): the serve layer carries them generically and hands
+ * them to the installed JobHandler — it never depends on the library.
+ */
+enum class JobKind : uint8_t {
+    Generate,  //!< simulate job.workload on job.designId
+    Match,     //!< score job.workload against job.matchDesigns
+    Warm,      //!< bounded DSE for job.workload (seed/iterations below)
+};
 
 /** One (design, workload) simulation job, the unit of retry and of
  * the merged output ordering. */
@@ -58,6 +73,16 @@ struct JobSpec
     int dramLatency = 0;          //!< 0 keeps SimConfig::dramLatency
     int64_t deadlockCycles = -1;  //!< -1 keeps SimConfig::deadlockCycles
     /// @}
+    /** @name Library job types (see JobKind; defaults = Generate) */
+    /// @{
+    JobKind kind = JobKind::Generate;
+    /** Match: design-table ids to score the workload against. */
+    std::vector<int> matchDesigns;
+    /** Warm: DSE seed (hex on the wire — doubles cannot carry it). */
+    uint64_t warmSeed = 0;
+    /** Warm: DSE iteration budget. */
+    int warmIterations = 0;
+    /// @}
 };
 
 /**
@@ -74,13 +99,42 @@ struct JobSet
     /** Intern @p design, returning its table id (existing on dedup). */
     int addDesign(const adg::SysAdg &design);
 
+    /** Intern an already-serialized design (the overlay library keeps
+     * canonical JSON; re-decoding it to intern would be waste). */
+    int addDesignJson(Json design);
+
     /** Append a job for @p workload on design @p designId; @return its
      * merged-output index. */
     uint64_t addJob(const std::string &workload, int designId,
                     bool applyTuning = false, bool smallSize = false);
 
+    /** Append a Match job scoring @p workload against every design in
+     * @p designIds; @return its merged-output index. */
+    uint64_t addMatchJob(const std::string &workload,
+                         std::vector<int> designIds,
+                         bool applyTuning = false,
+                         bool smallSize = false);
+
+    /** Append a Warm job (bounded DSE, seed/iterations fixed on the
+     * wire so the row is a pure function of the job); @return its
+     * merged-output index. */
+    uint64_t addWarmJob(const std::string &workload, uint64_t seed,
+                        int iterations, bool applyTuning = false,
+                        bool smallSize = false);
+
   private:
     std::map<std::string, int> designIds;  //!< dump() -> table id
+};
+
+/** One per-design match score inside a Match result row. */
+struct WireScore
+{
+    int design = 0;         //!< design-table id this score is for
+    bool feasible = false;  //!< some variant scheduled onto it
+    double score = 0.0;     //!< model IPC x schedule throughput factor
+    double ipc = 0.0;       //!< split-perf-model IPC estimate
+    std::string variant;    //!< first-fit variant name (feasible only)
+    std::string bottleneck; //!< perf-model limiting level
 };
 
 /** One result row: the scalar OverlayRun fields (per-component stats
@@ -94,12 +148,32 @@ struct ResultRow
     std::string variant;
     uint64_t cycles = 0;
     double ipc = 0.0;
+    /** Match rows: one score per matchDesigns entry, in order. */
+    std::vector<WireScore> scores;
+    /** Warm rows: the handler's result payload (a library entry);
+     * null otherwise. Omitted from the wire when null, so Generate
+     * rows serialize exactly as before. */
+    Json payload;
 };
+
+/**
+ * Executor for non-Generate jobs, installed via WorkerOptions /
+ * CoordinatorOptions. Runs inside the (forked) worker process with
+ * the shard's decoded design table; must be a pure function of the
+ * job + designs so retries and duplicate dispatches stay
+ * byte-identical. The overlay library installs one that scores
+ * Match jobs and runs bounded DSE for Warm jobs (library/service.h).
+ */
+using JobHandler = std::function<ResultRow(
+    const JobSpec &,
+    const std::vector<std::shared_ptr<const adg::SysAdg>> &)>;
 
 /** @name Record codecs */
 /// @{
 Json jobToJson(const JobSpec &job);
 JobSpec jobFromJson(const Json &json);
+Json scoreToJson(const WireScore &score);
+WireScore scoreFromJson(const Json &json);
 Json resultToJson(const ResultRow &row);
 ResultRow resultFromJson(const Json &json);
 

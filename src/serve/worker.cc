@@ -74,12 +74,36 @@ rowFrom(const PreparedJob &prepared, const sim::SimResult &result)
     return row;
 }
 
+/** Route a Match/Warm job through the installed handler. */
+ResultRow
+dispatchHandled(const JobSpec &job,
+                const std::vector<std::shared_ptr<const adg::SysAdg>>
+                    &designs,
+                const WorkerOptions &options)
+{
+    if (!options.handler) {
+        ResultRow row;
+        row.diagnostic = "no JobHandler installed for non-generate "
+                         "job";
+        return row;
+    }
+    return options.handler(job, designs);
+}
+
 } // namespace
 
 ResultRow
 runJob(const JobSpec &job, const adg::SysAdg &design,
        const WorkerOptions &options)
 {
+    if (job.kind != JobKind::Generate) {
+        // In-process reference path for library jobs: a one-design
+        // table, so matchDesigns ids must all be 0.
+        std::vector<std::shared_ptr<const adg::SysAdg>> designs;
+        designs.emplace_back(std::shared_ptr<const adg::SysAdg>(),
+                             &design);
+        return dispatchHandled(job, designs, options);
+    }
     // Aliasing constructor: borrow the caller's design without a copy.
     PreparedJob prepared = prepare(
         job, std::shared_ptr<const adg::SysAdg>(
@@ -125,17 +149,15 @@ workerLoop(int inFd, int outFd, const WorkerOptions &options)
         int shard = static_cast<int>(record.at("shard").asInt());
         const Json::Array &jobJsons = record.at("jobs").asArray();
 
-        // Prepare phase: compile + schedule each job, heartbeating so
+        // Prepare phase: compile + schedule each Generate job (and
+        // run Match/Warm jobs through the handler), heartbeating so
         // the coordinator's straggler clock sees forward progress.
         std::vector<JobSpec> specs;
         std::vector<PreparedJob> prepared;
+        std::vector<char> handled(jobJsons.size(), 0);
+        std::vector<ResultRow> handledRows(jobJsons.size());
         for (size_t i = 0; i < jobJsons.size(); ++i) {
             JobSpec job = jobFromJson(jobJsons[i]);
-            OG_ASSERT(job.designId >= 0 &&
-                          job.designId <
-                              static_cast<int>(designs.size()),
-                      "shard ", shard, " references unknown design ",
-                      job.designId);
             Json hb = Json::makeObject();
             hb.set("t", Json("hb"));
             hb.set("shard", Json(shard));
@@ -144,6 +166,19 @@ workerLoop(int inFd, int outFd, const WorkerOptions &options)
                    Json(static_cast<uint64_t>(jobJsons.size())));
             if (!writeLine(outFd, hb.dump()))
                 return 1;
+            if (job.kind != JobKind::Generate) {
+                handled[i] = 1;
+                handledRows[i] =
+                    dispatchHandled(job, designs, options);
+                prepared.emplace_back();  // skipped by the batch
+                specs.push_back(std::move(job));
+                continue;
+            }
+            OG_ASSERT(job.designId >= 0 &&
+                          job.designId <
+                              static_cast<int>(designs.size()),
+                      "shard ", shard, " references unknown design ",
+                      job.designId);
             prepared.push_back(prepare(job, designs[job.designId]));
             specs.push_back(std::move(job));
         }
@@ -173,6 +208,9 @@ workerLoop(int inFd, int outFd, const WorkerOptions &options)
         for (size_t j = 0; j < results.size(); ++j)
             rows[batchOf[j]] = rowFrom(prepared[batchOf[j]],
                                        results[j]);
+        for (size_t i = 0; i < rows.size(); ++i)
+            if (handled[i])
+                rows[i] = std::move(handledRows[i]);
         for (size_t i = 0; i < rows.size(); ++i) {
             Json out = Json::makeObject();
             out.set("t", Json("result"));

@@ -30,12 +30,16 @@ struct WorkerOptions
     /** Telemetry sink for the simulations this worker runs (local to
      * the worker process; null = telemetry-free). */
     telemetry::Sink *sink = nullptr;
+    /** Executor for Match/Warm jobs (see serve::JobHandler). Jobs of
+     * those kinds fail with a diagnostic row when unset. */
+    JobHandler handler;
 };
 
 /**
- * Execute one job against @p design (compile, first-fit schedule,
- * simulate). Exposed for in-process reference runs: the coordinator
- * tests compare serveJobs() output against a loop of runJob() calls.
+ * Execute one Generate job against @p design (compile, first-fit
+ * schedule, simulate). Exposed for in-process reference runs: the
+ * coordinator tests compare serveJobs() output against a loop of
+ * runJob() calls. Match/Warm jobs go through the JobHandler instead.
  */
 ResultRow runJob(const JobSpec &job, const adg::SysAdg &design,
                  const WorkerOptions &options = {});

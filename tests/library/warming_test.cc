@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Warming determinism tests: replaying a request trace against an
+ * empty library — in-process, through the forked-worker serve
+ * coordinator at several worker counts, and under a SIGKILL injected
+ * mid-warm — always produces byte-identical library files and merged
+ * serve rows (the batched-admission contract of library/service.h).
+ */
+
+#include "library/service.h"
+
+#include <signal.h>
+
+#include <gtest/gtest.h>
+
+#include "serve/coordinator.h"
+
+using namespace overgen;
+using namespace overgen::library;
+
+namespace {
+
+/** A short skewed trace: four distinct workloads, with repeats that
+ * must hit once their overlay is warmed. */
+std::vector<std::string>
+testTrace()
+{
+    return { "fir", "mm",  "fir", "vecmax", "mm",
+             "fir", "mm",  "acc-sqr", "vecmax", "fir" };
+}
+
+ServiceOptions
+testOptions(bool useServer = false, int workers = 1,
+            int warmIterations = 4)
+{
+    ServiceOptions options;
+    options.smallSize = true;
+    options.match.applyTuning = true;
+    options.warmIterations = warmIterations;
+    options.useServer = useServer;
+    options.serve.workers = workers;
+    return options;
+}
+
+struct Replay
+{
+    std::string libraryBytes;
+    std::string serveLog;
+    std::vector<RequestOutcome> outcomes;
+    std::vector<serve::ServeSummary> summaries;
+};
+
+Replay
+replayTrace(ServiceOptions options)
+{
+    LibraryService service(std::move(options));
+    Replay replay;
+    replay.outcomes = service.processBatch(testTrace());
+    replay.libraryBytes = service.library().toJsonl();
+    replay.serveLog = service.serveLog();
+    replay.summaries = service.serveSummaries();
+    return replay;
+}
+
+void
+expectSameOutcomes(const std::vector<RequestOutcome> &got,
+                   const std::vector<RequestOutcome> &want)
+{
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].workload, want[i].workload) << i;
+        EXPECT_EQ(got[i].hit, want[i].hit) << i;
+        EXPECT_EQ(got[i].warmed, want[i].warmed) << i;
+        EXPECT_EQ(got[i].entryIndex, want[i].entryIndex) << i;
+        EXPECT_EQ(got[i].record.score, want[i].record.score) << i;
+        EXPECT_EQ(got[i].record.ipc, want[i].record.ipc) << i;
+    }
+}
+
+} // namespace
+
+TEST(LibraryWarming, EmptyLibraryReplayIsByteIdentical)
+{
+    Replay first = replayTrace(testOptions());
+    Replay second = replayTrace(testOptions());
+    ASSERT_FALSE(first.libraryBytes.empty());
+    EXPECT_EQ(first.libraryBytes, second.libraryBytes);
+    expectSameOutcomes(second.outcomes, first.outcomes);
+
+    // The batch admits against the pre-batch (empty) library, so
+    // every request misses at admission; the distinct workloads are
+    // warmed once each and the re-match routes every request.
+    for (const RequestOutcome &outcome : first.outcomes) {
+        EXPECT_FALSE(outcome.hit);
+        EXPECT_TRUE(outcome.warmed);
+        EXPECT_GE(outcome.entryIndex, 0) << outcome.workload;
+    }
+
+    // A second batch over the same trace is all hits, no growth.
+    LibraryService service(testOptions());
+    service.processBatch(testTrace());
+    std::string warmed = service.library().toJsonl();
+    std::vector<RequestOutcome> outcomes =
+        service.processBatch(testTrace());
+    for (const RequestOutcome &outcome : outcomes) {
+        EXPECT_TRUE(outcome.hit) << outcome.workload;
+        EXPECT_FALSE(outcome.warmed);
+    }
+    EXPECT_EQ(service.library().toJsonl(), warmed);
+}
+
+TEST(LibraryWarming, ServerWorkerCountsProduceIdenticalBytes)
+{
+    Replay inProcess = replayTrace(testOptions());
+    std::string firstLog;
+    for (int workers : { 1, 2 }) {
+        Replay server = replayTrace(testOptions(true, workers));
+        EXPECT_EQ(server.libraryBytes, inProcess.libraryBytes)
+            << workers << " workers";
+        expectSameOutcomes(server.outcomes, inProcess.outcomes);
+        ASSERT_FALSE(server.summaries.empty());
+        for (const serve::ServeSummary &summary : server.summaries)
+            EXPECT_TRUE(summary.ok);
+        // The merged serve rows are byte-identical across worker
+        // counts (pure rows, index-ordered merge).
+        if (firstLog.empty())
+            firstLog = server.serveLog;
+        else
+            EXPECT_EQ(server.serveLog, firstLog);
+        EXPECT_FALSE(server.serveLog.empty());
+    }
+}
+
+TEST(LibraryWarming, SigkillMidWarmStillConvergesToIdenticalBytes)
+{
+    // A bigger warm budget (~tens of ms per DSE run) keeps the kill
+    // race-free: the shard is still mid-warm when the SIGKILL lands,
+    // long before its row could have been written.
+    const int warmIterations = 64;
+    Replay reference = replayTrace(testOptions(false, 1,
+                                               warmIterations));
+
+    ServiceOptions options = testOptions(true, 2, warmIterations);
+    bool killed = false;
+    // Kill one worker at its first heartbeat: the heartbeat precedes
+    // the warm job's DSE, so the shard dies in flight and must be
+    // re-dispatched (the retried warm reuses the same seed, so the
+    // recovered run reproduces the crash-free bytes).
+    options.serve.onRecord = [&killed](const Json &record, int,
+                                       pid_t pid) {
+        if (!killed && record.at("t").asString() == "hb") {
+            ::kill(pid, SIGKILL);
+            killed = true;
+        }
+    };
+    Replay crashed = replayTrace(std::move(options));
+    ASSERT_TRUE(killed);
+    EXPECT_EQ(crashed.libraryBytes, reference.libraryBytes);
+    expectSameOutcomes(crashed.outcomes, reference.outcomes);
+    uint64_t crashes = 0;
+    uint64_t retries = 0;
+    for (const serve::ServeSummary &summary : crashed.summaries) {
+        crashes += summary.crashes;
+        retries += summary.retries;
+    }
+    EXPECT_GE(crashes, 1u);
+    EXPECT_GE(retries, 1u);
+}

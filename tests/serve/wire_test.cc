@@ -70,6 +70,89 @@ TEST(Wire, ResultRowRoundTripsWithDiagnostic)
     EXPECT_EQ(resultToJson(back).dump(), resultToJson(row).dump());
 }
 
+TEST(Wire, MatchAndWarmJobsRoundTrip)
+{
+    JobSet set;
+    int ida = set.addDesign(testDesign(4));
+    int idb = set.addDesign(testDesign(10));
+    set.addMatchJob("fir", { ida, idb }, /*applyTuning=*/true,
+                    /*smallSize=*/true);
+    set.addWarmJob("mm", 0xdeadbeefcafef00dull, 12,
+                   /*applyTuning=*/false, /*smallSize=*/true);
+
+    JobSpec match = jobFromJson(jobToJson(set.jobs[0]));
+    EXPECT_EQ(match.kind, JobKind::Match);
+    EXPECT_EQ(match.workload, "fir");
+    ASSERT_EQ(match.matchDesigns.size(), 2u);
+    EXPECT_EQ(match.matchDesigns[0], ida);
+    EXPECT_EQ(match.matchDesigns[1], idb);
+    EXPECT_TRUE(match.applyTuning);
+    EXPECT_EQ(jobToJson(match).dump(), jobToJson(set.jobs[0]).dump());
+
+    JobSpec warm = jobFromJson(jobToJson(set.jobs[1]));
+    EXPECT_EQ(warm.kind, JobKind::Warm);
+    // The seed travels as fixed-width hex: above 2^53, a double would
+    // silently round it.
+    EXPECT_EQ(warm.warmSeed, 0xdeadbeefcafef00dull);
+    EXPECT_EQ(warm.warmIterations, 12);
+    EXPECT_EQ(jobToJson(warm).dump(), jobToJson(set.jobs[1]).dump());
+}
+
+TEST(Wire, GenerateJobEncodingIsUnchangedByTheNewFields)
+{
+    // A plain Generate job must not emit kind/match/warm keys: old
+    // and new builds produce the identical wire line.
+    JobSet set;
+    int id = set.addDesign(testDesign());
+    set.addJob("fir", id, true, true);
+    std::string line = jobToJson(set.jobs[0]).dump();
+    EXPECT_EQ(line.find("kind"), std::string::npos);
+    EXPECT_EQ(line.find("warm"), std::string::npos);
+    EXPECT_EQ(line.find("match"), std::string::npos);
+
+    ResultRow row;
+    row.ok = true;
+    row.cycles = 1234;
+    row.ipc = 0.5;
+    std::string rowLine = resultToJson(row).dump();
+    EXPECT_EQ(rowLine.find("scores"), std::string::npos);
+    EXPECT_EQ(rowLine.find("payload"), std::string::npos);
+}
+
+TEST(Wire, ScoresAndPayloadRoundTrip)
+{
+    ResultRow row;
+    row.ok = true;
+    WireScore score;
+    score.design = 2;
+    score.feasible = true;
+    score.score = 1.625;
+    score.ipc = 2.5;
+    score.variant = "fir/unroll4";
+    score.bottleneck = "dram";
+    row.scores.push_back(score);
+    WireScore infeasible;
+    infeasible.design = 0;
+    row.scores.push_back(infeasible);
+    Json payload = Json::makeObject();
+    payload.set("origin", Json("warm:fir"));
+    row.payload = payload;
+
+    ResultRow back = resultFromJson(resultToJson(row));
+    ASSERT_EQ(back.scores.size(), 2u);
+    EXPECT_EQ(back.scores[0].design, 2);
+    EXPECT_TRUE(back.scores[0].feasible);
+    EXPECT_EQ(back.scores[0].score, 1.625);
+    EXPECT_EQ(back.scores[0].ipc, 2.5);
+    EXPECT_EQ(back.scores[0].variant, "fir/unroll4");
+    EXPECT_EQ(back.scores[0].bottleneck, "dram");
+    EXPECT_FALSE(back.scores[1].feasible);
+    EXPECT_TRUE(back.scores[1].variant.empty());
+    ASSERT_TRUE(back.payload.isObject());
+    EXPECT_EQ(back.payload.at("origin").asString(), "warm:fir");
+    EXPECT_EQ(resultToJson(back).dump(), resultToJson(row).dump());
+}
+
 TEST(Wire, JobSetInternsDesigns)
 {
     JobSet set;
