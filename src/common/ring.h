@@ -1,0 +1,115 @@
+#ifndef OVERGEN_COMMON_RING_H
+#define OVERGEN_COMMON_RING_H
+
+/**
+ * @file
+ * A minimal contiguous ring buffer. std::deque allocates fixed-size
+ * blocks through an indirection map; the simulator's per-cycle hot
+ * loops (port FIFO arrivals, fill-expiry queues) want their handful
+ * of live entries in one cache line, so this trades deque's stable
+ * references — which none of those callers need — for a single
+ * power-of-two array with head/count indices.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace overgen::common {
+
+/** FIFO ring over a contiguous power-of-two array. Grows by
+ * relinearizing into a doubled array; indices are FIFO positions
+ * (0 == front). erase() keeps FIFO order. */
+template <typename T>
+class RingBuffer
+{
+  public:
+    size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+
+    T &
+    operator[](size_t i)
+    {
+        OG_ASSERT(i < count, "ring index ", i, " out of range ",
+                  count);
+        return buf[(head + i) & mask];
+    }
+
+    const T &
+    operator[](size_t i) const
+    {
+        OG_ASSERT(i < count, "ring index ", i, " out of range ",
+                  count);
+        return buf[(head + i) & mask];
+    }
+
+    T &front() { return (*this)[0]; }
+    const T &front() const { return (*this)[0]; }
+    T &back() { return (*this)[count - 1]; }
+    const T &back() const { return (*this)[count - 1]; }
+
+    void
+    push_back(const T &value)
+    {
+        if (count == buf.size())
+            grow();
+        buf[(head + count) & mask] = value;
+        ++count;
+    }
+
+    void
+    pop_front()
+    {
+        OG_ASSERT(count > 0, "pop_front on an empty ring");
+        head = (head + 1) & mask;
+        --count;
+    }
+
+    void
+    pop_back()
+    {
+        OG_ASSERT(count > 0, "pop_back on an empty ring");
+        --count;
+    }
+
+    /** Remove the entry at FIFO position @p i, preserving order. */
+    void
+    erase(size_t i)
+    {
+        OG_ASSERT(i < count, "ring erase ", i, " out of range ",
+                  count);
+        for (size_t j = i; j + 1 < count; ++j)
+            (*this)[j] = (*this)[j + 1];
+        --count;
+    }
+
+    void
+    clear()
+    {
+        head = 0;
+        count = 0;
+    }
+
+  private:
+    void
+    grow()
+    {
+        size_t new_cap = buf.empty() ? 8 : buf.size() * 2;
+        std::vector<T> next(new_cap);
+        for (size_t i = 0; i < count; ++i)
+            next[i] = (*this)[i];
+        buf = std::move(next);
+        head = 0;
+        mask = new_cap - 1;
+    }
+
+    std::vector<T> buf;
+    size_t head = 0;
+    size_t count = 0;
+    size_t mask = 0;
+};
+
+} // namespace overgen::common
+
+#endif // OVERGEN_COMMON_RING_H

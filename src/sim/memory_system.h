@@ -9,12 +9,12 @@
  */
 
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "adg/adg.h"
+#include "common/ring.h"
 #include "sim/config.h"
 #include "sim/engine.h"
 #include "telemetry/ledger.h"
@@ -77,14 +77,24 @@ class MemorySystem : public ClockedComponent
     /** @name ClockedComponent */
     /// @{
     void tick(uint64_t engine_cycle) override;
-    /** Next completion becoming pollable, or the next cycle whenever
-     * any queue holds work (queues drain with per-cycle budgets that
-     * are cheaper to tick than to replay). */
+    /** Next completion becoming pollable, or the next internal drain
+     * or fill-expiry event (queues drain with per-cycle budgets whose
+     * next service cycle is solved in closed form). */
     uint64_t nextEventCycle(uint64_t now) const override;
     /** Saturate the per-link/bank/channel byte budgets in closed form
      * and jump the clock; deferred fill expiry is re-done lazily by
      * the next real tick. */
     void fastForward(uint64_t from, uint64_t to) override;
+    /** Drain windows (see SimEngine): replayable whenever telemetry
+     * is not forcing per-cycle observation. */
+    bool supportsDrainReplay() const override;
+    /** Replay internal drain events (budget-gated queue service, fill
+     * expiry, DRAM dispatch) in closed form while every other
+     * component is provably frozen. See the .cc for the window-stop
+     * safety argument. */
+    uint64_t drainReplay(uint64_t from, uint64_t limit,
+                         uint64_t deadlock, uint64_t *last_progress,
+                         bool verify) override;
     uint64_t progressCount() const override { return progressEvents; }
     uint64_t quiescenceFingerprint() const override;
     void describeState(std::string &out) const override;
@@ -116,14 +126,57 @@ class MemorySystem : public ClockedComponent
                         uint64_t interval);
 
   private:
-    struct Txn
+    /**
+     * SoA ring of queued transactions. The hot loops touch one field
+     * at a time — bytes for budget checks, addresses for bank/channel
+     * hashing — so each field lives in its own contiguous array
+     * instead of striding over whole transaction records.
+     */
+    class TxnQueue
     {
-        TxnId id;
-        int tile;
-        uint64_t addr;
-        int bytes;
-        bool write;
-        uint64_t readyAt = 0;
+      public:
+        size_t size() const { return count; }
+        bool empty() const { return count == 0; }
+        TxnId frontId() const { return ids[head]; }
+        uint64_t frontAddr() const { return addrs[head]; }
+        int frontBytes() const { return bytes[head]; }
+        bool frontWrite() const { return writes[head] != 0; }
+        TxnId idAt(size_t i) const { return ids[slot(i)]; }
+        uint64_t addrAt(size_t i) const { return addrs[slot(i)]; }
+        int bytesAt(size_t i) const { return bytes[slot(i)]; }
+        bool writeAt(size_t i) const { return writes[slot(i)] != 0; }
+
+        void
+        push(TxnId id, uint64_t addr, int txn_bytes, bool write)
+        {
+            if (count == ids.size())
+                grow();
+            size_t s = (head + count) & mask;
+            ids[s] = id;
+            addrs[s] = addr;
+            bytes[s] = txn_bytes;
+            writes[s] = write ? 1 : 0;
+            ++count;
+        }
+
+        void
+        pop()
+        {
+            head = (head + 1) & mask;
+            --count;
+        }
+
+      private:
+        size_t slot(size_t i) const { return (head + i) & mask; }
+        void grow();
+
+        std::vector<TxnId> ids;
+        std::vector<uint64_t> addrs;
+        std::vector<int> bytes;
+        std::vector<uint8_t> writes;
+        size_t head = 0;
+        size_t count = 0;
+        size_t mask = 0;
     };
 
     struct CacheLine
@@ -132,15 +185,25 @@ class MemorySystem : public ClockedComponent
         bool dirty = false;
     };
 
+    /** One in-flight DRAM fill (an MSHR held until the fill lands). */
+    struct FillEntry
+    {
+        uint64_t line = 0;
+        uint64_t ready = 0;
+    };
+
     struct Bank
     {
         /** Tag store: set -> lines, MRU first. */
         std::vector<std::vector<CacheLine>> sets;
-        std::deque<Txn> queue;      //!< waiting for bank bandwidth
-        std::deque<Txn> dramQueue;  //!< read misses waiting for DRAM
-        /** Lines being filled from DRAM: line -> ready cycle (one MSHR
-         * each; later requests to the line merge). */
-        std::map<uint64_t, uint64_t> fillReady;
+        TxnQueue queue;      //!< waiting for bank bandwidth
+        TxnQueue dramQueue;  //!< read misses waiting for DRAM
+        /** Lines being filled from DRAM, expiry-ordered: every fill
+         * completes a fixed latency after dispatch, so ready cycles
+         * are monotone and expired entries are exactly the front run
+         * — O(expired) per tick instead of a full-map sweep. Later
+         * requests to a filling line merge. */
+        common::RingBuffer<FillEntry> fillReady;
         /** Dirty eviction bytes pending DRAM write bandwidth. */
         int64_t writebackBytes = 0;
         int mshrsInUse = 0;
@@ -164,6 +227,28 @@ class MemorySystem : public ClockedComponent
                                      double inc, double bytes);
     /** Probe and update the tag store (allocates on miss). */
     LookupResult lookup(Bank &bank, uint64_t addr, bool write);
+    /** Find the in-flight fill for @p line (linear over <= MSHRs
+     * entries). @return its ready cycle, or 0 when absent. */
+    static const FillEntry *findFill(const Bank &bank, uint64_t line);
+    /** Record a dispatched fill, replacing any entry for the same
+     * line (the map-overwrite semantics the expiry queue inherits). */
+    static void setFill(Bank &bank, uint64_t line, uint64_t ready);
+    /** Record a completion and keep the min-ready cache coherent. */
+    void insertCompleted(TxnId id, uint64_t ready);
+    /** Earliest ready cycle over `completed`, or kNoEventCycle. */
+    uint64_t completedFloor() const;
+
+    /** Internal drain/expiry events only — nextEventCycle minus the
+     * completion part (completions wake tiles, not this component). */
+    uint64_t queueEventCycle(uint64_t now) const;
+    /** The closed-form event-by-event drain replay behind
+     * drainReplay(); shared by the verified and unverified paths. */
+    uint64_t replayDrain(uint64_t from, uint64_t limit,
+                         uint64_t deadlock, uint64_t *last_progress);
+    /** Full-state digest (nothing excluded — budgets, deferred
+     * expiry, stall counters, ledger) for the checkFastForward
+     * drain-replay self-check. */
+    uint64_t drainDigest() const;
 
     /**
      * Classify one quiescent (no-progress) cycle for the ledger. Reads
@@ -178,10 +263,18 @@ class MemorySystem : public ClockedComponent
     SimConfig config;
     std::vector<Bank> banks;
     std::vector<double> channelBudget;
-    std::vector<std::deque<Txn>> tileLink;  //!< per-tile request queue
+    std::vector<TxnQueue> tileLink;  //!< per-tile request queue
     std::vector<double> tileLinkBudget;
     std::map<TxnId, uint64_t> completed;    //!< id -> completion cycle
-    std::map<TxnId, Txn> inFlight;
+    /** Earliest ready cycle in `completed` (kNoEventCycle when empty);
+     * invalidated when the floor entry is consumed, recomputed lazily.
+     * Keeps nextEventCycle and the drain-replay window stops O(1)
+     * instead of scanning every pending completion. */
+    mutable uint64_t completedFloorCache = kNoEventCycle;
+    mutable bool completedFloorValid = true;
+    /** Submitted-but-not-completed transactions (txn payloads live in
+     * the SoA queues; only the count is observable). */
+    uint64_t inFlightCount = 0;
     int setsPerBank = 0;
     TxnId nextId = 1;
     uint64_t cycle = 0;

@@ -160,6 +160,8 @@ simulate(const wl::KernelSpec &spec, const dfg::Mdfg &mdfg,
     result.cycles = cycle;
     result.tickedCycles = outcome.tickedCycles;
     result.skippedCycles = outcome.skippedCycles;
+    result.drainedCycles = outcome.drainedCycles;
+    result.drainJumps = outcome.drainJumps;
     result.memory = memsys.stats();
     double insts = 0.0;
     for (auto &tile : sims) {

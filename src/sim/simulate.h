@@ -34,6 +34,11 @@ struct SimResult
     uint64_t tickedCycles = 0;
     /** Cycles elided by event-horizon fast-forward. */
     uint64_t skippedCycles = 0;
+    /** Cycles covered by memory drain-replay windows (a subset of
+     * skippedCycles when fast-forward is on). */
+    uint64_t drainedCycles = 0;
+    /** Drain-replay windows taken. */
+    uint64_t drainJumps = 0;
     /// @}
     MemoryStats memory;
     std::vector<TileStats> tiles;

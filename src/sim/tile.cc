@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "common/logging.h"
+#include "common/ring.h"
 #include "telemetry/sink.h"
 #include "telemetry/timeline.h"
 
@@ -18,7 +19,8 @@ struct PortFifo
     int64_t capacity = 4;
     int64_t available = 0;
     int64_t pending = 0;
-    std::deque<std::pair<uint64_t, int64_t>> arrivals;
+    /** (ready_at, elems) in delivery order. */
+    common::RingBuffer<std::pair<uint64_t, int64_t>> arrivals;
 
     int64_t
     space() const
@@ -30,7 +32,7 @@ struct PortFifo
     deliver(uint64_t ready_at, int64_t elems)
     {
         pending += elems;
-        arrivals.emplace_back(ready_at, elems);
+        arrivals.push_back({ ready_at, elems });
     }
 
     void
@@ -92,6 +94,14 @@ struct TileSim::Impl
         adg::NodeId engine = adg::invalidNode;
     };
 
+    /** One in-flight line transaction of a memory engine. */
+    struct OutstandingTxn
+    {
+        TxnId txn = -1;
+        StreamRt *stream = nullptr;
+        int64_t elems = 0;
+    };
+
     /** Stream-engine runtime (one per ADG engine with mapped work). */
     struct EngineRt
     {
@@ -100,8 +110,11 @@ struct TileSim::Impl
         double budget = 0.0;
         bool issueToggle = false;
         std::vector<StreamRt *> streams;
-        /** In-flight line transactions: txn -> (stream, elems). */
-        std::map<TxnId, std::pair<StreamRt *, int64_t>> outstanding;
+        /** In-flight line transactions. TxnIds are handed out
+         * monotonically, so append order is sorted order and the
+         * retire scan visits them exactly as the historical
+         * std::map<TxnId, ...> iteration did. */
+        std::vector<OutstandingTxn> outstanding;
         int robEntries = 16;
         size_t rrNext = 0;
     };
@@ -190,8 +203,11 @@ struct TileSim::Impl
 
     /** Advance a stream's engine-side cursor past zero-demand firings. */
     void settleDemand(StreamRt &rt);
-    /** Next element addresses sharing one cache line (<= space). */
-    std::vector<uint64_t> gatherLine(StreamRt &rt, int64_t max_elems);
+    /** Next element addresses sharing one cache line (<= space).
+     * Returns a reference to `lineScratch`, valid until the next
+     * call. */
+    const std::vector<uint64_t> &gatherLine(StreamRt &rt,
+                                            int64_t max_elems);
     bool readReady(const StreamRt &rt, uint64_t cycle) const;
     bool writeReady(const StreamRt &rt, uint64_t cycle) const;
 
@@ -207,7 +223,15 @@ struct TileSim::Impl
 
     std::vector<std::unique_ptr<StreamRt>> streams;
     std::map<dfg::NodeId, StreamRt *> byNode;
-    std::map<adg::NodeId, EngineRt> engines;
+    /** Engines sorted by ADG node id — the per-cycle loops walk a
+     * contiguous array, and the order matches the historical
+     * std::map iteration (engine tick order is observable). */
+    std::vector<std::pair<adg::NodeId, EngineRt>> engines;
+    /** Find-or-insert keeping `engines` sorted (build time only). */
+    EngineRt &engineFor(adg::NodeId id);
+    /** Scratch for gatherLine (reused across calls — the per-issue
+     * vector allocation showed up in the issue-loop profile). */
+    std::vector<uint64_t> lineScratch;
 
     IterationWalker fabricWalker;
     double iiInterval = 1.0;
@@ -235,6 +259,18 @@ struct TileSim::Impl
     uint64_t timelineInterval = 0;
     /// @}
 };
+
+TileSim::Impl::EngineRt &
+TileSim::Impl::engineFor(adg::NodeId id)
+{
+    auto it = std::lower_bound(
+        engines.begin(), engines.end(), id,
+        [](const std::pair<adg::NodeId, EngineRt> &entry,
+           adg::NodeId key) { return entry.first < key; });
+    if (it == engines.end() || it->first != id)
+        it = engines.insert(it, { id, EngineRt{} });
+    return it->second;
+}
 
 void
 TileSim::Impl::buildStreams(int64_t outer_lo, int64_t outer_hi)
@@ -315,7 +351,7 @@ TileSim::Impl::buildStreams(int64_t outer_lo, int64_t outer_hi)
         rt->engine = engine_of(*rt);
         OG_ASSERT(rt->engine != adg::invalidNode,
                   "stream without an engine in ", mdfg.name);
-        EngineRt &engine = engines[rt->engine];
+        EngineRt &engine = engineFor(rt->engine);
         const adg::Node &an = adg.node(rt->engine);
         engine.kind = an.kind;
         switch (an.kind) {
@@ -411,10 +447,11 @@ TileSim::Impl::settleDemand(StreamRt &rt)
     }
 }
 
-std::vector<uint64_t>
+const std::vector<uint64_t> &
 TileSim::Impl::gatherLine(StreamRt &rt, int64_t max_elems)
 {
-    std::vector<uint64_t> out;
+    std::vector<uint64_t> &out = lineScratch;
+    out.clear();
     if (rt.walker->done() && rt.kind != StreamKind::ConstantTaps)
         return out;
     if (rt.kind == StreamKind::ConstantTaps) {
@@ -561,7 +598,7 @@ TileSim::Impl::memoryEngineIssue(EngineRt &engine, uint64_t cycle)
         if (max_elems <= 0)
             continue;
 
-        std::vector<uint64_t> addrs = gatherLine(rt, max_elems);
+        const std::vector<uint64_t> &addrs = gatherLine(rt, max_elems);
         if (addrs.empty()) {
             settleDemand(rt);
             continue;
@@ -605,7 +642,7 @@ TileSim::Impl::memoryEngineIssue(EngineRt &engine, uint64_t cycle)
             TxnId txn = memsys.submit(tileIndex, addrs.front(),
                                       config.cacheLineBytes,
                                       !rt.input);
-            engine.outstanding[txn] = { &rt, elems };
+            engine.outstanding.push_back({ txn, &rt, elems });
         }
         ++progressEvents;
         return;  // one issue per cycle
@@ -737,11 +774,14 @@ TileSim::Impl::engineTick(adg::NodeId engine_id, EngineRt &engine,
                  engine.bandwidthBytes +
                      static_cast<double>(config.cacheLineBytes));
 
-    // Retire completed memory transactions.
-    for (auto it = engine.outstanding.begin();
-         it != engine.outstanding.end();) {
-        if (memsys.consumeCompleted(it->first)) {
-            auto [rt, elems] = it->second;
+    // Retire completed memory transactions, compacting the survivors
+    // in place (keeps txn-id order; no per-retire node churn).
+    size_t keep = 0;
+    for (size_t i = 0; i < engine.outstanding.size(); ++i) {
+        OutstandingTxn entry = engine.outstanding[i];
+        if (memsys.consumeCompleted(entry.txn)) {
+            StreamRt *rt = entry.stream;
+            int64_t elems = entry.elems;
             if (rt->input) {
                 if (rt->isIndexFeed)
                     rt->indexConsumer->indexAvail += elems;
@@ -752,12 +792,12 @@ TileSim::Impl::engineTick(adg::NodeId engine_id, EngineRt &engine,
             }
             if (rt->walker->done() && rt->firingRemaining == 0)
                 settleDemand(*rt);
-            it = engine.outstanding.erase(it);
             ++progressEvents;
         } else {
-            ++it;
+            engine.outstanding[keep++] = entry;
         }
     }
+    engine.outstanding.resize(keep);
 
     switch (engine.kind) {
       case adg::NodeKind::Dma:
@@ -1054,8 +1094,8 @@ TileSim::Impl::nextEventCycle(uint64_t now) const
     };
     // Port deliveries landing in the future wake the tile.
     for (const auto &rt : streams)
-        for (const auto &[ready, elems] : rt->port.arrivals)
-            at(ready);
+        for (size_t i = 0; i < rt->port.arrivals.size(); ++i)
+            at(rt->port.arrivals[i].first);
     for (const auto &[engine_id, engine] : engines) {
         switch (engine.kind) {
           case adg::NodeKind::Dma:
@@ -1067,6 +1107,14 @@ TileSim::Impl::nextEventCycle(uint64_t now) const
                 engine.robEntries) {
                 break;
             }
+            // Link full: the next issue waits on the link head
+            // popping — a memory-system progress event, so its
+            // horizon (and the drain-replay full-link window stop)
+            // covers the wake-up. Without this the tile reports
+            // now + 1 forever under bandwidth saturation and no
+            // drain window can open.
+            if (!memsys.canAccept(tileIndex))
+                break;
             [[fallthrough]];
           case adg::NodeKind::Scratchpad:
             // A stream that is ready apart from its activation cycle

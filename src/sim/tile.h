@@ -10,7 +10,6 @@
  * simulation results are verified against the interpreter.
  */
 
-#include <deque>
 #include <memory>
 
 #include "sched/schedule.h"

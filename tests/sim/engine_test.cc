@@ -284,6 +284,166 @@ TEST(Engine, FastForwardSkipsMostCyclesWhenMemoryBound)
     expectIdentical(reference.result, fast.result, "memory-bound");
 }
 
+// ---------------------------------------------------------------------------
+// Bandwidth-bound exactness: under channel/link saturation the memory
+// system progresses nearly every cycle, so plain horizon jumps never
+// open and the engine leans on drain-replay windows instead. The whole
+// taxonomy must stay bit-identical across naive / fast-forward /
+// checked execution on a grid of latency x channel-bandwidth x
+// channel-count points.
+
+struct BandwidthPoint
+{
+    const char *name;
+    int dramLatency;
+    int channelBandwidthBytes;
+    int dramChannels;
+};
+
+const BandwidthPoint kBandwidthGrid[] = {
+    { "lat60_bw8_1ch", 60, 8, 1 },
+    { "lat60_bw8_4ch", 60, 8, 4 },
+    { "lat60_bw16_1ch", 60, 16, 1 },
+    { "lat60_bw16_4ch", 60, 16, 4 },
+    { "lat600_bw8_1ch", 600, 8, 1 },
+    { "lat600_bw8_4ch", 600, 8, 4 },
+    { "lat600_bw16_1ch", 600, 16, 1 },
+    { "lat600_bw16_4ch", 600, 16, 4 },
+};
+
+Compiled
+compileBandwidthBound(int channels, int tiles = 2)
+{
+    Compiled c = compileFor("accumulate", tiles);
+    // Starve the cache so the stream misses to DRAM throughout.
+    c.design.sys.l2CapacityKiB = 16;
+    c.design.sys.dramChannels = channels;
+    return c;
+}
+
+class BandwidthExactness
+    : public ::testing::TestWithParam<BandwidthPoint>
+{
+};
+
+TEST_P(BandwidthExactness, DrainReplayIsBitIdentical)
+{
+    const BandwidthPoint &point = GetParam();
+    Compiled c = compileBandwidthBound(point.dramChannels);
+
+    SimConfig config;
+    config.dramLatency = point.dramLatency;
+    config.dramChannelBandwidthBytes = point.channelBandwidthBytes;
+
+    SimConfig naive = config;
+    naive.noFastForward = true;
+    SimRun reference = runWith(c, naive);
+    EXPECT_TRUE(reference.result.completed) << point.name;
+    EXPECT_EQ(reference.result.drainedCycles, 0u) << point.name;
+
+    SimRun fast = runWith(c, config);
+    expectIdentical(reference.result, fast.result,
+                    std::string(point.name) + " ff-vs-naive");
+
+    SimConfig checked = config;
+    checked.checkFastForward = true;
+    SimRun check = runWith(c, checked);
+    expectIdentical(reference.result, check.result,
+                    std::string(point.name) + " check-vs-naive");
+    // Check mode executes every skipped/drained cycle for real.
+    EXPECT_EQ(check.result.skippedCycles, 0u) << point.name;
+    // Both fast-forward modes must agree on the windows they found.
+    EXPECT_EQ(fast.result.drainedCycles, check.result.drainedCycles)
+        << point.name;
+    EXPECT_EQ(fast.result.drainJumps, check.result.drainJumps)
+        << point.name;
+
+    for (const auto &array : c.spec.arrays) {
+        EXPECT_EQ(reference.memory.array(array.name),
+                  fast.memory.array(array.name))
+            << point.name << " array " << array.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(BandwidthGrid, BandwidthExactness,
+                         ::testing::ValuesIn(kBandwidthGrid),
+                         [](const auto &info) {
+                             return std::string(info.param.name);
+                         });
+
+TEST(Engine, DrainReplayOpensWindowsWhenBandwidthBound)
+{
+    // The acceptance regime from bench/micro_sim: slow, narrow DRAM.
+    // Dispatches happen every few cycles, so plain horizon jumps are
+    // tiny — the drain fast path must carry the bulk of the run.
+    Compiled c = compileBandwidthBound(1);
+    SimConfig config;
+    config.dramLatency = 4000;
+    config.dramChannelBandwidthBytes = 16;
+    SimRun fast = runWith(c, config);
+    ASSERT_TRUE(fast.result.completed);
+    EXPECT_GT(fast.result.drainJumps, 0u);
+    EXPECT_GT(fast.result.drainedCycles, 0u);
+    EXPECT_LE(fast.result.drainedCycles, fast.result.skippedCycles);
+    EXPECT_EQ(fast.result.tickedCycles + fast.result.skippedCycles,
+              fast.result.cycles);
+    // The windows must cover a meaningful share of the run, or the
+    // fast path has silently stopped engaging.
+    EXPECT_GE(fast.result.skippedCycles, fast.result.tickedCycles);
+}
+
+TEST(Engine, WatchdogAbortIdenticalThroughDrainWindows)
+{
+    // A deadlock allowance shorter than the inter-dispatch gap: the
+    // drain replay must stop at last_progress + deadlock - 1 and let
+    // the engine's per-cycle loop reach the abort cycle itself.
+    // bw=4 bytes/cycle on a 64-byte line means one dispatch per 16
+    // cycles; deadlock=8 trips first.
+    Compiled c = compileBandwidthBound(1, 1);
+    SimConfig config;
+    config.dramLatency = 600;
+    config.dramChannelBandwidthBytes = 4;
+    config.deadlockCycles = 8;
+
+    SimRun fast = runWith(c, config);
+    EXPECT_TRUE(fast.result.deadlocked);
+
+    SimConfig naive = config;
+    naive.noFastForward = true;
+    SimRun reference = runWith(c, naive);
+    EXPECT_TRUE(reference.result.deadlocked);
+    expectIdentical(reference.result, fast.result, "drain-watchdog");
+    EXPECT_EQ(reference.result.diagnostic, fast.result.diagnostic);
+
+    SimConfig checked = config;
+    checked.checkFastForward = true;
+    SimRun check = runWith(c, checked);
+    expectIdentical(reference.result, check.result,
+                    "drain-watchdog-check");
+    EXPECT_EQ(reference.result.diagnostic, check.result.diagnostic);
+}
+
+TEST(Engine, WatchdogAbortIdenticalWhenChannelsAreStarved)
+{
+    // Zero channel bandwidth: read misses queue forever, the memory
+    // system eventually reports no future event (kNoEventCycle), and
+    // the watchdog must abort at the same cycle in every mode.
+    Compiled c = compileBandwidthBound(1, 1);
+    SimConfig config;
+    config.dramChannelBandwidthBytes = 0;
+    config.deadlockCycles = 2'000;
+
+    SimRun fast = runWith(c, config);
+    EXPECT_TRUE(fast.result.deadlocked);
+
+    SimConfig naive = config;
+    naive.noFastForward = true;
+    SimRun reference = runWith(c, naive);
+    EXPECT_TRUE(reference.result.deadlocked);
+    expectIdentical(reference.result, fast.result, "starved-watchdog");
+    EXPECT_EQ(reference.result.diagnostic, fast.result.diagnostic);
+}
+
 TEST(Engine, WatchdogAbortsAtTheSameCycleInBothModes)
 {
     // A deadlock allowance shorter than the DRAM round-trip turns the
