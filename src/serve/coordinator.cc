@@ -47,8 +47,12 @@ struct ShardTrack
     int attempts = 0;  //!< dispatches so far
     int inFlight = 0;  //!< concurrently running attempts
     bool completed = false;
-    Clock::time_point lastProgress;  //!< last hb/result seen
+    Clock::time_point lastProgress;  //!< last hb/ckpt/result seen
     Clock::time_point notBefore;     //!< backoff gate for re-dispatch
+    /** Latest streamed checkpoint per unfinished job (job index ->
+     * hex snapshot), handed back on re-dispatch so a replacement
+     * worker resumes mid-simulation. Cleared on completion. */
+    std::map<uint64_t, std::string> checkpoints;
 };
 
 /** The single-threaded coordinator event loop (see header). */
@@ -151,6 +155,7 @@ class Coordinator
             WorkerOptions wopts;
             wopts.simThreads = options.simThreadsPerWorker;
             wopts.handler = options.handler;
+            wopts.checkpointEvery = options.checkpointEvery;
             ::_exit(workerLoop(toChild[0], fromChild[1], wopts));
         }
         ::close(toChild[0]);
@@ -214,6 +219,13 @@ class Coordinator
         Clock::time_point now = Clock::now();
         for (auto it = pending.begin(); it != pending.end();) {
             ShardTrack &track = tracks[*it];
+            if (!track.completed && shardFilled(track)) {
+                // Every row arrived before the attempt's done record
+                // (e.g. the worker crashed between its last result
+                // and shard-done): nothing left to dispatch.
+                track.completed = true;
+                track.checkpoints.clear();
+            }
             if (track.completed) {
                 // Completed while queued (a duplicate attempt won).
                 it = pending.erase(it);
@@ -236,10 +248,29 @@ class Coordinator
         Json record = Json::makeObject();
         record.set("t", Json("shard"));
         record.set("shard", Json(shardId));
+        // Only the jobs still missing rows: a re-dispatch after a
+        // mid-shard crash carries the unfinished remainder, plus the
+        // latest banked checkpoint for any job interrupted mid-run.
         Json jobs = Json::makeArray();
-        for (size_t j = 0; j < track.shard.count; ++j)
-            jobs.push(jobToJson(set.jobs[track.shard.first + j]));
+        Json resume = Json::makeArray();
+        size_t resumable = 0;
+        for (size_t j = 0; j < track.shard.count; ++j) {
+            size_t index = track.shard.first + j;
+            if (haveRow[index])
+                continue;
+            jobs.push(jobToJson(set.jobs[index]));
+            auto it = track.checkpoints.find(index);
+            if (it == track.checkpoints.end())
+                continue;
+            Json entry = Json::makeObject();
+            entry.set("job", Json(static_cast<uint64_t>(index)));
+            entry.set("snap", Json(it->second));
+            resume.push(std::move(entry));
+            ++resumable;
+        }
         record.set("jobs", std::move(jobs));
+        if (resumable > 0)
+            record.set("resume", std::move(resume));
 
         if (track.attempts > 0) {
             ++summary().retries;
@@ -350,6 +381,29 @@ class Coordinator
                 tracks[shardId].lastProgress = Clock::now();
             return;
         }
+        if (type == "ckpt") {
+            // A mid-run checkpoint: bank the latest per job so a
+            // replacement attempt resumes instead of restarting. Also
+            // progress for the straggler clock — the simulation is
+            // demonstrably advancing.
+            ++summary().checkpoints;
+            count("serve/checkpoints");
+            int shardId =
+                static_cast<int>(record.at("shard").asInt());
+            size_t index =
+                static_cast<size_t>(record.at("job").asInt());
+            OG_ASSERT(index < set.jobs.size(),
+                      "worker sent a checkpoint for unknown job ",
+                      index);
+            ShardTrack &track = tracks[shardId];
+            if (track.completed)
+                return;
+            track.lastProgress = Clock::now();
+            if (!haveRow[index])
+                track.checkpoints[index] =
+                    record.at("snap").asString();
+            return;
+        }
         if (type == "result") {
             size_t index =
                 static_cast<size_t>(record.at("job").asInt());
@@ -364,9 +418,16 @@ class Coordinator
                 resultFromJson(record.at("row"));
             haveRow[index] = true;
             ++filledRows;
+            if (record.contains("resumed") &&
+                record.at("resumed").asBool()) {
+                ++summary().resumed;
+                count("serve/resumed");
+            }
             int shardId = workers[workerIndex].shard;
-            if (shardId >= 0 && !tracks[shardId].completed)
+            if (shardId >= 0 && !tracks[shardId].completed) {
                 tracks[shardId].lastProgress = Clock::now();
+                tracks[shardId].checkpoints.erase(index);
+            }
             return;
         }
         OG_ASSERT(type == "done", "unexpected worker record '", type,
@@ -375,8 +436,10 @@ class Coordinator
         ShardTrack &track = tracks[shardId];
         track.inFlight = std::max(track.inFlight - 1, 0);
         workers[workerIndex].shard = -1;
-        if (!track.completed && shardFilled(track))
+        if (!track.completed && shardFilled(track)) {
             track.completed = true;
+            track.checkpoints.clear();
+        }
         if (!track.completed && track.inFlight == 0)
             requeueOrAbandon(shardId);
     }
@@ -450,6 +513,7 @@ class Coordinator
             count("serve/abandoned");
         }
         track.completed = true;
+        track.checkpoints.clear();
     }
 
     void
@@ -575,6 +639,8 @@ ServeOutcome::summaryJson() const
     obj.set("crashes", Json(summary.crashes));
     obj.set("duplicates", Json(summary.duplicates));
     obj.set("heartbeats", Json(summary.heartbeats));
+    obj.set("checkpoints", Json(summary.checkpoints));
+    obj.set("resumed", Json(summary.resumed));
     obj.set("abandoned", Json(summary.abandoned));
     obj.set("ok", Json(summary.ok));
     return obj;

@@ -248,6 +248,52 @@ mergedJsonl(const JobSet &set, const std::vector<ResultRow> &rows)
     return out;
 }
 
+std::string
+bytesToHex(const std::vector<uint8_t> &bytes)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (uint8_t b : bytes) {
+        out.push_back(digits[b >> 4]);
+        out.push_back(digits[b & 0xf]);
+    }
+    return out;
+}
+
+namespace {
+
+int
+hexNibble(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    return -1;
+}
+
+} // namespace
+
+bool
+hexToBytes(const std::string &hex, std::vector<uint8_t> &out)
+{
+    out.clear();
+    if (hex.size() % 2 != 0)
+        return false;
+    out.reserve(hex.size() / 2);
+    for (size_t i = 0; i < hex.size(); i += 2) {
+        int hi = hexNibble(hex[i]);
+        int lo = hexNibble(hex[i + 1]);
+        if (hi < 0 || lo < 0) {
+            out.clear();
+            return false;
+        }
+        out.push_back(static_cast<uint8_t>((hi << 4) | lo));
+    }
+    return true;
+}
+
 bool
 writeLine(int fd, const std::string &line)
 {

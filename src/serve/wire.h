@@ -11,14 +11,29 @@
  *
  *   coordinator -> worker
  *     {"t":"designs","designs":[<sysadg json>, ...]}   design table
- *     {"t":"shard","shard":K,"jobs":[<job>, ...]}      work assignment
+ *     {"t":"shard","shard":K,"jobs":[<job>, ...],
+ *      "resume":[{"job":J,"snap":"<hex>"}, ...]}       work assignment
  *     {"t":"bye"}                                      orderly shutdown
  *
  *   worker -> coordinator
  *     {"t":"hello","pid":P}                            post-fork handshake
  *     {"t":"hb","shard":K,"done":D,"total":N}          progress heartbeat
- *     {"t":"result","job":J,"row":{...}}               one OverlayRun row
+ *     {"t":"ckpt","shard":K,"job":J,"cycle":C,
+ *      "snap":"<hex>"}                                 mid-run checkpoint
+ *     {"t":"result","job":J,"row":{...},
+ *      "resumed":true?}                                one OverlayRun row
  *     {"t":"done","shard":K}                           shard complete
+ *
+ * A shard record's "jobs" array holds only the jobs that still need
+ * rows — a re-dispatch after a crash carries just the unfinished
+ * remainder. Its optional "resume" array carries the latest
+ * checkpoint the coordinator banked for each such job (a hex-encoded
+ * sim::Snapshot streamed earlier by a "ckpt" record), so the
+ * replacement worker re-enters the simulation mid-run via
+ * sim::resumeFrom instead of starting from cycle 0. A row produced
+ * that way sets "resumed" on its result record; the flag lives on the
+ * record wrapper, never in the row, so the merged output stays
+ * byte-identical to a crash-free run.
  *
  * Determinism contract: a job's result row is a pure function of the
  * job descriptor (the simulator is single-threaded-deterministic), and
@@ -185,6 +200,14 @@ std::string mergedLine(const JobSpec &job, const ResultRow &row);
  * order — byte-identical for every worker count and shard size. */
 std::string mergedJsonl(const JobSet &set,
                         const std::vector<ResultRow> &rows);
+
+/** Lowercase hex of @p bytes (two digits per byte) — how encoded
+ * sim::Snapshot images travel inside JSON records. */
+std::string bytesToHex(const std::vector<uint8_t> &bytes);
+
+/** Decode a bytesToHex() string. @return false (leaving @p out
+ * empty) on odd length or a non-hex digit. */
+bool hexToBytes(const std::string &hex, std::vector<uint8_t> &out);
 /// @}
 
 /** @name Line framing over pipes */

@@ -2,6 +2,8 @@
 
 #include <unistd.h>
 
+#include <algorithm>
+#include <map>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -10,6 +12,8 @@
 #include "compiler/compile.h"
 #include "sched/scheduler.h"
 #include "sim/batch.h"
+#include "sim/simulate.h"
+#include "sim/snapshot.h"
 #include "workloads/suites.h"
 
 namespace overgen::serve {
@@ -73,6 +77,39 @@ rowFrom(const PreparedJob &prepared, const sim::SimResult &result)
     row.variant = prepared.mdfg.name;
     return row;
 }
+
+/** A SnapshotSink that streams each engine checkpoint to the
+ * coordinator as a "ckpt" record. A failed write means the
+ * coordinator is gone; the flag is remembered and the simulation
+ * finishes locally (its result write will fail too, exiting the
+ * loop). */
+class PipeSnapshotSink : public sim::SnapshotSink
+{
+  public:
+    PipeSnapshotSink(int fd, int shard, uint64_t job)
+        : fd(fd), shard(shard), job(job)
+    {
+    }
+
+    void
+    accept(uint64_t cycle, sim::Snapshot &&snap) override
+    {
+        Json record = Json::makeObject();
+        record.set("t", Json("ckpt"));
+        record.set("shard", Json(shard));
+        record.set("job", Json(job));
+        record.set("cycle", Json(cycle));
+        record.set("snap", Json(bytesToHex(snap.encode())));
+        ok = ok && writeLine(fd, record.dump());
+    }
+
+    bool ok = true;
+
+  private:
+    int fd;
+    int shard;
+    uint64_t job;
+};
 
 /** Route a Match/Warm job through the installed handler. */
 ResultRow
@@ -149,75 +186,150 @@ workerLoop(int inFd, int outFd, const WorkerOptions &options)
         int shard = static_cast<int>(record.at("shard").asInt());
         const Json::Array &jobJsons = record.at("jobs").asArray();
 
-        // Prepare phase: compile + schedule each Generate job (and
-        // run Match/Warm jobs through the handler), heartbeating so
-        // the coordinator's straggler clock sees forward progress.
         std::vector<JobSpec> specs;
-        std::vector<PreparedJob> prepared;
-        std::vector<char> handled(jobJsons.size(), 0);
-        std::vector<ResultRow> handledRows(jobJsons.size());
-        for (size_t i = 0; i < jobJsons.size(); ++i) {
-            JobSpec job = jobFromJson(jobJsons[i]);
+        specs.reserve(jobJsons.size());
+        for (const Json &json : jobJsons)
+            specs.push_back(jobFromJson(json));
+
+        // Resume snapshots the coordinator banked from an earlier
+        // attempt's "ckpt" records, keyed by job index.
+        std::map<uint64_t, std::string> resumeSnaps;
+        if (record.contains("resume")) {
+            for (const Json &entry : record.at("resume").asArray())
+                resumeSnaps[static_cast<uint64_t>(
+                    entry.at("job").asInt())] =
+                    entry.at("snap").asString();
+        }
+
+        auto heartbeat = [&](size_t i) {
             Json hb = Json::makeObject();
             hb.set("t", Json("hb"));
             hb.set("shard", Json(shard));
             hb.set("done", Json(static_cast<uint64_t>(i)));
             hb.set("total",
-                   Json(static_cast<uint64_t>(jobJsons.size())));
-            if (!writeLine(outFd, hb.dump()))
-                return 1;
-            if (job.kind != JobKind::Generate) {
-                handled[i] = 1;
-                handledRows[i] =
-                    dispatchHandled(job, designs, options);
-                prepared.emplace_back();  // skipped by the batch
-                specs.push_back(std::move(job));
-                continue;
-            }
-            OG_ASSERT(job.designId >= 0 &&
-                          job.designId <
-                              static_cast<int>(designs.size()),
-                      "shard ", shard, " references unknown design ",
-                      job.designId);
-            prepared.push_back(prepare(job, designs[job.designId]));
-            specs.push_back(std::move(job));
-        }
-
-        // Execute phase: the whole shard as one sim::runBatch.
-        std::vector<sim::SimJob> batch;
-        std::vector<size_t> batchOf;
-        for (size_t i = 0; i < prepared.size(); ++i) {
-            if (!prepared[i].ok)
-                continue;
-            sim::SimJob job;
-            job.spec = &prepared[i].spec;
-            job.mdfg = &prepared[i].mdfg;
-            job.schedule = &prepared[i].schedule;
-            job.design = prepared[i].design.get();
-            job.config = configFor(specs[i], options.sink);
-            batch.push_back(job);
-            batchOf.push_back(i);
-        }
-        sim::BatchOptions batchOptions;
-        batchOptions.threads = options.simThreads;
-        std::vector<sim::SimResult> results =
-            sim::runBatch(batch, batchOptions);
-
-        // Stream phase: one result record per job, in job order.
-        std::vector<ResultRow> rows(prepared.size());
-        for (size_t j = 0; j < results.size(); ++j)
-            rows[batchOf[j]] = rowFrom(prepared[batchOf[j]],
-                                       results[j]);
-        for (size_t i = 0; i < rows.size(); ++i)
-            if (handled[i])
-                rows[i] = std::move(handledRows[i]);
-        for (size_t i = 0; i < rows.size(); ++i) {
+                   Json(static_cast<uint64_t>(specs.size())));
+            return writeLine(outFd, hb.dump());
+        };
+        auto streamRow = [&](const JobSpec &spec,
+                             const ResultRow &row, bool resumed) {
             Json out = Json::makeObject();
             out.set("t", Json("result"));
-            out.set("job", Json(specs[i].index));
-            out.set("row", resultToJson(rows[i]));
-            if (!writeLine(outFd, out.dump()))
-                return 1;
+            out.set("job", Json(spec.index));
+            out.set("row", resultToJson(row));
+            if (resumed)
+                out.set("resumed", Json(true));
+            return writeLine(outFd, out.dump());
+        };
+
+        // Execute in waves of up to simThreads consecutive Generate
+        // jobs, streaming every wave's rows (in job order) before the
+        // next wave starts — partial shard progress survives a crash.
+        // Each job heartbeats at prepare time so the coordinator's
+        // straggler clock sees forward progress.
+        size_t waveCap = static_cast<size_t>(
+            std::max(options.simThreads, 1));
+        size_t i = 0;
+        while (i < specs.size()) {
+            if (specs[i].kind != JobKind::Generate) {
+                if (!heartbeat(i))
+                    return 1;
+                ResultRow row =
+                    dispatchHandled(specs[i], designs, options);
+                if (!streamRow(specs[i], row, false))
+                    return 1;
+                ++i;
+                continue;
+            }
+            size_t end = i;
+            while (end < specs.size() &&
+                   specs[end].kind == JobKind::Generate &&
+                   end - i < waveCap)
+                ++end;
+            std::vector<PreparedJob> prepared;
+            for (size_t j = i; j < end; ++j) {
+                if (!heartbeat(j))
+                    return 1;
+                OG_ASSERT(specs[j].designId >= 0 &&
+                              specs[j].designId <
+                                  static_cast<int>(designs.size()),
+                          "shard ", shard,
+                          " references unknown design ",
+                          specs[j].designId);
+                prepared.push_back(
+                    prepare(specs[j], designs[specs[j].designId]));
+            }
+            if (end - i == 1) {
+                // Serial wave: stream checkpoints, resume when the
+                // shard record carried a snapshot for this job.
+                const JobSpec &spec = specs[i];
+                ResultRow row;
+                bool resumed = false;
+                if (prepared[0].ok) {
+                    sim::SimConfig config =
+                        configFor(spec, options.sink);
+                    PipeSnapshotSink ckpt(outFd, shard, spec.index);
+                    if (options.checkpointEvery > 0) {
+                        config.checkpointEvery =
+                            options.checkpointEvery;
+                        config.checkpointSink = &ckpt;
+                    }
+                    wl::Memory memory;
+                    memory.init(prepared[0].spec);
+                    sim::SimResult result;
+                    auto it = resumeSnaps.find(spec.index);
+                    if (it != resumeSnaps.end()) {
+                        std::vector<uint8_t> bytes;
+                        sim::Snapshot snap;
+                        if (hexToBytes(it->second, bytes) &&
+                            sim::Snapshot::decode(bytes, snap)) {
+                            result = sim::resumeFrom(
+                                snap, prepared[0].spec,
+                                prepared[0].mdfg,
+                                prepared[0].schedule,
+                                *prepared[0].design, memory, config);
+                            resumed = true;
+                        }
+                    }
+                    if (!resumed)
+                        result = sim::simulate(
+                            prepared[0].spec, prepared[0].mdfg,
+                            prepared[0].schedule, *prepared[0].design,
+                            memory, config);
+                    row = rowFrom(prepared[0], result);
+                }
+                if (!streamRow(spec, row, resumed))
+                    return 1;
+                i = end;
+                continue;
+            }
+            // Multi-job wave: one sim::runBatch across the wave.
+            std::vector<sim::SimJob> batch;
+            std::vector<size_t> batchOf;
+            for (size_t j = i; j < end; ++j) {
+                if (!prepared[j - i].ok)
+                    continue;
+                sim::SimJob job;
+                job.spec = &prepared[j - i].spec;
+                job.mdfg = &prepared[j - i].mdfg;
+                job.schedule = &prepared[j - i].schedule;
+                job.design = prepared[j - i].design.get();
+                job.config = configFor(specs[j], options.sink);
+                batch.push_back(job);
+                batchOf.push_back(j - i);
+            }
+            sim::BatchOptions batchOptions;
+            batchOptions.threads = options.simThreads;
+            std::vector<sim::SimResult> results =
+                sim::runBatch(batch, batchOptions);
+            std::vector<ResultRow> rows(end - i);
+            for (size_t j = 0; j < results.size(); ++j)
+                rows[batchOf[j]] =
+                    rowFrom(prepared[batchOf[j]], results[j]);
+            for (size_t j = i; j < end; ++j) {
+                if (!streamRow(specs[j], rows[j - i], false))
+                    return 1;
+            }
+            i = end;
         }
         Json done = Json::makeObject();
         done.set("t", Json("done"));

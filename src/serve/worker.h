@@ -4,12 +4,16 @@
 /**
  * @file
  * The worker side of the job server: a blocking read-execute-stream
- * loop a forked child runs over its coordinator pipes. Each shard
- * goes through the existing prepare -> sim::runBatch pipeline —
- * compile + first-fit schedule per job (cheap, serial, heartbeat per
- * job), then one batched simulation pass — and streams back one
- * result record per job, in job order, followed by a shard-done
- * record (see serve/wire.h for the record grammar).
+ * loop a forked child runs over its coordinator pipes. A shard's jobs
+ * run in waves of up to `simThreads` consecutive Generate jobs
+ * (compile + first-fit schedule per job, heartbeat per job, one
+ * sim::runBatch per multi-job wave), and every row streams back as
+ * soon as its wave finishes, in job order — so a crash loses only the
+ * in-flight wave, never rows already computed. Single-job waves (the
+ * simThreads=1 default) additionally stream mid-run checkpoints
+ * (WorkerOptions::checkpointEvery) and accept resume snapshots from
+ * the shard record, re-entering an interrupted simulation via
+ * sim::resumeFrom (see serve/wire.h for the record grammar).
  */
 
 #include "serve/wire.h"
@@ -30,6 +34,13 @@ struct WorkerOptions
     /** Telemetry sink for the simulations this worker runs (local to
      * the worker process; null = telemetry-free). */
     telemetry::Sink *sink = nullptr;
+    /** Stream a "ckpt" record (the engine's sealed snapshot, hex
+     * encoded) every this many simulated cycles so the coordinator
+     * can hand the latest one to a replacement worker; 0 disables.
+     * Only serial (single-job) waves checkpoint: a multi-job
+     * sim::runBatch wave would interleave records from concurrent
+     * simulations on the one pipe. */
+    uint64_t checkpointEvery = 0;
     /** Executor for Match/Warm jobs (see serve::JobHandler). Jobs of
      * those kinds fail with a diagnostic row when unset. */
     JobHandler handler;

@@ -20,6 +20,8 @@
 
 namespace overgen::sim {
 
+class Snapshot;
+
 /** Flat byte-address layout of a kernel's arrays. */
 class AddressMap
 {
@@ -66,6 +68,12 @@ class IterationWalker
     int64_t firingIndex() const { return firings; }
     /** Advance to the next firing. */
     void advance();
+
+    /** Append the cursor state (not the spec) to @p snap. */
+    void save(Snapshot &snap) const;
+    /** Read back a save()d cursor; the walker must have been built
+     * over the same spec/unroll/partition. */
+    void restore(const Snapshot &snap);
 
   private:
     void settle();  //!< skip zero-trip positions, compute chunk

@@ -98,6 +98,11 @@ class MemorySystem : public ClockedComponent
     uint64_t progressCount() const override { return progressEvents; }
     uint64_t quiescenceFingerprint() const override;
     void describeState(std::string &out) const override;
+    /** Serialize everything the drain-replay digest covers plus the
+     * tag store: SoA rings, budgets, deferred fill expiry, the
+     * completion map, stats and ledger, and the clock. */
+    void save(Snapshot &snap) const override;
+    void restore(const Snapshot &snap) override;
     /// @}
 
     /** @return current cycle count. */
@@ -164,6 +169,13 @@ class MemorySystem : public ClockedComponent
         {
             head = (head + 1) & mask;
             --count;
+        }
+
+        void
+        clear()
+        {
+            head = 0;
+            count = 0;
         }
 
       private:

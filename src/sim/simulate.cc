@@ -9,6 +9,31 @@
 
 namespace overgen::sim {
 
+uint64_t
+configDigest(const SimConfig &config)
+{
+    uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+    };
+    mix(static_cast<uint64_t>(config.cacheLineBytes));
+    mix(static_cast<uint64_t>(config.l2HitLatency));
+    mix(static_cast<uint64_t>(config.l2Ways));
+    mix(static_cast<uint64_t>(config.l2MshrsPerBank));
+    mix(static_cast<uint64_t>(config.dramLatency));
+    mix(static_cast<uint64_t>(config.dramChannelBandwidthBytes));
+    mix(static_cast<uint64_t>(config.l2BankBandwidthBytes));
+    mix(static_cast<uint64_t>(config.configCyclesPerStream));
+    mix(static_cast<uint64_t>(config.dispatchLatency));
+    mix(static_cast<uint64_t>(config.dispatchBusStages));
+    mix(static_cast<uint64_t>(config.spadLatency));
+    mix(static_cast<uint64_t>(config.oneHotBypass));
+    mix(static_cast<uint64_t>(config.recurrenceLatency));
+    mix(config.deadlockCycles);
+    return h;
+}
+
 namespace {
 
 /** Dump the run's aggregate statistics into the counter registry
@@ -63,53 +88,72 @@ dumpCounters(telemetry::Sink &sink, const std::string &kernel,
     }
 }
 
-} // namespace
+/**
+ * The simulated system of one simulate()/resumeFrom() call. Both
+ * entry points build their components through the same function, so a
+ * resumed system is structurally identical to the one that captured
+ * the snapshot (streams, engines, partitions, trace identities) and
+ * component restore() only has to fill in mutable state.
+ */
+struct SimInstance
+{
+    std::unique_ptr<AddressMap> addresses;
+    std::unique_ptr<MemorySystem> memsys;
+    std::vector<std::unique_ptr<TileSim>> sims;
+    std::vector<int> tileIds;
+    telemetry::Sink *sink = nullptr;
+    bool tracing = false;
+    int pid = 0;
+    std::string runName;
+};
 
-SimResult
-simulate(const wl::KernelSpec &spec, const dfg::Mdfg &mdfg,
-         const sched::Schedule &schedule, const adg::SysAdg &design,
-         wl::Memory &memory, const SimConfig &config)
+SimInstance
+buildInstance(const wl::KernelSpec &spec, const dfg::Mdfg &mdfg,
+              const sched::Schedule &schedule,
+              const adg::SysAdg &design, wl::Memory &memory,
+              const SimConfig &config)
 {
     OG_ASSERT(schedule.valid, "simulating an invalid schedule");
-    AddressMap addresses =
-        AddressMap::build(spec, config.cacheLineBytes);
-    MemorySystem memsys(design.sys, config);
+    SimInstance inst;
+    inst.addresses = std::make_unique<AddressMap>(
+        AddressMap::build(spec, config.cacheLineBytes));
+    inst.memsys =
+        std::make_unique<MemorySystem>(design.sys, config);
 
     // Telemetry identity for this run: one trace "process", counters
     // under "sim/<kernel>".
-    telemetry::Sink *sink = config.sink;
-    bool tracing = sink != nullptr && sink->tracing();
-    int pid = 0;
-    const std::string run_name = "simulate:" + spec.name;
-    if (sink != nullptr) {
-        pid = sink->nextRunId();
-        memsys.attachTelemetry(pid, "sim/" + spec.name + "/memory");
+    inst.sink = config.sink;
+    inst.tracing = inst.sink != nullptr && inst.sink->tracing();
+    inst.runName = "simulate:" + spec.name;
+    if (inst.sink != nullptr) {
+        inst.pid = inst.sink->nextRunId();
+        inst.memsys->attachTelemetry(inst.pid,
+                                     "sim/" + spec.name + "/memory");
     }
-    if (tracing) {
-        telemetry::TraceEmitter &trace = sink->trace();
-        trace.processName(pid, run_name);
-        trace.threadName(pid, 0, "memory-system");
-        trace.begin(run_name, "sim", pid, 0, 0);
+    if (inst.tracing) {
+        telemetry::TraceEmitter &trace = inst.sink->trace();
+        trace.processName(inst.pid, inst.runName);
+        trace.threadName(inst.pid, 0, "memory-system");
+        trace.begin(inst.runName, "sim", inst.pid, 0, 0);
     }
 
     // Partition the outermost loop across tiles.
     int tiles = std::max(1, design.sys.numTiles);
     int64_t outer = std::max<int64_t>(spec.loops[0].tripBase, 1);
-    std::vector<std::unique_ptr<TileSim>> sims;
-    std::vector<int> tileIds;
     for (int t = 0; t < tiles; ++t) {
         int64_t lo = outer * t / tiles;
         int64_t hi = outer * (t + 1) / tiles;
         if (lo >= hi)
             continue;
-        sims.push_back(std::make_unique<TileSim>(
-            spec, mdfg, schedule, design.adg, addresses, memory,
-            memsys, t, lo, hi, config, pid));
-        tileIds.push_back(t);
-        if (tracing) {
+        inst.sims.push_back(std::make_unique<TileSim>(
+            spec, mdfg, schedule, design.adg, *inst.addresses, memory,
+            *inst.memsys, t, lo, hi, config, inst.pid));
+        inst.tileIds.push_back(t);
+        if (inst.tracing) {
             std::string name = "tile" + std::to_string(t);
-            sink->trace().threadName(pid, t + 1, name);
-            sink->trace().begin(name, "tile", pid, t + 1, 0);
+            inst.sink->trace().threadName(inst.pid, t + 1, name);
+            inst.sink->trace().begin(name, "tile", inst.pid, t + 1,
+                                     0);
         }
     }
 
@@ -118,39 +162,99 @@ simulate(const wl::KernelSpec &spec, const dfg::Mdfg &mdfg,
     // appended by the single thread driving this engine; batch
     // drivers give each job a unique runLabel so lines() serializes
     // deterministically for every --sim-threads value.
-    if (sink != nullptr && sink->timelineEnabled()) {
+    if (inst.sink != nullptr && inst.sink->timelineEnabled()) {
         const std::string label =
             config.runLabel.empty() ? spec.name : config.runLabel;
         telemetry::TimelineRun *run =
-            sink->timeline().beginRun(label);
-        uint64_t interval = sink->options().statsInterval;
-        memsys.attachTimeline(run, interval);
-        for (auto &sim : sims)
+            inst.sink->timeline().beginRun(label);
+        uint64_t interval = inst.sink->options().statsInterval;
+        inst.memsys->attachTimeline(run, interval);
+        for (auto &sim : inst.sims)
             sim->attachTimeline(run, interval);
     }
+    return inst;
+}
 
+/**
+ * Serialize the whole simulated system at a checkpoint site: the
+ * identity header, the engine's loop state, the functional memory
+ * contents (the fabric evaluates real iterations — array values are
+ * as much simulation state as any queue), then every component in
+ * engine tick order.
+ */
+void
+writeCheckpoint(Snapshot &snap, const wl::KernelSpec &spec,
+                const SimConfig &config, const SimInstance &inst,
+                const wl::Memory &memory, const EngineCheckpoint &ck)
+{
+    snap.beginSection("meta");
+    snap.putString(spec.name);
+    snap.putU64(configDigest(config));
+    snap.putU64(inst.sims.size());
+    for (int t : inst.tileIds)
+        snap.putI64(t);
+    ck.save(snap);
+    snap.beginSection("arrays");
+    snap.putU64(memory.all().size());
+    for (const auto &[name, values] : memory.all()) {
+        snap.putString(name);
+        snap.putU64(values.size());
+        for (double v : values)
+            snap.putDouble(v);
+    }
+    inst.memsys->save(snap);
+    for (const auto &sim : inst.sims)
+        sim->save(snap);
+}
+
+/**
+ * Drive @p inst to completion (optionally resuming from @p
+ * resume_from) and assemble the SimResult. Shared tail of simulate()
+ * and resumeFrom().
+ */
+SimResult
+runInstance(SimInstance &inst, const wl::KernelSpec &spec,
+            const dfg::Mdfg &mdfg, wl::Memory &memory,
+            const SimConfig &config,
+            const EngineCheckpoint *resume_from)
+{
     // The engine ticks the memory system first, then the tiles, in
     // the order the historical loop did.
     SimEngine engine(config);
-    engine.add(&memsys);
-    for (auto &sim : sims)
+    engine.add(inst.memsys.get());
+    for (auto &sim : inst.sims)
         engine.add(sim.get());
-    std::vector<bool> traceEnded(sims.size(), false);
+    if (config.checkpointEvery > 0 &&
+        config.checkpointSink != nullptr) {
+        engine.setCheckpointHook(
+            config.checkpointEvery,
+            [&](const EngineCheckpoint &ck) {
+                Snapshot snap;
+                writeCheckpoint(snap, spec, config, inst, memory, ck);
+                snap.seal();
+                config.checkpointSink->accept(ck.cycle,
+                                              std::move(snap));
+            });
+    }
+    std::vector<bool> traceEnded(inst.sims.size(), false);
     auto all_done = [&]() {
         bool all = true;
-        for (size_t s = 0; s < sims.size(); ++s) {
-            bool done = sims[s]->done();
-            if (tracing && done && !traceEnded[s]) {
+        for (size_t s = 0; s < inst.sims.size(); ++s) {
+            bool done = inst.sims[s]->done();
+            if (inst.tracing && done && !traceEnded[s]) {
                 traceEnded[s] = true;
-                sink->trace().end(
-                    "tile" + std::to_string(tileIds[s]), "tile", pid,
-                    tileIds[s] + 1, sims[s]->stats().finishCycle);
+                inst.sink->trace().end(
+                    "tile" + std::to_string(inst.tileIds[s]), "tile",
+                    inst.pid, inst.tileIds[s] + 1,
+                    inst.sims[s]->stats().finishCycle);
             }
             all &= done;
         }
         return all;
     };
-    EngineOutcome outcome = engine.run(all_done);
+    EngineOutcome outcome = resume_from != nullptr
+                                ? engine.resume(all_done, *resume_from)
+                                : engine.run(all_done);
     uint64_t cycle = outcome.cycles;
 
     SimResult result;
@@ -162,9 +266,9 @@ simulate(const wl::KernelSpec &spec, const dfg::Mdfg &mdfg,
     result.skippedCycles = outcome.skippedCycles;
     result.drainedCycles = outcome.drainedCycles;
     result.drainJumps = outcome.drainJumps;
-    result.memory = memsys.stats();
+    result.memory = inst.memsys->stats();
     double insts = 0.0;
-    for (auto &tile : sims) {
+    for (auto &tile : inst.sims) {
         result.tiles.push_back(tile->stats());
         result.totalIterations += tile->stats().iterations;
         insts += static_cast<double>(tile->stats().firings) *
@@ -174,19 +278,86 @@ simulate(const wl::KernelSpec &spec, const dfg::Mdfg &mdfg,
     }
     result.ipc = cycle > 0 ? insts / static_cast<double>(cycle) : 0.0;
 
-    if (tracing) {
+    if (inst.tracing) {
         // Deadlocked tiles still need their end events matched.
-        for (size_t s = 0; s < sims.size(); ++s) {
+        for (size_t s = 0; s < inst.sims.size(); ++s) {
             if (!traceEnded[s]) {
-                sink->trace().end("tile" + std::to_string(tileIds[s]),
-                                  "tile", pid, tileIds[s] + 1, cycle);
+                inst.sink->trace().end(
+                    "tile" + std::to_string(inst.tileIds[s]), "tile",
+                    inst.pid, inst.tileIds[s] + 1, cycle);
             }
         }
-        sink->trace().end(run_name, "sim", pid, 0, cycle);
+        inst.sink->trace().end(inst.runName, "sim", inst.pid, 0,
+                               cycle);
     }
-    if (sink != nullptr)
-        dumpCounters(*sink, spec.name, result);
+    if (inst.sink != nullptr)
+        dumpCounters(*inst.sink, spec.name, result);
     return result;
+}
+
+} // namespace
+
+SimResult
+simulate(const wl::KernelSpec &spec, const dfg::Mdfg &mdfg,
+         const sched::Schedule &schedule, const adg::SysAdg &design,
+         wl::Memory &memory, const SimConfig &config)
+{
+    SimInstance inst =
+        buildInstance(spec, mdfg, schedule, design, memory, config);
+    return runInstance(inst, spec, mdfg, memory, config, nullptr);
+}
+
+SimResult
+resumeFrom(const Snapshot &snap, const wl::KernelSpec &spec,
+           const dfg::Mdfg &mdfg, const sched::Schedule &schedule,
+           const adg::SysAdg &design, wl::Memory &memory,
+           const SimConfig &config)
+{
+    OG_ASSERT(snap.verify(),
+              "snapshot failed its digest check (truncated, "
+              "corrupted, or never sealed)");
+    SimInstance inst =
+        buildInstance(spec, mdfg, schedule, design, memory, config);
+
+    snap.rewind();
+    snap.expectSection("meta");
+    std::string kernel = snap.getString();
+    OG_ASSERT(kernel == spec.name, "snapshot is of kernel '", kernel,
+              "', resuming '", spec.name, "'");
+    uint64_t cfg = snap.getU64();
+    OG_ASSERT(cfg == configDigest(config),
+              "snapshot was captured under a different simulator "
+              "configuration");
+    uint64_t nsims = snap.getU64();
+    OG_ASSERT(nsims == inst.sims.size(),
+              "snapshot tile count mismatch: ", nsims, " vs ",
+              inst.sims.size());
+    for (int t : inst.tileIds) {
+        int64_t saved = snap.getI64();
+        OG_ASSERT(saved == t, "snapshot tile id mismatch: ", saved,
+                  " vs ", t);
+    }
+    EngineCheckpoint ck;
+    ck.restore(snap);
+    snap.expectSection("arrays");
+    uint64_t narrays = snap.getU64();
+    OG_ASSERT(narrays == memory.all().size(),
+              "snapshot array count mismatch: ", narrays, " vs ",
+              memory.all().size(),
+              " (memory must be init()ed for the kernel)");
+    for (uint64_t i = 0; i < narrays; ++i) {
+        std::string name = snap.getString();
+        std::vector<double> &values = memory.array(name);
+        uint64_t len = snap.getU64();
+        OG_ASSERT(len == values.size(), "snapshot array '", name,
+                  "' length mismatch: ", len, " vs ", values.size());
+        for (double &v : values)
+            v = snap.getDouble();
+    }
+    inst.memsys->restore(snap);
+    for (auto &sim : inst.sims)
+        sim->restore(snap);
+    return runInstance(inst, spec, mdfg, memory, config, &ck);
 }
 
 uint64_t

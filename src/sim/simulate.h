@@ -10,6 +10,7 @@
 
 #include "sched/schedule.h"
 #include "sim/memory_system.h"
+#include "sim/snapshot.h"
 #include "sim/tile.h"
 
 namespace overgen::sim {
@@ -53,6 +54,43 @@ SimResult simulate(const wl::KernelSpec &spec, const dfg::Mdfg &mdfg,
                    const sched::Schedule &schedule,
                    const adg::SysAdg &design, wl::Memory &memory,
                    const SimConfig &config = {});
+
+/**
+ * Resume a simulation from a checkpoint @p snap captured by an
+ * earlier simulate() run (SimConfig::checkpointEvery +
+ * SimConfig::checkpointSink) of the *same* (spec, mdfg, schedule,
+ * design, config) inputs. The simulated system is rebuilt exactly as
+ * simulate() builds it, every component restores its serialized
+ * state, and the engine re-enters its loop at the checkpoint cycle —
+ * the returned SimResult is bit-identical to the uninterrupted run
+ * (cycles, stats, ledgers, watchdog abort cycles; tickedCycles /
+ * skippedCycles continue from the checkpoint's counters).
+ *
+ * @p memory must have been init()ed for @p spec (array contents are
+ * overwritten from the snapshot). Fatal when the snapshot fails its
+ * digest check or describes different simulation inputs.
+ */
+SimResult resumeFrom(const Snapshot &snap, const wl::KernelSpec &spec,
+                     const dfg::Mdfg &mdfg,
+                     const sched::Schedule &schedule,
+                     const adg::SysAdg &design, wl::Memory &memory,
+                     const SimConfig &config = {});
+
+/**
+ * Digest of the SimConfig fields that shape simulated behavior — the
+ * compatibility check between a checkpoint and the configuration it
+ * resumes under. Excluded on purpose:
+ *  - the engine-mode flags (noFastForward / checkFastForward) and all
+ *    telemetry plumbing: results are bit-identical across them, so a
+ *    snapshot from a fast-forwarding run may resume under the naive
+ *    or checked loop and vice versa;
+ *  - maxCycles: the budget only bounds the engine's loop, never the
+ *    per-cycle evolution, so a checkpoint from a truncated
+ *    probe-horizon run is exactly the state a longer-budget run
+ *    passes through — resuming it with more budget simulates only
+ *    the unseen suffix (the DSE's incremental evaluation).
+ */
+uint64_t configDigest(const SimConfig &config);
 
 /**
  * Cycles to reconfigure the fabric with a new spatial bitstream through

@@ -37,6 +37,15 @@ class Memory
     /** @return whether @p name exists. */
     bool has(const std::string &name) const;
 
+    /** @return every array, name-ordered (snapshot serialization —
+     * the simulator saves and restores functional memory contents
+     * alongside its own clocked state). */
+    const std::map<std::string, std::vector<double>> &
+    all() const
+    {
+        return arrays;
+    }
+
   private:
     std::map<std::string, std::vector<double>> arrays;
 };

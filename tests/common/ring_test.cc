@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "common/ring.h"
+#include "common/rng.h"
+
+namespace overgen::common {
+namespace {
+
+TEST(RingBuffer, StartsEmpty)
+{
+    RingBuffer<int> ring;
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(RingBuffer, FifoOrderSurvivesWraparound)
+{
+    // Interleave pushes and pops so head walks all the way around the
+    // initial 8-slot array several times; FIFO positions must stay
+    // consistent throughout.
+    RingBuffer<int> ring;
+    std::deque<int> model;
+    int next = 0;
+    for (int round = 0; round < 10; ++round) {
+        for (int i = 0; i < 5; ++i) {
+            ring.push_back(next);
+            model.push_back(next);
+            ++next;
+        }
+        for (int i = 0; i < 3; ++i) {
+            ASSERT_EQ(ring.front(), model.front());
+            ring.pop_front();
+            model.pop_front();
+        }
+        ASSERT_EQ(ring.size(), model.size());
+        for (size_t i = 0; i < model.size(); ++i)
+            ASSERT_EQ(ring[i], model[i]) << "round " << round;
+        ASSERT_EQ(ring.back(), model.back());
+    }
+}
+
+TEST(RingBuffer, GrowRelinearizesAcrossTheSeam)
+{
+    // Fill past the initial capacity while head is mid-array, so the
+    // live entries straddle the wrap seam when grow() copies them.
+    RingBuffer<int> ring;
+    for (int i = 0; i < 6; ++i)
+        ring.push_back(i);
+    for (int i = 0; i < 4; ++i)
+        ring.pop_front();
+    for (int i = 6; i < 20; ++i)
+        ring.push_back(i);
+    ASSERT_EQ(ring.size(), 16u);
+    for (size_t i = 0; i < ring.size(); ++i)
+        EXPECT_EQ(ring[i], static_cast<int>(i) + 4);
+}
+
+TEST(RingBuffer, EraseKeepsOrderAndReinsertOverwrites)
+{
+    // The fill-queue pattern: erase a middle entry (order-preserving
+    // shift), then push new entries into the vacated tail slots.
+    RingBuffer<int> ring;
+    for (int i = 0; i < 8; ++i)
+        ring.push_back(i);
+    ring.erase(3);
+    ASSERT_EQ(ring.size(), 7u);
+    const int after_erase[] = { 0, 1, 2, 4, 5, 6, 7 };
+    for (size_t i = 0; i < ring.size(); ++i)
+        EXPECT_EQ(ring[i], after_erase[i]);
+
+    ring.erase(0);
+    ring.erase(ring.size() - 1);
+    const int after_ends[] = { 1, 2, 4, 5, 6 };
+    ASSERT_EQ(ring.size(), 5u);
+    for (size_t i = 0; i < ring.size(); ++i)
+        EXPECT_EQ(ring[i], after_ends[i]);
+
+    // Reinsertion lands strictly after the survivors.
+    ring.push_back(100);
+    ring.push_back(101);
+    EXPECT_EQ(ring.back(), 101);
+    EXPECT_EQ(ring[ring.size() - 2], 100);
+    EXPECT_EQ(ring.front(), 1);
+}
+
+TEST(RingBuffer, PopBackDropsNewestEntry)
+{
+    RingBuffer<int> ring;
+    ring.push_back(1);
+    ring.push_back(2);
+    ring.pop_back();
+    ASSERT_EQ(ring.size(), 1u);
+    EXPECT_EQ(ring.front(), 1);
+    EXPECT_EQ(ring.back(), 1);
+}
+
+TEST(RingBuffer, ClearThenReuse)
+{
+    RingBuffer<int> ring;
+    for (int i = 0; i < 12; ++i)
+        ring.push_back(i);
+    ring.clear();
+    EXPECT_TRUE(ring.empty());
+    ring.push_back(42);
+    ASSERT_EQ(ring.size(), 1u);
+    EXPECT_EQ(ring.front(), 42);
+}
+
+TEST(RingBuffer, MonotoneReadyOrderingUnderExpiryScan)
+{
+    // The fill-ready usage: entries are appended with nondecreasing
+    // ready cycles and retired from the front as they expire; the
+    // front must always hold the minimum ready cycle.
+    struct Fill
+    {
+        uint64_t ready = 0;
+        int line = 0;
+    };
+    RingBuffer<Fill> ring;
+    Rng rng(7);
+    uint64_t clock = 0;
+    uint64_t next_ready = 0;
+    int next_line = 0;
+    for (int step = 0; step < 500; ++step) {
+        if (ring.size() < 16 && rng.nextBelow(2) == 0) {
+            next_ready += rng.nextBelow(5);
+            ring.push_back(Fill{ next_ready, next_line++ });
+        }
+        clock += rng.nextBelow(4);
+        while (!ring.empty() && ring.front().ready <= clock) {
+            for (size_t i = 1; i < ring.size(); ++i)
+                ASSERT_GE(ring[i].ready, ring.front().ready);
+            ring.pop_front();
+        }
+    }
+}
+
+using RingBufferDeathTest = ::testing::Test;
+
+TEST(RingBufferDeathTest, EmptyAccessesAreFatal)
+{
+    RingBuffer<int> ring;
+    EXPECT_DEATH(ring.pop_front(), "empty ring");
+    EXPECT_DEATH(ring.pop_back(), "empty ring");
+    EXPECT_DEATH((void)ring[0], "out of range");
+    ring.push_back(1);
+    EXPECT_DEATH((void)ring[1], "out of range");
+    EXPECT_DEATH(ring.erase(1), "out of range");
+}
+
+} // namespace
+} // namespace overgen::common

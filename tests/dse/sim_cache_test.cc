@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include "adg/builders.h"
+#include "compiler/compile.h"
+#include "dse/explorer.h"
+#include "dse/sim_cache.h"
+#include "model/resource_model.h"
+#include "sched/scheduler.h"
+#include "workloads/suites.h"
+
+// Warm-started incremental validation: every warmSimulate path —
+// cold miss, terminal hit, truncation resume — must return SimResults
+// bit-identical to a plain cold simulate() of the same inputs. The
+// cache changes wall-clock, never the answer.
+
+namespace overgen::dse {
+namespace {
+
+struct Compiled
+{
+    wl::KernelSpec spec;
+    adg::SysAdg design;
+    dfg::Mdfg mdfg;
+    sched::Schedule schedule;
+};
+
+Compiled
+compileAccumulate()
+{
+    Compiled c;
+    c.spec = wl::makeAccumulate(64);
+    adg::MeshConfig mesh;
+    mesh.rows = 4;
+    mesh.cols = 4;
+    mesh.numPes = 8;
+    mesh.numInPorts = 8;
+    mesh.numOutPorts = 4;
+    mesh.datapathBytes = 64;
+    mesh.spadCapacityKiB = 64;
+    mesh.dmaBandwidthBytes = 64;
+    std::set<FuCapability> caps = adg::intCapabilities(DataType::I64);
+    for (DataType t : { DataType::I16, DataType::I32 }) {
+        auto sub = adg::intCapabilities(t);
+        caps.insert(sub.begin(), sub.end());
+    }
+    for (DataType t : { DataType::F32, DataType::F64 }) {
+        auto sub = adg::floatCapabilities(t);
+        caps.insert(sub.begin(), sub.end());
+    }
+    mesh.peCapabilities = caps;
+    c.design.adg = adg::buildMeshTile(mesh);
+    c.design.sys.numTiles = 2;
+    c.design.sys.l2Banks = 8;
+    c.design.sys.nocBytes = 64;
+    c.design.sys.l2CapacityKiB = 16;  // miss-dominated: a long run
+    auto variants = compiler::compileVariants(c.spec);
+    sched::SpatialScheduler scheduler(c.design.adg);
+    auto fit = scheduler.scheduleFirstFit(variants);
+    OG_ASSERT(fit.has_value(), "no schedule for accumulate");
+    c.mdfg = std::move(variants[fit->second]);
+    c.schedule = std::move(fit->first);
+    return c;
+}
+
+void
+expectIdentical(const sim::SimResult &a, const sim::SimResult &b,
+                const std::string &label)
+{
+    EXPECT_EQ(a.completed, b.completed) << label;
+    EXPECT_EQ(a.deadlocked, b.deadlocked) << label;
+    EXPECT_EQ(a.cycles, b.cycles) << label;
+    EXPECT_EQ(a.totalIterations, b.totalIterations) << label;
+    EXPECT_EQ(a.ipc, b.ipc) << label;
+    EXPECT_EQ(a.memory.l2Hits, b.memory.l2Hits) << label;
+    EXPECT_EQ(a.memory.l2Misses, b.memory.l2Misses) << label;
+    EXPECT_EQ(a.memory.dramBytesRead, b.memory.dramBytesRead)
+        << label;
+    EXPECT_EQ(a.memory.ledger, b.memory.ledger) << label;
+    ASSERT_EQ(a.tiles.size(), b.tiles.size()) << label;
+    for (size_t t = 0; t < a.tiles.size(); ++t) {
+        EXPECT_EQ(a.tiles[t].firings, b.tiles[t].firings) << label;
+        EXPECT_EQ(a.tiles[t].iterations, b.tiles[t].iterations)
+            << label;
+        EXPECT_EQ(a.tiles[t].finishCycle, b.tiles[t].finishCycle)
+            << label;
+        EXPECT_EQ(a.tiles[t].ledger, b.tiles[t].ledger) << label;
+    }
+}
+
+TEST(WarmSimCache, KeyDigestSeparatesInputs)
+{
+    Compiled c = compileAccumulate();
+    sim::SimConfig config;
+    uint64_t base =
+        simKeyDigest(c.spec, c.mdfg, c.schedule, c.design, config);
+    EXPECT_EQ(simKeyDigest(c.spec, c.mdfg, c.schedule, c.design,
+                           config),
+              base);
+    // maxCycles is deliberately NOT part of the identity.
+    sim::SimConfig longer = config;
+    longer.maxCycles *= 2;
+    EXPECT_EQ(simKeyDigest(c.spec, c.mdfg, c.schedule, c.design,
+                           longer),
+              base);
+    // Functional differences are.
+    sim::SimConfig slow = config;
+    slow.dramLatency += 1;
+    EXPECT_NE(
+        simKeyDigest(c.spec, c.mdfg, c.schedule, c.design, slow),
+        base);
+    adg::SysAdg other = c.design;
+    other.sys.l2Banks *= 2;
+    EXPECT_NE(simKeyDigest(c.spec, c.mdfg, c.schedule, other, config),
+              base);
+    wl::KernelSpec bigger = wl::makeAccumulate(128);
+    EXPECT_NE(
+        simKeyDigest(bigger, c.mdfg, c.schedule, c.design, config),
+        base);
+}
+
+TEST(WarmSimCache, TerminalHitReturnsBitIdenticalResult)
+{
+    Compiled c = compileAccumulate();
+    sim::SimConfig config;
+
+    sim::SimResult cold = warmSimulate(nullptr, c.spec, c.mdfg,
+                                       c.schedule, c.design, config);
+    ASSERT_TRUE(cold.completed);
+
+    WarmSimCache cache;
+    WarmSimReport report;
+    sim::SimResult first =
+        warmSimulate(&cache, c.spec, c.mdfg, c.schedule, c.design,
+                     config, 0, &report);
+    EXPECT_EQ(report.how, WarmSimOutcome::Miss);
+    expectIdentical(cold, first, "first-fill");
+
+    sim::SimResult second =
+        warmSimulate(&cache, c.spec, c.mdfg, c.schedule, c.design,
+                     config, 0, &report);
+    EXPECT_EQ(report.how, WarmSimOutcome::TerminalHit);
+    expectIdentical(cold, second, "terminal-hit");
+
+    WarmSimStats stats = cache.stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.terminalHits, 1u);
+    EXPECT_EQ(stats.resumes, 0u);
+}
+
+TEST(WarmSimCache, TruncatedProbeResumesOnlyTheSuffix)
+{
+    Compiled c = compileAccumulate();
+    sim::SimConfig full;
+    sim::SimResult cold = warmSimulate(nullptr, c.spec, c.mdfg,
+                                       c.schedule, c.design, full);
+    ASSERT_TRUE(cold.completed);
+    ASSERT_GT(cold.cycles, 400u)
+        << "workload too short to truncate meaningfully";
+
+    // Probe at a budget the run cannot finish in; the probe leaves
+    // its last checkpoint in the cache.
+    WarmSimCache cache;
+    sim::SimConfig probe;
+    probe.maxCycles = cold.cycles / 2;
+    probe.deadlockCycles = full.deadlockCycles;
+    WarmSimReport report;
+    sim::SimResult truncated =
+        warmSimulate(&cache, c.spec, c.mdfg, c.schedule, c.design,
+                     probe, 32, &report);
+    EXPECT_EQ(report.how, WarmSimOutcome::Miss);
+    EXPECT_FALSE(truncated.completed);
+    EXPECT_FALSE(truncated.deadlocked);
+
+    // Promote to the full budget: the evaluation resumes from the
+    // probe's checkpoint and must equal the cold full run bitwise.
+    sim::SimResult promoted =
+        warmSimulate(&cache, c.spec, c.mdfg, c.schedule, c.design,
+                     full, 32, &report);
+    EXPECT_EQ(report.how, WarmSimOutcome::Resumed);
+    EXPECT_GT(report.cyclesSkipped, 0u);
+    expectIdentical(cold, promoted, "probe-promote");
+
+    // The promotion stored a terminal entry: a third request hits.
+    sim::SimResult again =
+        warmSimulate(&cache, c.spec, c.mdfg, c.schedule, c.design,
+                     full, 32, &report);
+    EXPECT_EQ(report.how, WarmSimOutcome::TerminalHit);
+    expectIdentical(cold, again, "post-promote-hit");
+
+    WarmSimStats stats = cache.stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.resumes, 1u);
+    EXPECT_EQ(stats.terminalHits, 1u);
+    EXPECT_GT(stats.cyclesSkipped, 0u);
+}
+
+TEST(WarmSimCache, SmallerBudgetThanStoredProbeMisses)
+{
+    Compiled c = compileAccumulate();
+    sim::SimConfig full;
+    sim::SimResult cold = warmSimulate(nullptr, c.spec, c.mdfg,
+                                       c.schedule, c.design, full);
+    ASSERT_TRUE(cold.completed);
+    ASSERT_GT(cold.cycles, 400u);
+
+    WarmSimCache cache;
+    sim::SimConfig probe;
+    probe.maxCycles = cold.cycles / 2;
+    (void)warmSimulate(&cache, c.spec, c.mdfg, c.schedule, c.design,
+                       probe, 32);
+
+    // A request with an even smaller budget is a different prefix —
+    // the stored endpoint must not be resumed for it.
+    sim::SimConfig smaller;
+    smaller.maxCycles = cold.cycles / 4;
+    WarmSimReport report;
+    sim::SimResult cold_small = warmSimulate(
+        nullptr, c.spec, c.mdfg, c.schedule, c.design, smaller);
+    sim::SimResult small =
+        warmSimulate(&cache, c.spec, c.mdfg, c.schedule, c.design,
+                     smaller, 32, &report);
+    EXPECT_EQ(report.how, WarmSimOutcome::Miss);
+    expectIdentical(cold_small, small, "smaller-budget");
+}
+
+// ---------------------------------------------------------------------------
+// Explorer integration: warm validation == cold validation, bit for
+// bit, and a re-exploration of the same domain validates entirely
+// from the cache.
+
+const model::FpgaResourceModel &
+testModel()
+{
+    static model::FpgaResourceModel m = [] {
+        model::ResourceModelConfig config;
+        config.peSamples = 800;
+        config.switchSamples = 400;
+        config.inPortSamples = 300;
+        config.outPortSamples = 300;
+        config.train.epochs = 50;
+        return model::FpgaResourceModel::train(config);
+    }();
+    return m;
+}
+
+DseOptions
+fastOptions()
+{
+    DseOptions options;
+    options.iterations = 8;
+    options.tileCountGrid = { 1, 2, 4 };
+    options.l2BankGrid = { 4, 8 };
+    options.nocBytesGrid = { 32 };
+    options.l2CapacityGrid = { 512 };
+    options.validateFinal = true;
+    return options;
+}
+
+TEST(ExplorerWarmValidation, WarmEqualsColdAndRerunHitsOutright)
+{
+    std::vector<wl::KernelSpec> kernels = { wl::makeMm(16),
+                                            wl::makeAccumulate(16) };
+
+    DseResult cold =
+        exploreOverlay(kernels, fastOptions(), &testModel());
+    ASSERT_EQ(cold.mappings.size(), kernels.size());
+    EXPECT_EQ(cold.simTerminalHits, 0u);
+    EXPECT_EQ(cold.simMisses, 0u);  // runBatch path: no cache traffic
+
+    WarmSimCache cache;
+    DseOptions warm_options = fastOptions();
+    warm_options.simCache = &cache;
+    DseResult warm =
+        exploreOverlay(kernels, warm_options, &testModel());
+    ASSERT_EQ(warm.mappings.size(), kernels.size());
+    EXPECT_EQ(warm.simMisses, kernels.size());
+    for (size_t k = 0; k < kernels.size(); ++k) {
+        EXPECT_TRUE(warm.mappings[k].simulated);
+        EXPECT_EQ(cold.mappings[k].simCompleted,
+                  warm.mappings[k].simCompleted)
+            << kernels[k].name;
+        EXPECT_EQ(cold.mappings[k].simulatedCycles,
+                  warm.mappings[k].simulatedCycles)
+            << kernels[k].name;
+        EXPECT_EQ(cold.mappings[k].simulatedIpc,
+                  warm.mappings[k].simulatedIpc)
+            << kernels[k].name;
+    }
+
+    // The anneal is seeded, so re-exploring the same domain lands on
+    // the same design — every validation is now a terminal hit, and
+    // the numbers still match the cold run exactly.
+    DseResult rerun =
+        exploreOverlay(kernels, warm_options, &testModel());
+    EXPECT_EQ(rerun.simTerminalHits, kernels.size());
+    EXPECT_EQ(rerun.simMisses, 0u);
+    for (size_t k = 0; k < kernels.size(); ++k) {
+        EXPECT_EQ(cold.mappings[k].simulatedCycles,
+                  rerun.mappings[k].simulatedCycles)
+            << kernels[k].name;
+        EXPECT_EQ(cold.mappings[k].simulatedIpc,
+                  rerun.mappings[k].simulatedIpc)
+            << kernels[k].name;
+    }
+}
+
+} // namespace
+} // namespace overgen::dse

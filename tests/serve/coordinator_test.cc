@@ -271,3 +271,83 @@ TEST(Coordinator, PerJobSimOverridesTravelTheWire)
     EXPECT_TRUE(outcome.rows[2].ok);
     EXPECT_FALSE(outcome.rows[2].deadlocked);
 }
+
+TEST(Coordinator, SigkilledWorkerReplacementResumesFromCheckpoint)
+{
+    JobSet set = testJobs(/*slowFirst=*/true);
+    std::string reference = referenceJsonl(set);
+
+    CoordinatorOptions options;
+    options.workers = 2;
+    options.shardSize = 4;  // 8 jobs -> 2 shards, one per worker
+    // Full-size gemm runs ~17k cycles, so a 2k-cycle cadence streams
+    // its first checkpoint well before the job can finish.
+    options.checkpointEvery = 2000;
+    bool killed = false;
+    // Kill the worker holding shard 0 at its first mid-run
+    // checkpoint: job 0 (the slow gemm) is provably mid-simulation,
+    // with no rows banked yet. The replacement must pick the shard up
+    // from the banked checkpoint, not from cycle 0.
+    options.onRecord = [&](const Json &record, int, pid_t pid) {
+        if (!killed && record.at("t").asString() == "ckpt" &&
+            record.at("shard").asInt() == 0) {
+            ::kill(pid, SIGKILL);
+            killed = true;
+        }
+    };
+    ServeOutcome outcome = serveJobs(set, options);
+    ASSERT_TRUE(killed);
+    EXPECT_TRUE(outcome.summary.ok);
+    // The resumed suffix is bit-identical to an uninterrupted run, so
+    // the merged stream matches the in-process reference byte for
+    // byte even though job 0 was simulated in two pieces.
+    EXPECT_EQ(mergedJsonl(set, outcome.rows), reference);
+    EXPECT_EQ(outcome.summary.crashes, 1u);
+    EXPECT_EQ(outcome.summary.respawns, 1u);
+    EXPECT_EQ(outcome.summary.retries, 1u);
+    EXPECT_GE(outcome.summary.checkpoints, 1u);
+    // Exactly one row (the interrupted gemm) came from a resume; its
+    // shard-mates ran fresh on the replacement.
+    EXPECT_EQ(outcome.summary.resumed, 1u);
+    EXPECT_EQ(outcome.summary.duplicates, 0u);
+    EXPECT_EQ(outcome.summary.abandoned, 0u);
+    EXPECT_EQ(outcome.summary.workersSpawned, 3u);
+}
+
+TEST(Coordinator, RedispatchSkipsRowsAlreadyBanked)
+{
+    // Workers stream rows per job, so a crash after some rows arrived
+    // must re-run only the remainder — the banked rows' jobs are
+    // never dispatched again, and no duplicates can arise. The slow
+    // gemm up front keeps the kill race-free: the third row lands
+    // ~150 ms in, with five small jobs (~25 ms) still outstanding.
+    JobSet set = testJobs(/*slowFirst=*/true);
+    std::string reference = referenceJsonl(set);
+
+    CoordinatorOptions options;
+    options.workers = 1;
+    options.shardSize = 0;  // one shard holding all eight jobs
+    uint64_t rows_seen = 0;
+    bool killed = false;
+    options.onRecord = [&](const Json &record, int, pid_t pid) {
+        if (record.at("t").asString() == "result" && !killed &&
+            ++rows_seen == 3) {
+            ::kill(pid, SIGKILL);
+            killed = true;
+        }
+    };
+    ServeOutcome outcome = serveJobs(set, options);
+    ASSERT_TRUE(killed);
+    EXPECT_TRUE(outcome.summary.ok);
+    EXPECT_EQ(mergedJsonl(set, outcome.rows), reference);
+    EXPECT_EQ(outcome.summary.crashes, 1u);
+    EXPECT_EQ(outcome.summary.retries, 1u);
+    // First-arrival rows stay banked across the crash: the
+    // re-dispatch carries only the missing jobs, so the replacement
+    // cannot produce duplicates.
+    EXPECT_EQ(outcome.summary.duplicates, 0u);
+    EXPECT_EQ(outcome.summary.abandoned, 0u);
+    // Checkpointing was off: recovery here is row-skipping alone.
+    EXPECT_EQ(outcome.summary.checkpoints, 0u);
+    EXPECT_EQ(outcome.summary.resumed, 0u);
+}
