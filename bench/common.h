@@ -60,6 +60,8 @@ struct CommonFlags
     int simThreads = 1;
     bool evalCache = true;
     bool noFastForward = false;
+    /** DSE candidate scoring mode (`--objective=scalar|phase`). */
+    dse::DseObjective objective = dse::DseObjective::Scalar;
     /** Unrecognized arguments, in order (allowExtra mode only). */
     std::vector<std::string> extra;
 };
@@ -88,6 +90,11 @@ struct CommonFlags
  * the path is given, path "timeline.jsonl" when only the interval
  * is).
  *
+ * DSE: `--objective=scalar|phase` selects the candidate scoring mode
+ * (dse::DseObjective) — `phase` weights each kernel's estimated IPC
+ * by its model-estimated steady fraction, penalizing long ramps on
+ * short kernels (see DESIGN.md "Phase-aware analysis").
+ *
  * Unknown arguments are fatal unless @p allowExtra, in which case
  * they collect in `extra` for the harness to consume (report_cycles'
  * `--suite=`, the serve drivers' `--workers=`/`--shard-size=`/...);
@@ -104,6 +111,7 @@ parseCommonFlags(int argc, char **argv, bool allowExtra = false)
     std::string threadsArg;
     std::string simThreadsArg;
     std::string statsIntervalArg;
+    std::string objectiveArg;
     std::vector<std::string> seenFlags;
     auto once = [&seenFlags](const char *name) {
         for (const std::string &seen : seenFlags)
@@ -156,6 +164,10 @@ parseCommonFlags(int argc, char **argv, bool allowExtra = false)
             once("--stats-interval");
             continue;
         }
+        if (eatFlag(arg, "--objective=", objectiveArg)) {
+            once("--objective");
+            continue;
+        }
         if (arg == "--trace-detail") {
             once("--trace-detail");
             flags.sink.traceDetail = true;
@@ -180,6 +192,7 @@ parseCommonFlags(int argc, char **argv, bool allowExtra = false)
                  "--sim-threads[=]<n>, --trace=<path>, "
                  "--dse-log=<path>, --trace-detail, "
                  "--no-eval-cache, --no-fast-forward, "
+                 "--objective=scalar|phase, "
                  "--stats-interval[=]<n>, "
                  "--stats-jsonl=<path>, or "
                  "--telemetry-json=<path>)");
@@ -193,6 +206,16 @@ parseCommonFlags(int argc, char **argv, bool allowExtra = false)
             flags.sink.timelinePath = "timeline.jsonl";
     } else if (!flags.sink.timelinePath.empty()) {
         flags.sink.statsInterval = 4096;  // path given: default cadence
+    }
+    if (!objectiveArg.empty()) {
+        if (objectiveArg == "scalar") {
+            flags.objective = dse::DseObjective::Scalar;
+        } else if (objectiveArg == "phase") {
+            flags.objective = dse::DseObjective::Phase;
+        } else {
+            OG_FATAL("bad --objective value '", objectiveArg,
+                     "' (expected scalar or phase)");
+        }
     }
     if (!threadsArg.empty()) {
         flags.threads = std::atoi(threadsArg.c_str());
@@ -253,7 +276,8 @@ class Harness
           numThreads(flags.threads),
           numSimThreads(flags.simThreads),
           useEvalCache(flags.evalCache),
-          noFastForward(flags.noFastForward)
+          noFastForward(flags.noFastForward),
+          dseObjective(flags.objective)
     {
         rejectExtraFlags(flags.extra);
         if (!flags.sink.tracePath.empty() ||
@@ -301,6 +325,9 @@ class Harness
      */
     bool evalCache() const { return useEvalCache; }
 
+    /** Candidate scoring mode (`--objective=scalar|phase`). */
+    dse::DseObjective objective() const { return dseObjective; }
+
     /**
      * The harness-level work pool for fanning out independent
      * explorations and simulations; lazily built at threads() wide.
@@ -325,6 +352,7 @@ class Harness
         options.seed = seed;
         options.threads = numThreads;
         options.evalCache = useEvalCache;
+        options.objective = dseObjective;
         options.sink = sink();
         options.telemetryLabel = label;
         return options;
@@ -375,6 +403,7 @@ class Harness
     int numSimThreads = 1;
     bool useEvalCache = true;
     bool noFastForward = false;
+    dse::DseObjective dseObjective = dse::DseObjective::Scalar;
 };
 
 /** Overlay fabric clock (paper: quad-tile floorplan at 92.87 MHz). */
@@ -431,6 +460,11 @@ struct OverlayRun
      * harnesses that break runs down (bench/report_cycles). */
     sim::MemoryStats memory;
     std::vector<sim::TileStats> tiles;
+    /** Phase decomposition of the run (sim::analyzeRunPhases).
+     * Segmented from sampled timeline rows when the harness sampled
+     * one (`--stats-interval`); otherwise a single whole-run span
+     * from the terminal ledgers. */
+    telemetry::PhaseProfile phases;
 };
 
 /** Copy one SimResult into @p row (everything but `variant`). */
@@ -446,6 +480,7 @@ fillRunRow(OverlayRun &row, const sim::SimResult &result)
     row.ipc = result.ipc;
     row.memory = result.memory;
     row.tiles = result.tiles;
+    row.phases = sim::analyzeRunPhases(result);
 }
 
 /** Compile/schedule/simulate @p spec on @p design (first-fit variant). */

@@ -140,4 +140,15 @@ BENCHMARK(benchSpatialMemoryAblation)
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // google-benchmark strips its own --benchmark_* flags first; the
+    // remainder goes through the strict common parser, so unknown
+    // arguments stay fatal and repeated flags are rejected.
+    benchmark::Initialize(&argc, argv);
+    bench::Harness harness(bench::parseCommonFlags(argc, argv));
+    benchmark::RunSpecifiedBenchmarks();
+    harness.finish();
+    return 0;
+}

@@ -125,7 +125,12 @@ main(int argc, char **argv)
     std::printf("Fig. 11 microbenchmark: benchBypass/1 (one-hot "
                 "bypass ON) should show ~2x the issue_rate of "
                 "benchBypass/0 (OFF).\n");
+    // google-benchmark strips its own --benchmark_* flags first; the
+    // remainder goes through the strict common parser, so unknown
+    // arguments stay fatal and repeated flags are rejected.
     benchmark::Initialize(&argc, argv);
+    bench::Harness harness(bench::parseCommonFlags(argc, argv));
     benchmark::RunSpecifiedBenchmarks();
+    harness.finish();
     return 0;
 }

@@ -6,7 +6,15 @@
  * run's cycles — the ledger invariant — and the dominant non-busy
  * category is flagged as the component's bottleneck.
  *
- * Usage: report_cycles [--suite=dsp|mach|vision|all] [harness flags]
+ * A per-phase breakdown follows each workload's component rows: the
+ * run is segmented into startup/ramp/steady/drain from the interval
+ * time-series (telemetry/phases.h) and each phase gets its cycle
+ * span, busy fraction, and dominant bottleneck. `--phase-interval=N`
+ * sets the sampling cadence (default 512 cycles; rows stay in memory
+ * unless `--stats-jsonl` also asks for the file).
+ *
+ * Usage: report_cycles [--suite=dsp|mach|vision|all]
+ *        [--phase-interval=N] [harness flags]
  */
 
 #include <algorithm>
@@ -74,6 +82,18 @@ main(int argc, char **argv)
         bench::parseCommonFlags(argc, argv, /*allowExtra=*/true);
     std::string suite_name = "dsp";
     bench::takeExtraFlag(flags.extra, "--suite=", suite_name);
+    // Phase segmentation needs an interval time-series; default to an
+    // in-memory one at 512 cycles unless --stats-interval already
+    // configured sampling.
+    std::string phase_interval = "512";
+    bench::takeExtraFlag(flags.extra, "--phase-interval=",
+                         phase_interval);
+    if (flags.sink.statsInterval == 0) {
+        int interval = std::atoi(phase_interval.c_str());
+        OG_ASSERT(interval >= 1, "bad --phase-interval value '",
+                  phase_interval, "'");
+        flags.sink.statsInterval = static_cast<uint64_t>(interval);
+    }
     bench::Harness harness(flags);
 
     std::vector<wl::KernelSpec> workloads;
@@ -144,6 +164,36 @@ main(int argc, char **argv)
                         telemetry::cycleCategoryName(
                             bottleneckOf(whole_tile)),
                         100.0 * busy);
+        }
+        // Per-phase breakdown: where the cycles went within each
+        // execution regime, with the phase-local bottleneck flagged.
+        const telemetry::PhaseProfile &phases = run.phases;
+        if (!phases.spans.empty()) {
+            std::printf("  phases (ramp %llu cycles, %s",
+                        static_cast<unsigned long long>(
+                            phases.rampCycles),
+                        phases.reachedSteady ? "steady reached"
+                                             : "no steady state");
+            if (phases.reachedSteady && phases.steadyIpc > 0.0)
+                std::printf(", steady IPC %.2f", phases.steadyIpc);
+            std::printf("):\n");
+            for (const telemetry::PhaseSpan &span : phases.spans) {
+                std::printf("    %-8s %9llu..%-9llu %5.1f%% of run, "
+                            "%5.1f%% busy   <- %s\n",
+                            telemetry::phaseKindName(span.kind),
+                            static_cast<unsigned long long>(
+                                span.beginCycle),
+                            static_cast<unsigned long long>(
+                                span.endCycle),
+                            100.0 *
+                                static_cast<double>(span.cycles()) /
+                                static_cast<double>(
+                                    std::max<uint64_t>(phases.cycles,
+                                                       1)),
+                            100.0 * span.busyFraction,
+                            telemetry::cycleCategoryName(
+                                span.bottleneck));
+            }
         }
         std::printf("\n");
     }

@@ -19,6 +19,7 @@
 
 #include "common.h"
 
+#include "common/stats.h"
 #include "library/service.h"
 
 using namespace overgen;
@@ -77,15 +78,15 @@ makeTrace(size_t count, uint64_t seed)
     return trace;
 }
 
+/** Fraction-p convenience over the shared overgen::percentile
+ * (nearest-rank, same indexing); empty-safe because an all-hit trace
+ * leaves the miss list empty. */
 double
-percentile(std::vector<double> sorted, double p)
+percentile(const std::vector<double> &values, double p)
 {
-    if (sorted.empty())
+    if (values.empty())
         return 0.0;
-    std::sort(sorted.begin(), sorted.end());
-    size_t index = static_cast<size_t>(
-        p * static_cast<double>(sorted.size() - 1) + 0.5);
-    return sorted[std::min(index, sorted.size() - 1)];
+    return overgen::percentile(values, p * 100.0);
 }
 
 library::ServiceOptions
@@ -264,13 +265,23 @@ main(int argc, char **argv)
                Json(static_cast<int64_t>(warmIterations)));
     report.set("hit_rate", Json(hitRate));
     report.set("hit_rate_second_half", Json(secondHalfRate));
+    // The full percentile set, both sides of the hit/miss split, so
+    // CI can gate on tail latency (p99/max), not just medians.
     Json latency = Json::makeObject();
+    latency.set("hit_count",
+                Json(static_cast<int64_t>(hitMs.size())));
     latency.set("hit_p50_ms", Json(hitP50));
     latency.set("hit_p90_ms", Json(percentile(hitMs, 0.9)));
+    latency.set("hit_p95_ms", Json(percentile(hitMs, 0.95)));
     latency.set("hit_p99_ms", Json(percentile(hitMs, 0.99)));
+    latency.set("hit_max_ms", Json(percentile(hitMs, 1.0)));
+    latency.set("miss_count",
+                Json(static_cast<int64_t>(missMs.size())));
     latency.set("miss_p50_ms", Json(missP50));
     latency.set("miss_p90_ms", Json(percentile(missMs, 0.9)));
+    latency.set("miss_p95_ms", Json(percentile(missMs, 0.95)));
     latency.set("miss_p99_ms", Json(percentile(missMs, 0.99)));
+    latency.set("miss_max_ms", Json(percentile(missMs, 1.0)));
     latency.set("miss_over_hit_p50", Json(speedup));
     report.set("latency", std::move(latency));
     report.set("library_entries",

@@ -7,8 +7,10 @@
  * the benchmark harnesses (the paper reports geometric means throughout).
  */
 
+#include <algorithm>
 #include <cmath>
 #include <span>
+#include <vector>
 
 #include "common/logging.h"
 
@@ -47,6 +49,24 @@ weightedGeometricMean(std::span<const double> values,
     }
     OG_ASSERT(weight_sum > 0.0, "zero total weight");
     return std::exp(log_sum / weight_sum);
+}
+
+/**
+ * @return the @p p-th percentile of @p values (p in [0, 100]),
+ * nearest-rank on a sorted copy: index round(p/100 * (n-1)). Shared
+ * by the serving benches' latency reporting and the phase benches'
+ * busy-fraction spread statistics.
+ */
+inline double
+percentile(std::span<const double> values, double p)
+{
+    OG_ASSERT(!values.empty(), "percentile of empty set");
+    OG_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range: ", p);
+    std::vector<double> sorted(values.begin(), values.end());
+    std::sort(sorted.begin(), sorted.end());
+    size_t index = static_cast<size_t>(
+        p / 100.0 * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(index, sorted.size() - 1)];
 }
 
 /** @return the arithmetic mean of @p values. */

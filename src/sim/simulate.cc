@@ -102,6 +102,8 @@ struct SimInstance
     std::vector<std::unique_ptr<TileSim>> sims;
     std::vector<int> tileIds;
     telemetry::Sink *sink = nullptr;
+    /** This run's timeline row stream (null when not sampling). */
+    telemetry::TimelineRun *timelineRun = nullptr;
     bool tracing = false;
     int pid = 0;
     std::string runName;
@@ -167,6 +169,7 @@ buildInstance(const wl::KernelSpec &spec, const dfg::Mdfg &mdfg,
             config.runLabel.empty() ? spec.name : config.runLabel;
         telemetry::TimelineRun *run =
             inst.sink->timeline().beginRun(label);
+        inst.timelineRun = run;
         uint64_t interval = inst.sink->options().statsInterval;
         inst.memsys->attachTimeline(run, interval);
         for (auto &sim : inst.sims)
@@ -277,6 +280,8 @@ runInstance(SimInstance &inst, const wl::KernelSpec &spec,
                  mdfg.unrollFactor;
     }
     result.ipc = cycle > 0 ? insts / static_cast<double>(cycle) : 0.0;
+    if (inst.timelineRun != nullptr)
+        result.timelineRows = inst.timelineRun->bytes();
 
     if (inst.tracing) {
         // Deadlocked tiles still need their end events matched.
@@ -358,6 +363,36 @@ resumeFrom(const Snapshot &snap, const wl::KernelSpec &spec,
     for (auto &sim : inst.sims)
         sim->restore(snap);
     return runInstance(inst, spec, mdfg, memory, config, &ck);
+}
+
+telemetry::PhaseProfile
+analyzeRunPhases(const SimResult &result, std::string_view prefix_rows)
+{
+    std::vector<telemetry::PhaseSample> samples;
+    if (!prefix_rows.empty() || !result.timelineRows.empty()) {
+        std::string rows(prefix_rows);
+        rows += result.timelineRows;
+        samples = telemetry::phaseSamplesFromRows(rows);
+    }
+    telemetry::CycleLedger tiles;
+    uint64_t iterations = 0;
+    uint64_t firings = 0;
+    for (const TileStats &ts : result.tiles) {
+        for (int c = 0; c < telemetry::kNumCycleCategories; ++c)
+            tiles.counts[c] += ts.ledger.counts[c];
+        iterations += ts.iterations;
+        firings += ts.firings;
+    }
+    telemetry::appendTerminalSample(samples, result.cycles, tiles,
+                                    result.memory.ledger, iterations,
+                                    firings);
+    // Scale firing deltas to the committed-instruction convention of
+    // SimResult::ipc: insts = ipc * cycles, spread over the firings.
+    double insts_per_firing =
+        firings > 0 ? result.ipc * static_cast<double>(result.cycles) /
+                          static_cast<double>(firings)
+                    : 0.0;
+    return telemetry::analyzePhases(samples, insts_per_firing);
 }
 
 uint64_t

@@ -12,6 +12,7 @@
 #include "sim/memory_system.h"
 #include "sim/snapshot.h"
 #include "sim/tile.h"
+#include "telemetry/phases.h"
 
 namespace overgen::sim {
 
@@ -43,7 +44,28 @@ struct SimResult
     /// @}
     MemoryStats memory;
     std::vector<TileStats> tiles;
+    /** This run's interval time-series rows (the exact bytes of its
+     * TimelineRun; empty unless the sink sampled a timeline).
+     * Observability like the ledger: bit-identical across thread
+     * counts and engine modes. A resumeFrom() run holds only the rows
+     * of boundaries after the checkpoint — concatenating the
+     * interrupted run's earlier rows reconstructs the uninterrupted
+     * buffer byte-for-byte (see analyzeRunPhases' prefix_rows). */
+    std::string timelineRows;
 };
+
+/**
+ * Phase decomposition of one simulated run: parse @p result's sampled
+ * timeline rows (prepending @p prefix_rows, e.g. the pre-checkpoint
+ * rows a resumed run did not re-sample), close the series with the
+ * run's terminal ledgers so spans sum exactly to result.cycles, and
+ * segment (telemetry::analyzePhases). steadyIpc is scaled to the same
+ * committed-instruction convention as SimResult::ipc. Works on runs
+ * with no sampled rows (single terminal sample, whole run one phase).
+ */
+telemetry::PhaseProfile
+analyzeRunPhases(const SimResult &result,
+                 std::string_view prefix_rows = {});
 
 /**
  * Simulate @p mdfg as scheduled on every tile of @p design, sharing

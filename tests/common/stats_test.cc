@@ -37,6 +37,35 @@ TEST(Stats, WeightedGeometricMeanSkew)
     EXPECT_NEAR(weightedGeometricMean(v, w), 2.0, 1e-12);
 }
 
+TEST(Stats, PercentileNearestRank)
+{
+    std::vector<double> v{ 40.0, 10.0, 30.0, 20.0, 50.0 };
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 30.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 50.0);
+    // index round(0.9 * 4) = 4 -> the max.
+    EXPECT_DOUBLE_EQ(percentile(v, 90.0), 50.0);
+    // index round(0.25 * 4) = 1.
+    EXPECT_DOUBLE_EQ(percentile(v, 25.0), 20.0);
+}
+
+TEST(Stats, PercentileSingleElementAndDuplicates)
+{
+    std::vector<double> single{ 7.0 };
+    for (double p : { 0.0, 50.0, 99.0, 100.0 })
+        EXPECT_DOUBLE_EQ(percentile(single, p), 7.0);
+    std::vector<double> dup{ 3.0, 3.0, 3.0, 9.0 };
+    EXPECT_DOUBLE_EQ(percentile(dup, 50.0), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(dup, 100.0), 9.0);
+}
+
+TEST(Stats, PercentileDoesNotMutateInput)
+{
+    std::vector<double> v{ 5.0, 1.0, 3.0 };
+    (void)percentile(v, 50.0);
+    EXPECT_EQ(v, (std::vector<double>{ 5.0, 1.0, 3.0 }));
+}
+
 TEST(Stats, ArithmeticMean)
 {
     std::vector<double> v{ 1.0, 2.0, 3.0, 6.0 };
@@ -53,6 +82,15 @@ TEST(StatsDeathTest, NonPositiveValuePanics)
 {
     std::vector<double> v{ 1.0, 0.0 };
     EXPECT_DEATH(geometricMean(v), "non-positive");
+}
+
+TEST(StatsDeathTest, PercentileOutOfRangePanics)
+{
+    std::vector<double> v{ 1.0 };
+    EXPECT_DEATH((void)percentile(v, -1.0), "out of range");
+    EXPECT_DEATH((void)percentile(v, 100.5), "out of range");
+    std::vector<double> empty;
+    EXPECT_DEATH((void)percentile(empty, 50.0), "empty");
 }
 
 } // namespace

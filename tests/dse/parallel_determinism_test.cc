@@ -67,7 +67,9 @@ canonicalRecords(const std::vector<std::string> &lines)
 }
 
 ExploreRun
-explore(int threads, uint64_t seed)
+explore(int threads, uint64_t seed,
+        dse::DseObjective objective = dse::DseObjective::Scalar,
+        bool validate_final = false)
 {
     std::vector<wl::KernelSpec> domain = { wl::makeFir(128, 16),
                                            wl::makeAccumulate(16) };
@@ -82,6 +84,8 @@ explore(int threads, uint64_t seed)
     options.l2CapacityGrid = { 512 };
     options.sink = &sink;
     options.telemetryLabel = "determinism";
+    options.objective = objective;
+    options.validateFinal = validate_final;
     ExploreRun run;
     run.result = dse::exploreOverlay(domain, options, &testModel());
     run.records = canonicalRecords(sink.dseLines());
@@ -158,6 +162,36 @@ TEST(ParallelDeterminism, DifferentSeedsDiverge)
     ExploreRun a = explore(2, 1);
     ExploreRun b = explore(2, 99);
     EXPECT_NE(a.records, b.records);
+}
+
+TEST(ParallelDeterminism, PhaseObjectiveTrajectoryIsThreadIndependent)
+{
+    // The phase-aware objective weights candidate IPC by modeled
+    // steady fractions and (with validateFinal) runs the measured
+    // refinement pass over ramp-dominated mappings; both are part of
+    // the same determinism contract — the trajectory, the final
+    // mappings, and the refined simulated cycle counts must be
+    // bit-identical across thread counts.
+    auto phase_run = [](int threads) {
+        return explore(threads, 42, dse::DseObjective::Phase,
+                       /*validate_final=*/true);
+    };
+    ExploreRun serial = phase_run(1);
+    ExploreRun four = phase_run(4);
+    expectIdentical(serial, four, "phase objective threads 1 vs 4");
+    ASSERT_EQ(serial.result.mappings.size(),
+              four.result.mappings.size());
+    for (size_t i = 0; i < serial.result.mappings.size(); ++i) {
+        EXPECT_EQ(serial.result.mappings[i].simulatedCycles,
+                  four.result.mappings[i].simulatedCycles)
+            << i;
+        EXPECT_EQ(serial.result.mappings[i].estimatedSteadyFraction,
+                  four.result.mappings[i].estimatedSteadyFraction)
+            << i;
+        EXPECT_EQ(serial.result.mappings[i].estimatedRampCycles,
+                  four.result.mappings[i].estimatedRampCycles)
+            << i;
+    }
 }
 
 TEST(ParallelDeterminism, EvaluationCountIsThreadIndependent)
